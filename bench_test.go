@@ -1,0 +1,287 @@
+package omg_test
+
+// The benchmark suite regenerates every table and figure of the paper at
+// reduced ("quick") scale and reports the headline numbers as benchmark
+// metrics, plus ablation benches for the design choices DESIGN.md calls
+// out and micro-benchmarks for the hot paths. cmd/omg-bench runs the same
+// experiments at full scale.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"omg"
+	"omg/internal/experiments"
+	"omg/internal/geometry"
+	"omg/internal/simrand"
+)
+
+// ---------------------------------------------------------------------
+// One benchmark per paper table/figure.
+
+func BenchmarkTable1Summary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table1()) != 4 {
+			b.Fatal("bad table 1")
+		}
+	}
+}
+
+func BenchmarkTable2LOC(b *testing.B) {
+	var maxBody, maxTotal int
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxBody, maxTotal = 0, 0
+		for _, r := range rows {
+			if r.BodyLOC > maxBody {
+				maxBody = r.BodyLOC
+			}
+			if r.TotalLOC > maxTotal {
+				maxTotal = r.TotalLOC
+			}
+		}
+	}
+	b.ReportMetric(float64(maxBody), "max-body-loc")
+	b.ReportMetric(float64(maxTotal), "max-total-loc")
+}
+
+func BenchmarkTable3Precision(b *testing.B) {
+	var minPrec float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3(experiments.QuickScale())
+		minPrec = 1
+		for _, r := range rows {
+			if r.PrecisionModel < minPrec {
+				minPrec = r.PrecisionModel
+			}
+		}
+	}
+	b.ReportMetric(100*minPrec, "min-precision-%")
+}
+
+func BenchmarkFigure3Confidence(b *testing.B) {
+	var topPct float64
+	for i := 0; i < b.N; i++ {
+		points := experiments.Figure3(experiments.QuickScale())
+		topPct = 0
+		for _, p := range points {
+			if p.Rank == 1 && p.Percentile > topPct {
+				topPct = p.Percentile
+			}
+		}
+	}
+	b.ReportMetric(topPct, "top-error-percentile")
+}
+
+func reportAL(b *testing.B, r experiments.ALResult) {
+	b.Helper()
+	for _, c := range r.Curves {
+		b.ReportMetric(100*c.Final(), c.Strategy+"-final-x100")
+	}
+	if r.LabelSavingsPct >= 0 {
+		b.ReportMetric(r.LabelSavingsPct, "bal-label-savings-%")
+	}
+}
+
+func BenchmarkFigure4aNightStreet(b *testing.B) {
+	var r experiments.ALResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure4a(experiments.QuickScale())
+	}
+	reportAL(b, r)
+}
+
+func BenchmarkFigure4bNuScenes(b *testing.B) {
+	var r experiments.ALResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure4b(experiments.QuickScale())
+	}
+	reportAL(b, r)
+}
+
+func BenchmarkFigure5ECG(b *testing.B) {
+	var r experiments.ALResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure5(experiments.QuickScale())
+	}
+	reportAL(b, r)
+}
+
+func BenchmarkTable4WeakSupervision(b *testing.B) {
+	var rows []experiments.Table4Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table4(experiments.QuickScale())
+	}
+	for _, r := range rows {
+		unit := strings.ReplaceAll(strings.ToLower(r.Domain), " ", "-") + "-gain-%"
+		b.ReportMetric(r.RelativeGainPct, unit)
+	}
+}
+
+func BenchmarkTable6HumanLabels(b *testing.B) {
+	var r experiments.Table6Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table6(experiments.QuickScale())
+	}
+	b.ReportMetric(100*r.CatchRate(), "catch-rate-%")
+	b.ReportMetric(float64(r.Errors), "label-errors")
+}
+
+// ---------------------------------------------------------------------
+// Ablations: the design choices DESIGN.md calls out.
+
+// benchBALVariant runs Figure 4a's domain with one BAL configuration and
+// reports the final mAP.
+func benchBALVariant(b *testing.B, cfg omg.BALConfig) {
+	s := experiments.QuickScale()
+	var final float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure4aWithBAL(s, cfg)
+		for _, c := range r.Curves {
+			if c.Strategy == "bal" {
+				final = c.Final()
+			}
+		}
+	}
+	b.ReportMetric(100*final, "bal-final-x100")
+}
+
+func BenchmarkAblationBALDefault(b *testing.B) {
+	benchBALVariant(b, omg.BALConfig{})
+}
+
+func BenchmarkAblationBALNoExplore(b *testing.B) {
+	benchBALVariant(b, omg.BALConfig{NoExplore: true})
+}
+
+func BenchmarkAblationBALHighExplore(b *testing.B) {
+	benchBALVariant(b, omg.BALConfig{ExploreFraction: 0.5})
+}
+
+func BenchmarkAblationBALRankPower2(b *testing.B) {
+	benchBALVariant(b, omg.BALConfig{RankPower: 2})
+}
+
+func BenchmarkAblationBALStrictFallback(b *testing.B) {
+	benchBALVariant(b, omg.BALConfig{FallbackThreshold: 0.2})
+}
+
+// BenchmarkAblationCCMABRegret measures CC-MAB's learning on a synthetic
+// smooth-reward environment: the mean true quality of selected arms in
+// the final tenth of the horizon (higher = better; an oracle achieves
+// ~0.85 on this landscape, uniform random ~0.42).
+func BenchmarkAblationCCMABRegret(b *testing.B) {
+	var late float64
+	for i := 0; i < b.N; i++ {
+		late = ccmabLateQuality(int64(i))
+	}
+	b.ReportMetric(late, "late-mean-quality")
+}
+
+func ccmabLateQuality(seed int64) float64 {
+	const horizon = 400
+	rng := simrand.NewStream(seed, "ccmab-bench")
+	c := omg.NewCCMAB(seed, 1, horizon, 1)
+	trueQuality := func(x float64) float64 {
+		return 0.15 + 0.7*math.Exp(-8*(x-0.7)*(x-0.7))
+	}
+	lateSum, lateN := 0.0, 0
+	for round := 1; round <= horizon; round++ {
+		arms := make([]omg.CCArm, 25)
+		for i := range arms {
+			arms[i] = omg.CCArm{ID: i, Context: []float64{rng.Float64()}}
+		}
+		sel := c.SelectArms(round, 3, arms)
+		for _, p := range sel {
+			q := trueQuality(arms[p].Context[0])
+			reward := 0.0
+			if rng.Bool(q) {
+				reward = 1
+			}
+			c.Update(arms[p], reward)
+			if round > horizon*9/10 {
+				lateSum += q
+				lateN++
+			}
+		}
+	}
+	return lateSum / float64(lateN)
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks for the hot paths.
+
+func BenchmarkIoU(b *testing.B) {
+	x := geometry.NewBox2D(0, 0, 100, 100)
+	y := geometry.NewBox2D(50, 50, 150, 150)
+	for i := 0; i < b.N; i++ {
+		_ = x.IoU(y)
+	}
+}
+
+func BenchmarkNMS100Boxes(b *testing.B) {
+	rng := simrand.New(1)
+	boxes := make([]geometry.ScoredBox, 100)
+	for i := range boxes {
+		cx, cy := rng.Uniform(0, 1000), rng.Uniform(0, 1000)
+		boxes[i] = geometry.ScoredBox{
+			Box:   geometry.BoxFromCenter(cx, cy, 80, 60),
+			Score: rng.Float64(),
+			Index: i,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = geometry.NMS(boxes, 0.5)
+	}
+}
+
+func BenchmarkMonitorObserve(b *testing.B) {
+	reg := omg.NewRegistry()
+	reg.MustAdd(omg.NewAssertion("noop", func(w []omg.Sample) float64 { return 0 }))
+	reg.MustAdd(omg.NewAssertion("len", func(w []omg.Sample) float64 { return float64(len(w) % 2) }))
+	mon := omg.NewMonitor(reg.Suite(), omg.WithWindowSize(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mon.Observe(omg.Sample{Index: i})
+	}
+}
+
+func BenchmarkBALSelect(b *testing.B) {
+	cands := make([]omg.Candidate, 2000)
+	rng := simrand.New(2)
+	for i := range cands {
+		sev := omg.Vector{0, 0, 0}
+		if rng.Bool(0.3) {
+			sev[rng.Choice(3)] = rng.Float64() * 5
+		}
+		cands[i] = omg.Candidate{Index: i, Severities: sev, Uncertainty: rng.Float64()}
+	}
+	state := omg.RoundState{
+		Round: 1, Budget: 100, Candidates: cands,
+		FiredCounts: omg.FiredCounts(cands, 3),
+	}
+	sel := omg.NewBAL(1, omg.BALConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel.Reset(int64(i))
+		_ = sel.Select(state)
+	}
+}
+
+func BenchmarkCountOverlappingTriples(b *testing.B) {
+	rng := simrand.New(3)
+	boxes := make([]geometry.Box2D, 30)
+	for i := range boxes {
+		cx, cy := rng.Uniform(0, 400), rng.Uniform(0, 400)
+		boxes[i] = geometry.BoxFromCenter(cx, cy, 100, 80)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = geometry.CountOverlappingTriples(boxes, 0.4)
+	}
+}

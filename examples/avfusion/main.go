@@ -1,0 +1,41 @@
+// AV sensor fusion: the paper's cross-sensor "agree" assertion — project
+// LIDAR 3D detections onto the camera plane and check they are consistent
+// with the camera detector's boxes — plus cross-sensor weak supervision
+// (imputing 2D boxes from 3D detections).
+package main
+
+import (
+	"fmt"
+
+	"omg"
+	"omg/internal/domains/avscenes"
+)
+
+func main() {
+	domain := avscenes.New(avscenes.Config{Seed: 3, PoolScenes: 30, TestScenes: 12})
+	fmt.Printf("pretrained camera mAP: %.1f\n", 100*domain.Evaluate())
+
+	// Monitor a scene's frames with the agree + multibox suite: the model
+	// output for each sample is the pair of both sensors' detections.
+	monitor := omg.NewMonitor(domain.Suite())
+	scene, camFrames := domain.PoolScene(0)
+	for i := range scene.Frames {
+		pair := avscenes.SensorPair{
+			Lidar:  domain.LidarDetector().Detect(scene.Frames[i]),
+			Camera: domain.Model().Detect(camFrames[i]),
+		}
+		monitor.Observe(omg.Sample{Index: i, Time: scene.Frames[i].Time, Output: pair})
+	}
+	fmt.Printf("scene 0 violations: %v\n", monitor.Recorder().Summary())
+	if st, ok := monitor.Recorder().Stats("av:agree"); ok {
+		fmt.Printf("agree fired on %d of %d frames (max %d disagreeing boxes)\n",
+			st.Fired, len(scene.Frames), int(st.MaxSev))
+	}
+
+	// Cross-sensor weak supervision: impute 2D boxes from the LIDAR
+	// detections the camera missed, then fine-tune the camera model —
+	// no human labels.
+	res := domain.RunWeakSupervision(30)
+	fmt.Printf("weak supervision: %d imputed boxes, camera mAP %.1f -> %.1f (+%.1f%% relative)\n",
+		res.ImputedBoxes, 100*res.PretrainedMAP, 100*res.WeakMAP, res.RelativeGainPct)
+}

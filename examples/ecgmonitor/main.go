@@ -1,0 +1,48 @@
+// ECG monitoring: the paper's medical-classification assertion — an
+// atrial-fibrillation prediction must not change A→B→A within 30 seconds
+// (European Society of Cardiology guidance) — expressed through the
+// consistency API with the predicted class as the identifier and T=30s,
+// plus weak supervision from the majority-correction rule.
+package main
+
+import (
+	"fmt"
+
+	"omg"
+	"omg/internal/domains/heartbeat"
+	"omg/internal/ecg"
+)
+
+func main() {
+	domain := heartbeat.New(heartbeat.Config{Seed: 5, PoolRecords: 600, TestRecords: 300})
+	fmt.Printf("bootstrap record accuracy: %.1f%%\n", 100*domain.Evaluate())
+
+	// Register the assertion through the public consistency API, exactly
+	// as a deployment would.
+	reg := omg.NewRegistry()
+	if _, err := omg.AddConsistencyAssertion(reg, heartbeat.ConsistencyConfig(),
+		omg.Meta{Domain: "ecg", Description: "AF must persist >= 30s (ESC guidelines)"}); err != nil {
+		panic(err)
+	}
+
+	// Monitor a handful of records; each segment's prediction is one
+	// sample.
+	suite := reg.Suite()
+	flagged := 0
+	records := ecg.Generate(ecg.Config{Seed: 42, NumRecords: 200})
+	for _, rec := range records {
+		preds := domain.Model().Classify(rec)
+		stream := heartbeat.PredictionStream(rec, preds)
+		vec := suite.Evaluate(omg.ConsistencySamples(stream))
+		if vec.Fired() {
+			flagged++
+		}
+	}
+	fmt.Printf("assertion flagged %d of %d monitored records\n", flagged, len(records))
+
+	// Weak supervision: correct oscillating segments to the surrounding
+	// class and fine-tune.
+	res := domain.RunWeakSupervision(600)
+	fmt.Printf("weak supervision: %d corrected segments, accuracy %.1f%% -> %.1f%%\n",
+		res.CorrectedSegments, 100*res.PretrainedAcc, 100*res.WeakAcc)
+}

@@ -1,0 +1,61 @@
+// Quickstart: register a model assertion, monitor a model's output
+// stream, and react to violations — the minimal OMG loop from §2 of the
+// paper.
+//
+// The "model" here is a toy object counter whose output occasionally
+// glitches; the assertion encodes the domain knowledge that the count
+// cannot change by more than 2 between consecutive samples.
+package main
+
+import (
+	"fmt"
+
+	"omg"
+)
+
+func main() {
+	// 1. Build the assertion database and register an assertion: an
+	// arbitrary function over recent (input, output) samples returning a
+	// severity score (0 = no error indicated).
+	reg := omg.NewRegistry()
+	reg.MustAdd(omg.NewAssertion("count-jump", func(window []omg.Sample) float64 {
+		if len(window) < 2 {
+			return 0
+		}
+		prev, _ := window[len(window)-2].Output.(int)
+		cur, _ := window[len(window)-1].Output.(int)
+		jump := cur - prev
+		if jump < 0 {
+			jump = -jump
+		}
+		if jump > 2 {
+			return float64(jump) // severity = how implausible the jump is
+		}
+		return 0
+	}))
+
+	// 2. Wrap the suite in a runtime monitor and register a corrective
+	// action for severe violations.
+	monitor := omg.NewMonitor(reg.Suite(), omg.WithWindowSize(4))
+	monitor.OnViolation(5, func(v omg.Violation) {
+		fmt.Printf("  !! corrective action at sample %d (severity %.0f)\n", v.SampleIndex, v.Severity)
+	})
+
+	// 3. Stream the deployment: after every model invocation, hand the
+	// (input, output) pair to the monitor.
+	outputs := []int{3, 4, 4, 5, 11, 5, 4, 4, 12, 4} // two glitches
+	for i, out := range outputs {
+		vec := monitor.Observe(omg.Sample{Index: i, Time: float64(i) / 10, Output: out})
+		if vec.Fired() {
+			fmt.Printf("sample %2d: count=%2d  <- flagged\n", i, out)
+		} else {
+			fmt.Printf("sample %2d: count=%2d\n", i, out)
+		}
+	}
+
+	// 4. Inspect the recorded violations (what a dashboard would read).
+	fmt.Printf("\ntotal violations: %d\n", monitor.Recorder().TotalFired())
+	for _, v := range monitor.Recorder().Violations() {
+		fmt.Printf("  %s at sample %d, severity %.0f\n", v.Assertion, v.SampleIndex, v.Severity)
+	}
+}

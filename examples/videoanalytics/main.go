@@ -1,0 +1,83 @@
+// Video analytics: the paper's night-street deployment end to end —
+// consistency assertions (flicker/appear) generated from an Id/Attrs/T
+// description, the custom multibox assertion, runtime monitoring over a
+// simulated detector, weak-label proposals, and BAL-driven data
+// selection.
+package main
+
+import (
+	"fmt"
+
+	"omg"
+	"omg/internal/bandit"
+	"omg/internal/consistency"
+	"omg/internal/domains/nightstreet"
+)
+
+func main() {
+	// The simulated deployment: a pretrained detector on a day of street
+	// video (see internal/domains/nightstreet for the full substrate).
+	domain := nightstreet.New(nightstreet.Config{Seed: 7, PoolFrames: 1200, TestFrames: 300})
+	fmt.Printf("pretrained test mAP: %.1f\n", 100*domain.Evaluate())
+
+	// Register the paper's three assertions in a shared database. The
+	// temporal ones come from the consistency API; multibox is custom.
+	reg := omg.NewRegistry()
+	gen, err := omg.AddConsistencyAssertion(reg, nightstreet.ConsistencyConfig(0.7),
+		omg.Meta{Domain: "video-analytics", Author: "quality-team"})
+	if err != nil {
+		panic(err)
+	}
+	reg.MustAdd(omg.NewAssertion("vehicle:multibox", func(w []omg.Sample) float64 {
+		if len(w) == 0 {
+			return 0
+		}
+		boxes, _ := w[len(w)-1].Output.([]nightstreet.TrackedBox)
+		return nightstreet.Multibox(boxes, 0.4)
+	}))
+	fmt.Printf("assertion database: %v\n", reg.Names())
+
+	// Runtime monitoring: stream the tracked detections through the
+	// suite.
+	stream := domain.DetectTracked(domain.Pool())
+	monitor := omg.NewMonitor(reg.Suite(), omg.WithWindowSize(8))
+	for _, s := range consistency.Samples(stream) {
+		monitor.Observe(s)
+	}
+	fmt.Printf("violations over %d frames: %v\n", monitor.Observed(), monitor.Recorder().Summary())
+
+	// Weak supervision: the correction rules propose labels for failing
+	// outputs — interpolated boxes for flicker gaps, removals for
+	// transient appearances, majority classes for flips.
+	proposals := gen.WeakLabels(stream)
+	byKind := map[consistency.ProposalKind]int{}
+	for _, p := range proposals {
+		byKind[p.Kind]++
+	}
+	fmt.Printf("weak-label proposals: add=%d remove=%d modify=%d\n",
+		byKind[omg.AddOutput], byKind[omg.RemoveOutput], byKind[omg.ModifyAttr])
+
+	// Active learning with BAL: two rounds of 50 labels.
+	sel := omg.NewBAL(11, omg.BALConfig{})
+	labeled := map[int]bool{}
+	for round := 1; round <= 2; round++ {
+		var avail []omg.Candidate
+		for _, c := range domain.Assess() {
+			if !labeled[c.Index] {
+				avail = append(avail, c)
+			}
+		}
+		state := omg.RoundState{
+			Round: round, Budget: 50, Candidates: avail,
+			FiredCounts: bandit.FiredCounts(avail, domain.NumAssertions()),
+		}
+		var chosen []int
+		for _, pos := range sel.Select(state) {
+			chosen = append(chosen, avail[pos].Index)
+			labeled[avail[pos].Index] = true
+		}
+		domain.Train(chosen)
+		fmt.Printf("round %d: labeled %d frames, test mAP now %.1f\n",
+			round, len(chosen), 100*domain.Evaluate())
+	}
+}

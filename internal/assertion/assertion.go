@@ -1,0 +1,326 @@
+// Package assertion implements the core abstraction of the paper: model
+// assertions — arbitrary functions over a model's inputs and outputs that
+// return a severity score indicating when an error may be occurring
+// (Kang et al., MLSys 2020, §2).
+//
+// An assertion receives a window of recent (input, output) samples, so it
+// can express temporal checks such as "an object should not flicker in and
+// out of the video" as well as single-sample checks such as "LIDAR and
+// camera detections should agree". It returns a continuous severity score;
+// by convention 0 means the assertion abstains (no error indicated) and
+// larger values indicate more severe errors. Boolean assertions return only
+// 0 and 1. Severity scores need not be calibrated: every algorithm in this
+// repository uses only their relative order (paper §2.1).
+package assertion
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sample is one observation flowing through a deployed model: the model's
+// input and output for a single inference, plus positioning metadata used
+// by temporal assertions.
+type Sample struct {
+	// Index is the caller-assigned position of the sample in its stream
+	// (e.g. a frame number or dataset index).
+	Index int
+	// Time is the sample's timestamp in seconds. Temporal consistency
+	// assertions (paper §4) are expressed over this clock.
+	Time float64
+	// Input is the model input (opaque to the library).
+	Input any
+	// Output is the model output (opaque to the library). Assertions
+	// type-assert it to their domain's output type.
+	Output any
+}
+
+// Assertion is a model assertion. Implementations must be safe for
+// concurrent use by multiple goroutines if they are registered with a
+// Monitor that is used concurrently.
+type Assertion interface {
+	// Name returns the assertion's unique identifier within a registry.
+	Name() string
+	// Check evaluates the assertion on a window of recent samples,
+	// ordered by increasing Index. The last element is the sample that
+	// triggered evaluation. It returns a severity score where 0 means
+	// abstain and larger values mean more severe suspected errors.
+	Check(window []Sample) float64
+}
+
+// Func adapts a plain function into an Assertion, mirroring OMG's
+// AddAssertion(func) API where arbitrary callables are registered.
+type Func struct {
+	AssertionName string
+	Fn            func(window []Sample) float64
+}
+
+// Name implements Assertion.
+func (f Func) Name() string { return f.AssertionName }
+
+// Check implements Assertion.
+func (f Func) Check(window []Sample) float64 {
+	if f.Fn == nil {
+		return 0
+	}
+	return f.Fn(window)
+}
+
+// New returns an Assertion with the given name evaluating fn.
+func New(name string, fn func(window []Sample) float64) Assertion {
+	return Func{AssertionName: name, Fn: fn}
+}
+
+// NewBool returns a Boolean assertion: severity 1 when fn reports a
+// violation, 0 otherwise.
+func NewBool(name string, fn func(window []Sample) bool) Assertion {
+	return Func{AssertionName: name, Fn: func(window []Sample) float64 {
+		if fn(window) {
+			return 1
+		}
+		return 0
+	}}
+}
+
+// Meta carries optional descriptive metadata for a registered assertion,
+// used by reporting (Table 1) and by collaborative QA workflows where many
+// developers contribute to a shared assertion database (paper §2.3).
+type Meta struct {
+	// Description is a one-line human-readable summary.
+	Description string
+	// Domain names the deployment the assertion belongs to (e.g.
+	// "video-analytics", "av", "ecg", "tv-news").
+	Domain string
+	// Kind classifies the assertion per the paper's taxonomy (Appendix B):
+	// "consistency", "domain-knowledge", "perturbation", "input-validation".
+	Kind string
+	// Author records who contributed the assertion to the database.
+	Author string
+}
+
+// Registered pairs an assertion with its metadata.
+type Registered struct {
+	Assertion Assertion
+	Meta      Meta
+}
+
+// Registry is the assertion database: a named collection of assertions
+// that ML developers add to collaboratively. It is safe for concurrent
+// use.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]Registered
+	order   []string
+}
+
+// NewRegistry returns an empty assertion database.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]Registered)}
+}
+
+// Add registers an assertion with empty metadata. It is the Go analogue of
+// OMG's AddAssertion(func). It returns an error if an assertion with the
+// same name is already registered or the assertion is nil.
+func (r *Registry) Add(a Assertion) error {
+	return r.AddWithMeta(a, Meta{})
+}
+
+// AddWithMeta registers an assertion together with descriptive metadata.
+func (r *Registry) AddWithMeta(a Assertion, meta Meta) error {
+	if a == nil {
+		return fmt.Errorf("assertion: cannot register nil assertion")
+	}
+	name := a.Name()
+	if name == "" {
+		return fmt.Errorf("assertion: cannot register assertion with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.entries[name]; exists {
+		return fmt.Errorf("assertion: %q already registered", name)
+	}
+	r.entries[name] = Registered{Assertion: a, Meta: meta}
+	r.order = append(r.order, name)
+	return nil
+}
+
+// MustAdd is Add that panics on error, for registration at program start.
+func (r *Registry) MustAdd(a Assertion) {
+	if err := r.Add(a); err != nil {
+		panic(err)
+	}
+}
+
+// Remove deletes the named assertion. It reports whether it was present.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; !ok {
+		return false
+	}
+	delete(r.entries, name)
+	for i, n := range r.order {
+		if n == name {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Get returns the named assertion's registration.
+func (r *Registry) Get(name string) (Registered, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Names returns the registered assertion names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Len returns the number of registered assertions.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Suite returns a stable evaluation view of the current registry contents.
+// The suite's assertion order is the registration order; subsequent
+// registry mutations do not affect a previously obtained suite.
+func (r *Registry) Suite() *Suite {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := &Suite{}
+	for _, name := range r.order {
+		s.assertions = append(s.assertions, r.entries[name].Assertion)
+	}
+	return s
+}
+
+// ByDomain returns the names of assertions whose Meta.Domain matches,
+// sorted lexicographically.
+func (r *Registry) ByDomain(domain string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for name, e := range r.entries {
+		if e.Meta.Domain == domain {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Suite is an ordered, immutable list of assertions used for batch
+// evaluation. The order defines the meaning of severity vectors: element i
+// of a Vector is the severity of assertion i.
+type Suite struct {
+	assertions []Assertion
+}
+
+// NewSuite builds a suite directly from assertions (registration order is
+// the argument order). Nil assertions are skipped.
+func NewSuite(assertions ...Assertion) *Suite {
+	s := &Suite{}
+	for _, a := range assertions {
+		if a != nil {
+			s.assertions = append(s.assertions, a)
+		}
+	}
+	return s
+}
+
+// Len returns the number of assertions in the suite.
+func (s *Suite) Len() int { return len(s.assertions) }
+
+// Names returns the assertion names in suite order.
+func (s *Suite) Names() []string {
+	out := make([]string, len(s.assertions))
+	for i, a := range s.assertions {
+		out[i] = a.Name()
+	}
+	return out
+}
+
+// Assertions returns the suite's assertions in order. Callers must not
+// modify the returned slice.
+func (s *Suite) Assertions() []Assertion { return s.assertions }
+
+// Vector is a severity vector: one entry per assertion in a Suite, in
+// suite order. It is the context ("feature vector x_i") used by the BAL
+// bandit (paper §3).
+type Vector []float64
+
+// Fired reports whether any assertion abstained from abstaining, i.e. any
+// severity is positive.
+func (v Vector) Fired() bool {
+	for _, s := range v {
+		if s > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of positive entries.
+func (v Vector) Count() int {
+	n := 0
+	for _, s := range v {
+		if s > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Max returns the maximum severity and its index; (-1, 0) for an empty
+// vector.
+func (v Vector) Max() (idx int, severity float64) {
+	idx = -1
+	for i, s := range v {
+		if i == 0 || s > severity {
+			severity = s
+			idx = i
+		}
+	}
+	if idx == -1 {
+		return -1, 0
+	}
+	return idx, v[idx]
+}
+
+// Evaluate runs every assertion in the suite on the window and returns the
+// severity vector.
+func (s *Suite) Evaluate(window []Sample) Vector {
+	out := make(Vector, len(s.assertions))
+	for i, a := range s.assertions {
+		sev := a.Check(window)
+		if sev < 0 {
+			// Negative severities are clamped: the contract is [0, inf).
+			sev = 0
+		}
+		out[i] = sev
+	}
+	return out
+}
+
+// EvaluateBatch evaluates the suite over a batch of windows (one window
+// per candidate data point) and returns one severity vector per window.
+// This is the primary entry point for assertion-driven data selection.
+func (s *Suite) EvaluateBatch(windows [][]Sample) []Vector {
+	out := make([]Vector, len(windows))
+	for i, w := range windows {
+		out[i] = s.Evaluate(w)
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package assertion
+
+import "fmt"
+
+// This file provides constructors for the common classes of model
+// assertions the paper taxonomises in Appendix B (Table 5): multi-source
+// consistency, input validation (schema preconditions), and perturbation
+// assertions. Domain-specific consistency assertions over identifiers and
+// attributes live in the consistency package; these builders cover the
+// remaining classes with small, composable helpers.
+
+// MultiSource builds a multi-source consistency assertion: the outputs of
+// several models (or labelers) on the same input should agree. The
+// sample's Output must be a []string of the sources' answers; severity is
+// the number of answers disagreeing with the plurality answer (ties count
+// all non-winning answers).
+//
+// Table 5: "Verifying human labels (e.g., number of labelers that
+// disagree); multiple models (e.g., number of models that disagree)".
+func MultiSource(name string) Assertion {
+	return New(name, func(window []Sample) float64 {
+		if len(window) == 0 {
+			return 0
+		}
+		answers, ok := window[len(window)-1].Output.([]string)
+		if !ok || len(answers) < 2 {
+			return 0
+		}
+		counts := make(map[string]int)
+		for _, a := range answers {
+			counts[a]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		return float64(len(answers) - best)
+	})
+}
+
+// FieldSpec validates one field of a structured input (Table 5's
+// input-validation / schema class: "Boolean features should not have
+// inputs that are not 0 or 1; all features should be present").
+type FieldSpec struct {
+	// Name of the field in the input map.
+	Name string
+	// Required fields must be present.
+	Required bool
+	// Min, Max bound numeric values when both are set (Min <= Max).
+	Min, Max float64
+	// Bounded enables the Min/Max check.
+	Bounded bool
+	// OneOf restricts string values to an allowed set when non-empty.
+	OneOf []string
+}
+
+// validate returns the number of violations for a single input map.
+func (f FieldSpec) validate(input map[string]any) float64 {
+	v, present := input[f.Name]
+	if !present {
+		if f.Required {
+			return 1
+		}
+		return 0
+	}
+	violations := 0.0
+	if f.Bounded {
+		switch x := v.(type) {
+		case float64:
+			if x < f.Min || x > f.Max {
+				violations++
+			}
+		case int:
+			if float64(x) < f.Min || float64(x) > f.Max {
+				violations++
+			}
+		default:
+			violations++ // numeric bound on a non-numeric value
+		}
+	}
+	if len(f.OneOf) > 0 {
+		s, ok := v.(string)
+		if !ok {
+			violations++
+		} else {
+			allowed := false
+			for _, o := range f.OneOf {
+				if s == o {
+					allowed = true
+					break
+				}
+			}
+			if !allowed {
+				violations++
+			}
+		}
+	}
+	return violations
+}
+
+// InputSchema builds an input-validation assertion over the sample's
+// Input, which must be a map[string]any. Severity is the total number of
+// field violations — a precondition for the model (paper Appendix B).
+func InputSchema(name string, fields []FieldSpec) Assertion {
+	return New(name, func(window []Sample) float64 {
+		if len(window) == 0 {
+			return 0
+		}
+		input, ok := window[len(window)-1].Input.(map[string]any)
+		if !ok {
+			return 0
+		}
+		total := 0.0
+		for _, f := range fields {
+			total += f.validate(input)
+		}
+		return total
+	})
+}
+
+// Perturbation builds a perturbation assertion (Table 5: "adding noise
+// should not modify model outputs"): given a runner that evaluates the
+// model on a perturbed copy of the input and a comparator that measures
+// output divergence, severity is the divergence. perturbAndRun receives
+// the triggering sample and returns the perturbed output; diverge returns
+// a non-negative severity (0 = outputs equivalent).
+func Perturbation(name string,
+	perturbAndRun func(s Sample) (perturbed any, ok bool),
+	diverge func(original, perturbed any) float64,
+) Assertion {
+	if perturbAndRun == nil || diverge == nil {
+		return New(name, func([]Sample) float64 { return 0 })
+	}
+	return New(name, func(window []Sample) float64 {
+		if len(window) == 0 {
+			return 0
+		}
+		s := window[len(window)-1]
+		perturbed, ok := perturbAndRun(s)
+		if !ok {
+			return 0
+		}
+		sev := diverge(s.Output, perturbed)
+		if sev < 0 {
+			return 0
+		}
+		return sev
+	})
+}
+
+// RateLimit builds a meta-assertion that wraps another assertion and
+// abstains after the wrapped assertion has fired maxFirings times —
+// useful for bounding alert volume from a noisy soft assertion while
+// monitoring (paper §7 discusses assertion overhead in deployments).
+func RateLimit(a Assertion, maxFirings int) Assertion {
+	fired := 0
+	return New(fmt.Sprintf("%s:limited", a.Name()), func(window []Sample) float64 {
+		if fired >= maxFirings {
+			return 0
+		}
+		sev := a.Check(window)
+		if sev > 0 {
+			fired++
+		}
+		return sev
+	})
+}

@@ -1,0 +1,148 @@
+package assertion
+
+import "testing"
+
+func lastOut(out any) []Sample { return []Sample{{Index: 0, Output: out}} }
+
+func TestMultiSourceAgreement(t *testing.T) {
+	a := MultiSource("labelers")
+	if sev := a.Check(lastOut([]string{"car", "car", "car"})); sev != 0 {
+		t.Fatalf("agreement severity = %v", sev)
+	}
+	if sev := a.Check(lastOut([]string{"car", "car", "truck"})); sev != 1 {
+		t.Fatalf("one-disagree severity = %v", sev)
+	}
+	if sev := a.Check(lastOut([]string{"car", "truck", "bus"})); sev != 2 {
+		t.Fatalf("all-different severity = %v", sev)
+	}
+}
+
+func TestMultiSourceDegenerate(t *testing.T) {
+	a := MultiSource("labelers")
+	if sev := a.Check(lastOut([]string{"solo"})); sev != 0 {
+		t.Fatal("single source should abstain")
+	}
+	if sev := a.Check(lastOut(42)); sev != 0 {
+		t.Fatal("non-conforming output should abstain")
+	}
+	if sev := a.Check(nil); sev != 0 {
+		t.Fatal("empty window should abstain")
+	}
+}
+
+func schemaSample(input map[string]any) []Sample {
+	return []Sample{{Index: 0, Input: input}}
+}
+
+func TestInputSchemaRequired(t *testing.T) {
+	a := InputSchema("schema", []FieldSpec{{Name: "age", Required: true}})
+	if sev := a.Check(schemaSample(map[string]any{"age": 30})); sev != 0 {
+		t.Fatalf("present required field severity = %v", sev)
+	}
+	if sev := a.Check(schemaSample(map[string]any{})); sev != 1 {
+		t.Fatalf("missing required field severity = %v", sev)
+	}
+}
+
+func TestInputSchemaBounds(t *testing.T) {
+	spec := []FieldSpec{{Name: "flag", Bounded: true, Min: 0, Max: 1}}
+	a := InputSchema("schema", spec)
+	cases := []struct {
+		v    any
+		want float64
+	}{
+		{0, 0}, {1, 0}, {0.5, 0}, {-1, 1}, {2, 1}, {"no", 1},
+	}
+	for _, c := range cases {
+		if sev := a.Check(schemaSample(map[string]any{"flag": c.v})); sev != c.want {
+			t.Fatalf("flag=%v severity = %v, want %v", c.v, sev, c.want)
+		}
+	}
+}
+
+func TestInputSchemaOneOf(t *testing.T) {
+	a := InputSchema("schema", []FieldSpec{{Name: "class", OneOf: []string{"car", "truck"}}})
+	if sev := a.Check(schemaSample(map[string]any{"class": "car"})); sev != 0 {
+		t.Fatalf("allowed value severity = %v", sev)
+	}
+	if sev := a.Check(schemaSample(map[string]any{"class": "plane"})); sev != 1 {
+		t.Fatalf("disallowed value severity = %v", sev)
+	}
+	if sev := a.Check(schemaSample(map[string]any{"class": 9})); sev != 1 {
+		t.Fatalf("non-string severity = %v", sev)
+	}
+}
+
+func TestInputSchemaMultipleViolations(t *testing.T) {
+	a := InputSchema("schema", []FieldSpec{
+		{Name: "a", Required: true},
+		{Name: "b", Bounded: true, Min: 0, Max: 1},
+	})
+	sev := a.Check(schemaSample(map[string]any{"b": 5}))
+	if sev != 2 {
+		t.Fatalf("severity = %v, want 2", sev)
+	}
+}
+
+func TestInputSchemaNonMapAbstains(t *testing.T) {
+	a := InputSchema("schema", []FieldSpec{{Name: "a", Required: true}})
+	if sev := a.Check([]Sample{{Input: "raw"}}); sev != 0 {
+		t.Fatal("non-map input should abstain")
+	}
+}
+
+func TestPerturbation(t *testing.T) {
+	a := Perturbation("noise",
+		func(s Sample) (any, bool) {
+			v, _ := s.Output.(int)
+			return v + 1, true // the model is unstable under perturbation
+		},
+		func(orig, pert any) float64 {
+			o, _ := orig.(int)
+			p, _ := pert.(int)
+			d := float64(p - o)
+			if d < 0 {
+				d = -d
+			}
+			return d
+		})
+	if sev := a.Check(lastOut(5)); sev != 1 {
+		t.Fatalf("severity = %v", sev)
+	}
+}
+
+func TestPerturbationAbstains(t *testing.T) {
+	a := Perturbation("noise",
+		func(Sample) (any, bool) { return nil, false },
+		func(any, any) float64 { return 99 })
+	if sev := a.Check(lastOut(5)); sev != 0 {
+		t.Fatal("abstaining perturbation fired")
+	}
+	b := Perturbation("nil", nil, nil)
+	if sev := b.Check(lastOut(5)); sev != 0 {
+		t.Fatal("nil-configured perturbation fired")
+	}
+	c := Perturbation("neg",
+		func(Sample) (any, bool) { return 0, true },
+		func(any, any) float64 { return -5 })
+	if sev := c.Check(lastOut(5)); sev != 0 {
+		t.Fatal("negative divergence should clamp to 0")
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	inner := New("noisy", func([]Sample) float64 { return 2 })
+	a := RateLimit(inner, 3)
+	if a.Name() != "noisy:limited" {
+		t.Fatalf("name = %q", a.Name())
+	}
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if a.Check(nil) > 0 {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+}

@@ -1,0 +1,162 @@
+package assertion
+
+import (
+	"sync"
+)
+
+// Violation is one firing of one assertion on one sample: the unit the
+// runtime monitor records and that corrective actions receive.
+type Violation struct {
+	// Assertion is the name of the assertion that fired.
+	Assertion string `json:"assertion"`
+	// SampleIndex is the Index of the sample that triggered evaluation.
+	SampleIndex int `json:"sample_index"`
+	// Time is the triggering sample's timestamp in seconds.
+	Time float64 `json:"time"`
+	// Severity is the assertion's returned score (> 0).
+	Severity float64 `json:"severity"`
+}
+
+// Action is a corrective callback invoked when an assertion fires at or
+// above a configured severity threshold — e.g. logging unexpected behaviour
+// or shutting down an autopilot (paper §1, "runtime monitoring").
+type Action func(v Violation)
+
+// actionSpec binds an action to its trigger condition.
+type actionSpec struct {
+	assertion string // empty = any assertion
+	threshold float64
+	action    Action
+}
+
+// Monitor is OMG's runtime-monitoring component. It is registered as a
+// callback after model execution: each call to Observe delivers the
+// model's input and output, the monitor maintains a sliding window of
+// recent samples, evaluates every assertion in its suite, records
+// violations, and triggers corrective actions.
+//
+// A Monitor is safe for concurrent use; samples are serialised through an
+// internal lock since window semantics require a total order.
+type Monitor struct {
+	suite      *Suite
+	windowSize int
+
+	mu       sync.Mutex
+	window   []Sample
+	recorder *Recorder
+	actions  []actionSpec
+	observed int
+}
+
+// MonitorOption configures a Monitor.
+type MonitorOption func(*Monitor)
+
+// WithWindowSize sets how many recent samples are retained for temporal
+// assertions (default 16, minimum 1).
+func WithWindowSize(n int) MonitorOption {
+	return func(m *Monitor) {
+		if n >= 1 {
+			m.windowSize = n
+		}
+	}
+}
+
+// WithRecorder attaches a recorder; by default a fresh in-memory recorder
+// is created.
+func WithRecorder(r *Recorder) MonitorOption {
+	return func(m *Monitor) {
+		if r != nil {
+			m.recorder = r
+		}
+	}
+}
+
+// NewMonitor builds a monitor over the given suite.
+func NewMonitor(suite *Suite, opts ...MonitorOption) *Monitor {
+	m := &Monitor{
+		suite:      suite,
+		windowSize: 16,
+		recorder:   NewRecorder(0),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// OnViolation registers an action triggered whenever any assertion fires
+// with severity >= threshold.
+func (m *Monitor) OnViolation(threshold float64, a Action) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.actions = append(m.actions, actionSpec{threshold: threshold, action: a})
+}
+
+// OnAssertion registers an action triggered when the named assertion fires
+// with severity >= threshold.
+func (m *Monitor) OnAssertion(name string, threshold float64, a Action) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.actions = append(m.actions, actionSpec{assertion: name, threshold: threshold, action: a})
+}
+
+// Observe delivers one (input, output) sample to the monitor: the sample
+// joins the sliding window, all assertions are evaluated, violations are
+// recorded, matching actions run synchronously, and the sample's severity
+// vector is returned.
+func (m *Monitor) Observe(s Sample) Vector {
+	m.mu.Lock()
+	m.window = append(m.window, s)
+	if len(m.window) > m.windowSize {
+		m.window = m.window[len(m.window)-m.windowSize:]
+	}
+	window := make([]Sample, len(m.window))
+	copy(window, m.window)
+	m.observed++
+	actions := make([]actionSpec, len(m.actions))
+	copy(actions, m.actions)
+	m.mu.Unlock()
+
+	vec := m.suite.Evaluate(window)
+	names := m.suite.Names()
+	for i, sev := range vec {
+		if sev <= 0 {
+			continue
+		}
+		v := Violation{
+			Assertion:   names[i],
+			SampleIndex: s.Index,
+			Time:        s.Time,
+			Severity:    sev,
+		}
+		m.recorder.Record(v)
+		for _, spec := range actions {
+			if spec.assertion != "" && spec.assertion != names[i] {
+				continue
+			}
+			if sev >= spec.threshold {
+				spec.action(v)
+			}
+		}
+	}
+	return vec
+}
+
+// Observed returns the number of samples seen so far.
+func (m *Monitor) Observed() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.observed
+}
+
+// Recorder returns the monitor's recorder for querying recorded
+// violations.
+func (m *Monitor) Recorder() *Recorder { return m.recorder }
+
+// Reset clears the sliding window (e.g. at a stream boundary) without
+// clearing recorded violations.
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.window = nil
+}

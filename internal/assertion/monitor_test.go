@@ -1,0 +1,170 @@
+package assertion
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMonitorWindowing(t *testing.T) {
+	var seen []int
+	a := New("window", func(w []Sample) float64 {
+		seen = append(seen, len(w))
+		return 0
+	})
+	m := NewMonitor(NewSuite(a), WithWindowSize(3))
+	for i := 0; i < 5; i++ {
+		m.Observe(Sample{Index: i})
+	}
+	want := []int{1, 2, 3, 3, 3}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("window sizes = %v, want %v", seen, want)
+		}
+	}
+	if m.Observed() != 5 {
+		t.Fatalf("Observed = %d", m.Observed())
+	}
+}
+
+func TestMonitorWindowOrdering(t *testing.T) {
+	var lastWindow []Sample
+	a := New("order", func(w []Sample) float64 {
+		lastWindow = append([]Sample(nil), w...)
+		return 0
+	})
+	m := NewMonitor(NewSuite(a), WithWindowSize(4))
+	for i := 10; i < 16; i++ {
+		m.Observe(Sample{Index: i})
+	}
+	if len(lastWindow) != 4 {
+		t.Fatalf("window len = %d", len(lastWindow))
+	}
+	for i := 1; i < len(lastWindow); i++ {
+		if lastWindow[i].Index <= lastWindow[i-1].Index {
+			t.Fatalf("window not ordered: %v", lastWindow)
+		}
+	}
+	if lastWindow[len(lastWindow)-1].Index != 15 {
+		t.Fatalf("last window element index = %d, want 15", lastWindow[len(lastWindow)-1].Index)
+	}
+}
+
+func TestMonitorRecordsViolations(t *testing.T) {
+	a := New("fires-on-even", func(w []Sample) float64 {
+		if w[len(w)-1].Index%2 == 0 {
+			return 2.5
+		}
+		return 0
+	})
+	m := NewMonitor(NewSuite(a))
+	for i := 0; i < 6; i++ {
+		m.Observe(Sample{Index: i, Time: float64(i)})
+	}
+	rec := m.Recorder()
+	if got := rec.TotalFired(); got != 3 {
+		t.Fatalf("TotalFired = %d", got)
+	}
+	vs := rec.ByAssertion("fires-on-even")
+	if len(vs) != 3 {
+		t.Fatalf("violations = %v", vs)
+	}
+	if vs[0].SampleIndex != 0 || vs[1].SampleIndex != 2 || vs[2].SampleIndex != 4 {
+		t.Fatalf("violation indices wrong: %v", vs)
+	}
+	if vs[1].Severity != 2.5 {
+		t.Fatalf("severity = %v", vs[1].Severity)
+	}
+}
+
+func TestMonitorActions(t *testing.T) {
+	a := New("sev", func(w []Sample) float64 {
+		return float64(w[len(w)-1].Index)
+	})
+	m := NewMonitor(NewSuite(a))
+
+	var anyCount, highCount, namedCount, otherCount int
+	m.OnViolation(1, func(Violation) { anyCount++ })
+	m.OnViolation(5, func(Violation) { highCount++ })
+	m.OnAssertion("sev", 1, func(Violation) { namedCount++ })
+	m.OnAssertion("unrelated", 0, func(Violation) { otherCount++ })
+
+	for i := 0; i < 8; i++ {
+		m.Observe(Sample{Index: i})
+	}
+	// Severities 1..7 are violations (index 0 gives severity 0 = abstain).
+	if anyCount != 7 {
+		t.Fatalf("anyCount = %d", anyCount)
+	}
+	if highCount != 3 { // severities 5,6,7
+		t.Fatalf("highCount = %d", highCount)
+	}
+	if namedCount != 7 {
+		t.Fatalf("namedCount = %d", namedCount)
+	}
+	if otherCount != 0 {
+		t.Fatalf("otherCount = %d", otherCount)
+	}
+}
+
+func TestMonitorObserveReturnsVector(t *testing.T) {
+	m := NewMonitor(NewSuite(constAssertion("a", 0.5), constAssertion("b", 0)))
+	v := m.Observe(Sample{Index: 1})
+	if len(v) != 2 || v[0] != 0.5 || v[1] != 0 {
+		t.Fatalf("vector = %v", v)
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	var lastLen int
+	a := New("len", func(w []Sample) float64 {
+		lastLen = len(w)
+		return 0
+	})
+	m := NewMonitor(NewSuite(a), WithWindowSize(10))
+	m.Observe(Sample{Index: 0})
+	m.Observe(Sample{Index: 1})
+	m.Reset()
+	m.Observe(Sample{Index: 2})
+	if lastLen != 1 {
+		t.Fatalf("window after reset = %d, want 1", lastLen)
+	}
+	// Violations must survive reset.
+	if m.Observed() != 3 {
+		t.Fatalf("Observed after reset = %d", m.Observed())
+	}
+}
+
+func TestMonitorConcurrentObserve(t *testing.T) {
+	a := New("always", func([]Sample) float64 { return 1 })
+	m := NewMonitor(NewSuite(a), WithWindowSize(4))
+	var wg sync.WaitGroup
+	const n = 50
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				m.Observe(Sample{Index: g*n + i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Observed() != 4*n {
+		t.Fatalf("Observed = %d", m.Observed())
+	}
+	if got := m.Recorder().TotalFired(); got != 4*n {
+		t.Fatalf("TotalFired = %d", got)
+	}
+}
+
+func TestMonitorWindowSizeMinimum(t *testing.T) {
+	var lastLen int
+	a := New("len", func(w []Sample) float64 { lastLen = len(w); return 0 })
+	m := NewMonitor(NewSuite(a), WithWindowSize(0)) // ignored, keeps default
+	for i := 0; i < 20; i++ {
+		m.Observe(Sample{Index: i})
+	}
+	if lastLen != 16 {
+		t.Fatalf("default window = %d, want 16", lastLen)
+	}
+}

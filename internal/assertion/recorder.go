@@ -1,0 +1,178 @@
+package assertion
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Stats summarises the firings of one assertion.
+type Stats struct {
+	Fired       int     `json:"fired"`
+	TotalSev    float64 `json:"total_severity"`
+	MaxSev      float64 `json:"max_severity"`
+	LastSample  int     `json:"last_sample"`
+	FirstSample int     `json:"first_sample"`
+}
+
+// Recorder stores assertion violations: an in-memory log (optionally
+// bounded) plus aggregate statistics, with optional JSONL streaming to an
+// io.Writer. In a production deployment the JSONL stream is what populates
+// dashboards and the data-collection pipeline (paper §2.3). It is safe for
+// concurrent use.
+type Recorder struct {
+	mu         sync.Mutex
+	violations []Violation
+	stats      map[string]*Stats
+	limit      int
+	dropped    int
+	sink       io.Writer
+	sinkErr    error
+}
+
+// NewRecorder returns a recorder keeping at most limit violations in
+// memory (0 or negative = unbounded). Aggregate statistics are always
+// complete regardless of the memory bound.
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{stats: make(map[string]*Stats), limit: limit}
+}
+
+// StreamTo attaches a JSONL sink: every subsequent violation is encoded as
+// one JSON object per line. Encoding errors are retained and reported by
+// Err.
+func (r *Recorder) StreamTo(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sink = w
+}
+
+// Err returns the first error encountered while streaming, if any.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sinkErr
+}
+
+// Record appends one violation.
+func (r *Recorder) Record(v Violation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	st, ok := r.stats[v.Assertion]
+	if !ok {
+		st = &Stats{FirstSample: v.SampleIndex}
+		r.stats[v.Assertion] = st
+	}
+	st.Fired++
+	st.TotalSev += v.Severity
+	if v.Severity > st.MaxSev {
+		st.MaxSev = v.Severity
+	}
+	st.LastSample = v.SampleIndex
+
+	if r.limit > 0 && len(r.violations) >= r.limit {
+		// Drop the oldest entry to bound memory.
+		copy(r.violations, r.violations[1:])
+		r.violations = r.violations[:len(r.violations)-1]
+		r.dropped++
+	}
+	r.violations = append(r.violations, v)
+
+	if r.sink != nil && r.sinkErr == nil {
+		data, err := json.Marshal(v)
+		if err == nil {
+			_, err = fmt.Fprintf(r.sink, "%s\n", data)
+		}
+		if err != nil {
+			r.sinkErr = err
+		}
+	}
+}
+
+// Violations returns a copy of the retained violations in arrival order.
+func (r *Recorder) Violations() []Violation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Violation, len(r.violations))
+	copy(out, r.violations)
+	return out
+}
+
+// ByAssertion returns retained violations of the named assertion.
+func (r *Recorder) ByAssertion(name string) []Violation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Violation
+	for _, v := range r.violations {
+		if v.Assertion == name {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Stats returns aggregate statistics for the named assertion.
+func (r *Recorder) Stats(name string) (Stats, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.stats[name]
+	if !ok {
+		return Stats{}, false
+	}
+	return *st, true
+}
+
+// TotalFired returns the total number of violations recorded (including
+// any dropped from the in-memory log).
+func (r *Recorder) TotalFired() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0
+	for _, st := range r.stats {
+		total += st.Fired
+	}
+	return total
+}
+
+// Dropped returns how many violations were evicted from the bounded
+// in-memory log.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// AssertionNames returns the names of assertions that have fired, sorted.
+func (r *Recorder) AssertionNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.stats))
+	for name := range r.stats {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Summary renders per-assertion firing counts as a map (assertion name →
+// count) for dashboards and tests.
+func (r *Recorder) Summary() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.stats))
+	for name, st := range r.stats {
+		out[name] = st.Fired
+	}
+	return out
+}
+
+// Clear removes all retained violations and statistics.
+func (r *Recorder) Clear() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.violations = nil
+	r.stats = make(map[string]*Stats)
+	r.dropped = 0
+}

@@ -1,0 +1,151 @@
+package assertion
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderStats(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Violation{Assertion: "a", SampleIndex: 1, Severity: 2})
+	r.Record(Violation{Assertion: "a", SampleIndex: 5, Severity: 1})
+	r.Record(Violation{Assertion: "b", SampleIndex: 3, Severity: 4})
+
+	st, ok := r.Stats("a")
+	if !ok {
+		t.Fatal("stats for a missing")
+	}
+	if st.Fired != 2 || st.TotalSev != 3 || st.MaxSev != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.FirstSample != 1 || st.LastSample != 5 {
+		t.Fatalf("sample range = %+v", st)
+	}
+	if _, ok := r.Stats("missing"); ok {
+		t.Fatal("stats for unknown assertion should be absent")
+	}
+	if r.TotalFired() != 3 {
+		t.Fatalf("TotalFired = %d", r.TotalFired())
+	}
+	names := r.AssertionNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("AssertionNames = %v", names)
+	}
+	sum := r.Summary()
+	if sum["a"] != 2 || sum["b"] != 1 {
+		t.Fatalf("Summary = %v", sum)
+	}
+}
+
+func TestRecorderBounded(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Record(Violation{Assertion: "a", SampleIndex: i, Severity: 1})
+	}
+	vs := r.Violations()
+	if len(vs) != 2 {
+		t.Fatalf("retained = %d", len(vs))
+	}
+	if vs[0].SampleIndex != 3 || vs[1].SampleIndex != 4 {
+		t.Fatalf("kept wrong entries: %v", vs)
+	}
+	if r.Dropped() != 3 {
+		t.Fatalf("Dropped = %d", r.Dropped())
+	}
+	// Aggregates must be complete despite eviction.
+	st, _ := r.Stats("a")
+	if st.Fired != 5 {
+		t.Fatalf("Fired = %d", st.Fired)
+	}
+}
+
+func TestRecorderJSONLStream(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(0)
+	r.StreamTo(&buf)
+	r.Record(Violation{Assertion: "flicker", SampleIndex: 7, Time: 0.25, Severity: 1})
+	r.Record(Violation{Assertion: "agree", SampleIndex: 9, Severity: 2})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var v Violation
+	if err := json.Unmarshal([]byte(lines[0]), &v); err != nil {
+		t.Fatalf("bad JSONL: %v", err)
+	}
+	if v.Assertion != "flicker" || v.SampleIndex != 7 || v.Severity != 1 || v.Time != 0.25 {
+		t.Fatalf("decoded = %+v", v)
+	}
+	if r.Err() != nil {
+		t.Fatalf("Err = %v", r.Err())
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestRecorderStreamErrorRetained(t *testing.T) {
+	r := NewRecorder(0)
+	r.StreamTo(failingWriter{})
+	r.Record(Violation{Assertion: "a", Severity: 1})
+	if r.Err() == nil {
+		t.Fatal("stream error not retained")
+	}
+	// Recording must continue despite the sink failure.
+	r.Record(Violation{Assertion: "a", Severity: 1})
+	if r.TotalFired() != 2 {
+		t.Fatalf("TotalFired = %d", r.TotalFired())
+	}
+}
+
+func TestRecorderClear(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Violation{Assertion: "a", Severity: 1})
+	r.Clear()
+	if r.TotalFired() != 0 || len(r.Violations()) != 0 || r.Dropped() != 0 {
+		t.Fatal("Clear did not reset state")
+	}
+}
+
+func TestRecorderByAssertion(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Violation{Assertion: "a", SampleIndex: 1, Severity: 1})
+	r.Record(Violation{Assertion: "b", SampleIndex: 2, Severity: 1})
+	r.Record(Violation{Assertion: "a", SampleIndex: 3, Severity: 1})
+	got := r.ByAssertion("a")
+	if len(got) != 2 || got[0].SampleIndex != 1 || got[1].SampleIndex != 3 {
+		t.Fatalf("ByAssertion = %v", got)
+	}
+	if got := r.ByAssertion("zzz"); len(got) != 0 {
+		t.Fatalf("unknown assertion = %v", got)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Violation{Assertion: "a", SampleIndex: i, Severity: 1})
+				_ = r.TotalFired()
+				_ = r.Violations()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.TotalFired() != 800 {
+		t.Fatalf("TotalFired = %d", r.TotalFired())
+	}
+	if len(r.Violations()) != 100 {
+		t.Fatalf("retained = %d", len(r.Violations()))
+	}
+}

@@ -1,0 +1,203 @@
+package bandit
+
+import (
+	"testing"
+
+	"omg/internal/assertion"
+)
+
+func TestBALRound1SamplesFromAssertions(t *testing.T) {
+	cands := mkPool(100, 3)
+	b := NewBAL(1, BALConfig{})
+	sel := b.Select(mkState(1, 20, cands, 3))
+	assertValidSelection(t, sel, 100, 20)
+	for _, p := range sel {
+		if !cands[p].Severities.Fired() {
+			t.Fatalf("round-1 BAL picked non-triggering candidate %d", p)
+		}
+	}
+}
+
+func TestBALPrefersReducingAssertion(t *testing.T) {
+	d := 2
+	// Round 1: both assertions fire on disjoint halves.
+	mk := func(fired0, fired1 int) []Candidate {
+		var out []Candidate
+		i := 0
+		for ; i < fired0; i++ {
+			out = append(out, Candidate{Index: i, Severities: assertion.Vector{1, 0}})
+		}
+		for ; i < fired0+fired1; i++ {
+			out = append(out, Candidate{Index: i, Severities: assertion.Vector{0, 1}})
+		}
+		// Plus quiet filler.
+		for ; i < fired0+fired1+50; i++ {
+			out = append(out, Candidate{Index: i, Severities: assertion.Vector{0, 0}})
+		}
+		return out
+	}
+
+	b := NewBAL(2, BALConfig{})
+	round1 := mk(200, 200)
+	b.Select(mkState(1, 20, round1, d))
+
+	// Round 2: assertion 0 reduced by 50%, assertion 1 unchanged.
+	round2 := mk(100, 200)
+	sel := b.Select(mkState(2, 100, round2, d))
+	from0, from1 := 0, 0
+	for _, p := range sel {
+		switch {
+		case round2[p].Severities[0] > 0:
+			from0++
+		case round2[p].Severities[1] > 0:
+			from1++
+		}
+	}
+	// Exploitation (75%) goes entirely to assertion 0 (r_1 = 0);
+	// exploration (25%) splits evenly. Expect a strong skew.
+	if from0 <= from1*2 {
+		t.Fatalf("BAL did not prefer the reducing assertion: %d vs %d", from0, from1)
+	}
+}
+
+func TestBALFallsBackWhenNoReduction(t *testing.T) {
+	d := 2
+	cands := mkPool(200, d)
+	b := NewBAL(3, BALConfig{})
+	b.Select(mkState(1, 10, cands, d))
+	// Same pool again: zero reduction everywhere -> fallback.
+	sel := b.Select(mkState(2, 10, cands, d))
+	assertValidSelection(t, sel, 200, 10)
+	rounds := b.FellBackRounds()
+	if len(rounds) != 1 || rounds[0] != 2 {
+		t.Fatalf("FellBackRounds = %v", rounds)
+	}
+}
+
+func TestBALUncertaintyFallback(t *testing.T) {
+	d := 1
+	cands := make([]Candidate, 50)
+	for i := range cands {
+		cands[i] = Candidate{Index: i, Severities: assertion.Vector{0}, Uncertainty: float64(i)}
+	}
+	b := NewBAL(4, BALConfig{Fallback: NewUncertainty()})
+	b.Select(mkState(1, 5, cands, d))
+	sel := b.Select(mkState(2, 5, cands, d))
+	// Uncertainty fallback: top-5 by uncertainty = indices 45..49.
+	for _, p := range sel {
+		if p < 45 {
+			t.Fatalf("uncertainty fallback not used: picked %d", p)
+		}
+	}
+}
+
+func TestBALResetClearsHistory(t *testing.T) {
+	cands := mkPool(100, 2)
+	b := NewBAL(5, BALConfig{})
+	b.Select(mkState(1, 10, cands, 2))
+	b.Select(mkState(2, 10, cands, 2))
+	if len(b.FellBackRounds()) == 0 {
+		t.Fatal("expected fallback in round 2 (no reduction)")
+	}
+	b.Reset(5)
+	if len(b.FellBackRounds()) != 0 {
+		t.Fatal("Reset did not clear fallback history")
+	}
+	// After reset, round behaves like round 1 (samples from assertions).
+	sel := b.Select(mkState(1, 10, cands, 2))
+	for _, p := range sel {
+		if !cands[p].Severities.Fired() {
+			t.Fatal("post-reset round 1 picked non-triggering candidate")
+		}
+	}
+}
+
+func TestBALDeterministicPerSeed(t *testing.T) {
+	cands := mkPool(100, 3)
+	run := func() [][]int {
+		b := NewBAL(9, BALConfig{})
+		var out [][]int
+		out = append(out, b.Select(mkState(1, 10, cands, 3)))
+		out = append(out, b.Select(mkState(2, 10, cands, 3)))
+		return out
+	}
+	a, c := run(), run()
+	for r := range a {
+		for i := range a[r] {
+			if a[r][i] != c[r][i] {
+				t.Fatal("BAL not deterministic per seed")
+			}
+		}
+	}
+}
+
+func TestBALSeverityRankBias(t *testing.T) {
+	// One assertion; severities increase with index. Rank sampling should
+	// bias toward high-severity candidates.
+	const n = 200
+	cands := make([]Candidate, n)
+	for i := range cands {
+		cands[i] = Candidate{Index: i, Severities: assertion.Vector{float64(i + 1)}}
+	}
+	b := NewBAL(11, BALConfig{})
+	sel := b.Select(mkState(1, 50, cands, 1))
+	sum := 0
+	for _, p := range sel {
+		sum += p
+	}
+	meanPos := float64(sum) / float64(len(sel))
+	// Uniform sampling would give ~100; rank-weighted should exceed it.
+	if meanPos < 105 {
+		t.Fatalf("rank weighting not biasing to high severity: mean pos = %v", meanPos)
+	}
+}
+
+func TestBALNoExploreAblation(t *testing.T) {
+	d := 2
+	mk := func(fired0, fired1 int) []Candidate {
+		var out []Candidate
+		i := 0
+		for ; i < fired0; i++ {
+			out = append(out, Candidate{Index: i, Severities: assertion.Vector{1, 0}})
+		}
+		for ; i < fired0+fired1; i++ {
+			out = append(out, Candidate{Index: i, Severities: assertion.Vector{0, 1}})
+		}
+		return out
+	}
+	b := NewBAL(13, BALConfig{NoExplore: true})
+	b.Select(mkState(1, 10, mk(100, 100), d))
+	sel := b.Select(mkState(2, 40, mk(50, 100), d)) // only assertion 0 reduced
+	from1 := 0
+	for _, p := range sel {
+		if mk(50, 100)[p].Severities[1] > 0 {
+			from1++
+		}
+	}
+	// With no exploration, all 40 go to assertion 0.
+	if from1 != 0 {
+		t.Fatalf("NoExplore still sampled %d from non-reducing assertion", from1)
+	}
+}
+
+func TestBALBudgetLargerThanTriggering(t *testing.T) {
+	// Budget exceeds the number of triggering candidates: fill randomly.
+	cands := make([]Candidate, 30)
+	for i := range cands {
+		sev := assertion.Vector{0}
+		if i < 5 {
+			sev[0] = 1
+		}
+		cands[i] = Candidate{Index: i, Severities: sev}
+	}
+	b := NewBAL(17, BALConfig{})
+	sel := b.Select(mkState(1, 20, cands, 1))
+	assertValidSelection(t, sel, 30, 20)
+}
+
+func TestBALEmptyPool(t *testing.T) {
+	b := NewBAL(19, BALConfig{})
+	if sel := b.Select(mkState(1, 10, nil, 2)); len(sel) != 0 {
+		t.Fatalf("empty pool selection = %v", sel)
+	}
+}

@@ -1,0 +1,158 @@
+package bandit
+
+import (
+	"math"
+	"testing"
+
+	"omg/internal/simrand"
+)
+
+func TestCCMABPartitioning(t *testing.T) {
+	c := NewCCMAB(1, 2, 1000, 1)
+	// h_T = ceil(1000^(1/(3+2))) = ceil(1000^0.2) = ceil(3.98) = 4.
+	if c.HT() != 4 {
+		t.Fatalf("HT = %d, want 4", c.HT())
+	}
+	k1 := c.cubeKey([]float64{0.1, 0.1})
+	k2 := c.cubeKey([]float64{0.12, 0.12})
+	if k1 != k2 {
+		t.Fatal("nearby contexts in different cubes")
+	}
+	k3 := c.cubeKey([]float64{0.9, 0.9})
+	if k1 == k3 {
+		t.Fatal("distant contexts share a cube")
+	}
+}
+
+func TestCCMABCubeKeyBoundary(t *testing.T) {
+	c := NewCCMAB(1, 1, 1000, 1)
+	// Context exactly 1.0 must not overflow into a non-existent cell.
+	if got := c.cubeKey([]float64{1.0}); got != c.cubeKey([]float64{0.999999}) {
+		t.Fatalf("boundary context in its own cube: %q", got)
+	}
+	// Out-of-range contexts are clamped.
+	if c.cubeKey([]float64{-5}) != c.cubeKey([]float64{0}) {
+		t.Fatal("negative context not clamped")
+	}
+}
+
+func TestCCMABSelectionValid(t *testing.T) {
+	c := NewCCMAB(2, 1, 100, 1)
+	arms := make([]CCArm, 20)
+	for i := range arms {
+		arms[i] = CCArm{ID: i, Context: []float64{float64(i) / 20}}
+	}
+	sel := c.SelectArms(1, 5, arms)
+	assertValidSelection(t, sel, 20, 5)
+}
+
+func TestCCMABZeroBudget(t *testing.T) {
+	c := NewCCMAB(2, 1, 100, 1)
+	if sel := c.SelectArms(1, 0, []CCArm{{ID: 0, Context: []float64{0.5}}}); sel != nil {
+		t.Fatalf("zero budget selection = %v", sel)
+	}
+}
+
+func TestCCMABUpdateChangesQuality(t *testing.T) {
+	c := NewCCMAB(3, 1, 100, 1)
+	arm := CCArm{ID: 0, Context: []float64{0.5}}
+	if q := c.quality(arm); q != 0.5 {
+		t.Fatalf("prior quality = %v", q)
+	}
+	c.Update(arm, 1)
+	c.Update(arm, 1)
+	if q := c.quality(arm); q != 1 {
+		t.Fatalf("updated quality = %v", q)
+	}
+	if c.CubesExplored() != 1 {
+		t.Fatalf("CubesExplored = %d", c.CubesExplored())
+	}
+}
+
+func TestCCMABGreedyPrefersHighQuality(t *testing.T) {
+	c := NewCCMAB(4, 1, 10000, 1)
+	good := CCArm{ID: 0, Context: []float64{0.9}}
+	bad := CCArm{ID: 1, Context: []float64{0.1}}
+	// Saturate exploration counts for both cubes.
+	for i := 0; i < 200; i++ {
+		c.Update(good, 1)
+		c.Update(bad, 0)
+	}
+	arms := []CCArm{bad, good}
+	sel := c.SelectArms(9000, 1, arms)
+	if len(sel) != 1 || arms[sel[0]].ID != 0 {
+		t.Fatalf("greedy picked %v", sel)
+	}
+}
+
+func TestCCMABExploresUnderExploredCubes(t *testing.T) {
+	c := NewCCMAB(5, 1, 10000, 1)
+	known := CCArm{ID: 0, Context: []float64{0.9}}
+	for i := 0; i < 500; i++ {
+		c.Update(known, 1)
+	}
+	fresh := CCArm{ID: 1, Context: []float64{0.1}} // never seen
+	sel := c.SelectArms(10, 1, []CCArm{known, fresh})
+	if len(sel) != 1 || sel[0] != 1 {
+		t.Fatalf("under-explored cube not prioritised: %v", sel)
+	}
+}
+
+func TestCCMABMarginalDefaultSubmodular(t *testing.T) {
+	c := NewCCMAB(6, 1, 100, 1)
+	// Diminishing returns: gain of q into a larger set is smaller.
+	gEmpty := c.Marginal(nil, 0.5)
+	gOne := c.Marginal([]float64{0.5}, 0.5)
+	gTwo := c.Marginal([]float64{0.5, 0.5}, 0.5)
+	if !(gEmpty > gOne && gOne > gTwo) {
+		t.Fatalf("marginal gains not diminishing: %v, %v, %v", gEmpty, gOne, gTwo)
+	}
+}
+
+// TestCCMABLearnsOnSyntheticEnvironment runs the full loop on a smooth
+// synthetic reward landscape and checks the average reward of selected
+// arms improves from the first tenth to the last tenth of the horizon —
+// the sublinear-regret property observable at small scale.
+func TestCCMABLearnsOnSyntheticEnvironment(t *testing.T) {
+	const horizon = 600
+	const armsPerRound = 30
+	const budget = 3
+	rng := simrand.NewStream(99, "ccmab-env")
+	c := NewCCMAB(7, 1, horizon, 1)
+
+	trueQuality := func(x float64) float64 {
+		// Smooth (Lipschitz) bump landscape in [0,1].
+		return 0.15 + 0.7*math.Exp(-8*(x-0.7)*(x-0.7))
+	}
+
+	var earlySum, lateSum float64
+	var earlyN, lateN int
+	for round := 1; round <= horizon; round++ {
+		arms := make([]CCArm, armsPerRound)
+		for i := range arms {
+			arms[i] = CCArm{ID: i, Context: []float64{rng.Float64()}}
+		}
+		sel := c.SelectArms(round, budget, arms)
+		for _, p := range sel {
+			q := trueQuality(arms[p].Context[0])
+			reward := 0.0
+			if rng.Bool(q) {
+				reward = 1
+			}
+			c.Update(arms[p], reward)
+			if round <= horizon/10 {
+				earlySum += q
+				earlyN++
+			}
+			if round > horizon-horizon/10 {
+				lateSum += q
+				lateN++
+			}
+		}
+	}
+	early := earlySum / float64(earlyN)
+	late := lateSum / float64(lateN)
+	if late <= early {
+		t.Fatalf("CC-MAB did not learn: early mean quality %v, late %v", early, late)
+	}
+}

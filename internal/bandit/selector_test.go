@@ -1,0 +1,169 @@
+package bandit
+
+import (
+	"testing"
+
+	"omg/internal/assertion"
+)
+
+// mkPool builds a candidate pool where candidate i triggers assertion
+// (i % d) with severity 1+i/10, except every 5th candidate which triggers
+// nothing.
+func mkPool(n, d int) []Candidate {
+	out := make([]Candidate, n)
+	for i := range out {
+		sev := make(assertion.Vector, d)
+		if i%5 != 0 {
+			sev[i%d] = 1 + float64(i)/10
+		}
+		out[i] = Candidate{Index: i, Severities: sev, Uncertainty: float64(n - i)}
+	}
+	return out
+}
+
+func mkState(round, budget int, cands []Candidate, d int) RoundState {
+	return RoundState{
+		Round:       round,
+		Budget:      budget,
+		Candidates:  cands,
+		FiredCounts: FiredCounts(cands, d),
+	}
+}
+
+func assertValidSelection(t *testing.T, sel []int, n, k int) {
+	t.Helper()
+	if len(sel) != k {
+		t.Fatalf("selected %d, want %d", len(sel), k)
+	}
+	seen := make(map[int]bool)
+	for _, p := range sel {
+		if p < 0 || p >= n {
+			t.Fatalf("position out of range: %d", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate position %d", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestFiredCounts(t *testing.T) {
+	cands := []Candidate{
+		{Severities: assertion.Vector{1, 0, 2}},
+		{Severities: assertion.Vector{0, 0, 1}},
+		{Severities: assertion.Vector{0, 0, 0}},
+	}
+	got := FiredCounts(cands, 3)
+	if got[0] != 1 || got[1] != 0 || got[2] != 2 {
+		t.Fatalf("FiredCounts = %v", got)
+	}
+}
+
+func TestRandomSelect(t *testing.T) {
+	cands := mkPool(50, 3)
+	r := NewRandom(1)
+	sel := r.Select(mkState(1, 10, cands, 3))
+	assertValidSelection(t, sel, 50, 10)
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	cands := mkPool(50, 3)
+	a := NewRandom(7).Select(mkState(1, 10, cands, 3))
+	b := NewRandom(7).Select(mkState(1, 10, cands, 3))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different selections")
+		}
+	}
+}
+
+func TestRandomBudgetClamp(t *testing.T) {
+	cands := mkPool(5, 2)
+	sel := NewRandom(1).Select(mkState(1, 100, cands, 2))
+	assertValidSelection(t, sel, 5, 5)
+}
+
+func TestUncertaintySelectsLeastConfident(t *testing.T) {
+	cands := mkPool(20, 3) // Uncertainty = n - i, so lowest indices first
+	sel := NewUncertainty().Select(mkState(1, 5, cands, 3))
+	assertValidSelection(t, sel, 20, 5)
+	for _, p := range sel {
+		if p >= 5 {
+			t.Fatalf("uncertainty picked candidate %d (uncertainty %v), not among top-5", p, cands[p].Uncertainty)
+		}
+	}
+}
+
+func TestUncertaintyTieBreakDeterministic(t *testing.T) {
+	cands := make([]Candidate, 10)
+	for i := range cands {
+		cands[i] = Candidate{Index: i, Uncertainty: 1}
+	}
+	sel := NewUncertainty().Select(mkState(1, 3, cands, 0))
+	if sel[0] != 0 || sel[1] != 1 || sel[2] != 2 {
+		t.Fatalf("tie-break not by index: %v", sel)
+	}
+}
+
+func TestUniformMASelectsOnlyTriggeringWhenEnough(t *testing.T) {
+	cands := mkPool(100, 4)
+	u := NewUniformMA(3)
+	sel := u.Select(mkState(1, 20, cands, 4))
+	assertValidSelection(t, sel, 100, 20)
+	for _, p := range sel {
+		if !cands[p].Severities.Fired() {
+			t.Fatalf("uniform-ma picked non-triggering candidate %d", p)
+		}
+	}
+}
+
+func TestUniformMAFallsBackToRandomWhenNothingFires(t *testing.T) {
+	cands := make([]Candidate, 30)
+	for i := range cands {
+		cands[i] = Candidate{Index: i, Severities: assertion.Vector{0, 0}}
+	}
+	sel := NewUniformMA(3).Select(mkState(1, 10, cands, 2))
+	assertValidSelection(t, sel, 30, 10)
+}
+
+func TestUniformMABalancesAcrossAssertions(t *testing.T) {
+	// 900 candidates trigger assertion 0; 100 trigger assertion 1.
+	var cands []Candidate
+	for i := 0; i < 1000; i++ {
+		sev := make(assertion.Vector, 2)
+		if i < 900 {
+			sev[0] = 1
+		} else {
+			sev[1] = 1
+		}
+		cands = append(cands, Candidate{Index: i, Severities: sev})
+	}
+	u := NewUniformMA(5)
+	sel := u.Select(mkState(1, 200, cands, 2))
+	fromMinority := 0
+	for _, p := range sel {
+		if p >= 900 {
+			fromMinority++
+		}
+	}
+	// Uniform over assertions => ~half the budget from the minority
+	// assertion (the defining property vs. uniform over data).
+	if fromMinority < 60 {
+		t.Fatalf("minority assertion got only %d of 200 selections", fromMinority)
+	}
+}
+
+func TestSelectorNames(t *testing.T) {
+	if NewRandom(1).Name() != "random" {
+		t.Fatal("random name")
+	}
+	if NewUncertainty().Name() != "uncertainty" {
+		t.Fatal("uncertainty name")
+	}
+	if NewUniformMA(1).Name() != "uniform-ma" {
+		t.Fatal("uniform-ma name")
+	}
+	if NewBAL(1, BALConfig{}).Name() != "bal" {
+		t.Fatal("bal name")
+	}
+}

@@ -1,0 +1,134 @@
+package consistency
+
+import "sort"
+
+// FlickerEvent is one identifier disappearing and reappearing within T
+// seconds: the identifier is present at sample LastSeen, absent for the
+// samples in Gap, and present again at Reappear.
+type FlickerEvent struct {
+	ID string
+	// LastSeen is the sample index of the last presence before the gap.
+	LastSeen int
+	// Reappear is the sample index where the identifier reappears.
+	Reappear int
+	// Gap lists the absent sample indices between LastSeen and Reappear.
+	Gap []int
+}
+
+// AppearEvent is one identifier present for less than T seconds, bounded
+// by observed absence on both sides.
+type AppearEvent struct {
+	ID string
+	// Samples lists the sample indices where the identifier was present.
+	Samples []int
+}
+
+// presence describes one identifier's observations within a window.
+type presence struct {
+	id      string
+	present []bool // aligned with the window's samples
+}
+
+// presences builds per-identifier presence timelines over the window.
+// The window must be ordered by increasing Index.
+func (g *Generator[Y]) presences(window []TimedOutputs[Y]) []presence {
+	index := make(map[string]int)
+	var out []presence
+	for wi, s := range window {
+		for _, y := range s.Outputs {
+			id := g.cfg.Id(y)
+			pi, ok := index[id]
+			if !ok {
+				pi = len(out)
+				index[id] = pi
+				out = append(out, presence{id: id, present: make([]bool, len(window))})
+			}
+			out[pi].present[wi] = true
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// flickerEvents finds all flicker events in the window: consecutive
+// presences of an identifier separated by at least one absent sample,
+// with the reappearance within T seconds of the disappearance.
+func (g *Generator[Y]) flickerEvents(window []TimedOutputs[Y]) []FlickerEvent {
+	if g.cfg.T <= 0 || len(window) < 3 {
+		return nil
+	}
+	var events []FlickerEvent
+	for _, p := range g.presences(window) {
+		last := -1
+		for wi, here := range p.present {
+			if !here {
+				continue
+			}
+			if last >= 0 && wi-last > 1 {
+				gapTime := window[wi].Time - window[last].Time
+				if gapTime < g.cfg.T {
+					gap := make([]int, 0, wi-last-1)
+					for k := last + 1; k < wi; k++ {
+						gap = append(gap, window[k].Index)
+					}
+					events = append(events, FlickerEvent{
+						ID:       p.id,
+						LastSeen: window[last].Index,
+						Reappear: window[wi].Index,
+						Gap:      gap,
+					})
+				}
+			}
+			last = wi
+		}
+	}
+	return events
+}
+
+// appearEvents finds identifiers present for a span shorter than T,
+// observed absent both before their first and after their last presence
+// within the window (so window-edge objects are not flagged).
+func (g *Generator[Y]) appearEvents(window []TimedOutputs[Y]) []AppearEvent {
+	if g.cfg.T <= 0 || len(window) < 3 {
+		return nil
+	}
+	var events []AppearEvent
+	for _, p := range g.presences(window) {
+		first, last := -1, -1
+		for wi, here := range p.present {
+			if here {
+				if first < 0 {
+					first = wi
+				}
+				last = wi
+			}
+		}
+		if first <= 0 || last >= len(window)-1 {
+			// Touches the window edge: absence not observed on both
+			// sides, abstain.
+			continue
+		}
+		span := window[last].Time - window[first].Time
+		if span < g.cfg.T {
+			var samples []int
+			for wi := first; wi <= last; wi++ {
+				if p.present[wi] {
+					samples = append(samples, window[wi].Index)
+				}
+			}
+			events = append(events, AppearEvent{ID: p.id, Samples: samples})
+		}
+	}
+	return events
+}
+
+// FlickerEvents exposes flicker detection on a full stream for weak-label
+// generation and experiments.
+func (g *Generator[Y]) FlickerEvents(stream []TimedOutputs[Y]) []FlickerEvent {
+	return g.flickerEvents(stream)
+}
+
+// AppearEvents exposes appear detection on a full stream.
+func (g *Generator[Y]) AppearEvents(stream []TimedOutputs[Y]) []AppearEvent {
+	return g.appearEvents(stream)
+}

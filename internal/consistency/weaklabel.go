@@ -1,0 +1,169 @@
+package consistency
+
+import "sort"
+
+// ProposalKind classifies a weak-label proposal (paper §4.2: "OMG will
+// propose to remove, modify, or add predictions").
+type ProposalKind string
+
+const (
+	// ModifyAttr proposes replacing an inconsistent attribute value with
+	// the identifier's majority value.
+	ModifyAttr ProposalKind = "modify-attr"
+	// AddOutput proposes adding a synthesised output for a flicker gap.
+	AddOutput ProposalKind = "add-output"
+	// RemoveOutput proposes removing a transient (appear) output.
+	RemoveOutput ProposalKind = "remove-output"
+)
+
+// Proposal is one weak label generated from a consistency violation.
+type Proposal[Y any] struct {
+	Kind ProposalKind
+	// Sample is the sample index the proposal applies to.
+	Sample int
+	// ID is the identifier involved.
+	ID string
+	// Key and Value carry the attribute correction for ModifyAttr.
+	Key, Value string
+	// OutputIdx is the position of the corrected output within its
+	// sample's Outputs (ModifyAttr and RemoveOutput).
+	OutputIdx int
+	// Output is the synthesised output for AddOutput.
+	Output Y
+}
+
+// WeakLabels runs all correction rules over a full stream and returns the
+// generated weak-label proposals, ordered by sample index. The stream
+// must be ordered by increasing Index.
+func (g *Generator[Y]) WeakLabels(stream []TimedOutputs[Y]) []Proposal[Y] {
+	var out []Proposal[Y]
+	out = append(out, g.attrProposals(stream)...)
+	out = append(out, g.addProposals(stream)...)
+	out = append(out, g.removeProposals(stream)...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Sample < out[j].Sample })
+	return out
+}
+
+// attrProposals proposes the majority attribute value for each output that
+// disagrees with its identifier's majority across the whole stream (the
+// paper's default correction rule: "the most common value of that
+// attribute").
+func (g *Generator[Y]) attrProposals(stream []TimedOutputs[Y]) []Proposal[Y] {
+	if g.cfg.Attrs == nil || len(g.cfg.AttrKeys) == 0 {
+		return nil
+	}
+	type loc struct {
+		sample, outputIdx int
+		value             string
+		ok                bool
+	}
+	var out []Proposal[Y]
+	for _, key := range g.cfg.AttrKeys {
+		byID := make(map[string][]loc)
+		var ids []string
+		for _, s := range stream {
+			for oi, y := range s.Outputs {
+				id := g.cfg.Id(y)
+				v, ok := g.cfg.Attrs(y)[key]
+				if _, seen := byID[id]; !seen {
+					ids = append(ids, id)
+				}
+				byID[id] = append(byID[id], loc{sample: s.Index, outputIdx: oi, value: v, ok: ok})
+			}
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			locs := byID[id]
+			vs := make([]attrVal, len(locs))
+			for i, l := range locs {
+				vs[i] = attrVal{v: l.value, ok: l.ok}
+			}
+			maj, n := majority(vs)
+			if n < 2 {
+				continue // a single observation defines no consensus
+			}
+			for _, l := range locs {
+				if l.ok && l.value != maj {
+					out = append(out, Proposal[Y]{
+						Kind:      ModifyAttr,
+						Sample:    l.sample,
+						ID:        id,
+						Key:       key,
+						Value:     maj,
+						OutputIdx: l.outputIdx,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// addProposals synthesises outputs for flicker gaps using the
+// user-provided WeakLabel function; without one, adds are skipped (the
+// paper requires user logic to create an output where none existed).
+func (g *Generator[Y]) addProposals(stream []TimedOutputs[Y]) []Proposal[Y] {
+	if g.cfg.WeakLabel == nil {
+		return nil
+	}
+	byIndex := make(map[int]TimedOutputs[Y], len(stream))
+	for _, s := range stream {
+		byIndex[s.Index] = s
+	}
+	var out []Proposal[Y]
+	for _, ev := range g.flickerEvents(stream) {
+		before := byIndex[ev.LastSeen]
+		after := byIndex[ev.Reappear]
+		for _, gapIdx := range ev.Gap {
+			y, ok := g.cfg.WeakLabel(ev.ID, gapIdx, before, after)
+			if !ok {
+				continue
+			}
+			out = append(out, Proposal[Y]{
+				Kind:   AddOutput,
+				Sample: gapIdx,
+				ID:     ev.ID,
+				Output: y,
+			})
+		}
+	}
+	return out
+}
+
+// removeProposals proposes removing every output of a transient (appear)
+// identifier.
+func (g *Generator[Y]) removeProposals(stream []TimedOutputs[Y]) []Proposal[Y] {
+	if len(g.temporal) == 0 {
+		return nil
+	}
+	hasAppear := false
+	for _, k := range g.temporal {
+		if k == Appear {
+			hasAppear = true
+		}
+	}
+	if !hasAppear {
+		return nil
+	}
+	bySample := make(map[int]TimedOutputs[Y], len(stream))
+	for _, s := range stream {
+		bySample[s.Index] = s
+	}
+	var out []Proposal[Y]
+	for _, ev := range g.appearEvents(stream) {
+		for _, si := range ev.Samples {
+			s := bySample[si]
+			for oi, y := range s.Outputs {
+				if g.cfg.Id(y) == ev.ID {
+					out = append(out, Proposal[Y]{
+						Kind:      RemoveOutput,
+						Sample:    si,
+						ID:        ev.ID,
+						OutputIdx: oi,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

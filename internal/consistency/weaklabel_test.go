@@ -1,0 +1,201 @@
+package consistency
+
+import (
+	"testing"
+)
+
+func TestAttrProposalsMajorityCorrection(t *testing.T) {
+	g := MustNew(faceConfig(0))
+	stream := []TimedOutputs[face]{
+		sample(0, 0, face{id: "h", gender: "F", hair: "blond"}),
+		sample(1, 1, face{id: "h", gender: "F", hair: "blond"}),
+		sample(2, 2, face{id: "h", gender: "M", hair: "blond"}), // wrong gender
+	}
+	props := g.WeakLabels(stream)
+	if len(props) != 1 {
+		t.Fatalf("proposals = %d, want 1 (%v)", len(props), props)
+	}
+	p := props[0]
+	if p.Kind != ModifyAttr || p.Sample != 2 || p.Key != "gender" || p.Value != "F" {
+		t.Fatalf("proposal = %+v", p)
+	}
+	if p.ID != "h" || p.OutputIdx != 0 {
+		t.Fatalf("proposal target = %+v", p)
+	}
+}
+
+func TestAttrProposalsNoConsensusForSingleton(t *testing.T) {
+	g := MustNew(faceConfig(0))
+	stream := []TimedOutputs[face]{
+		sample(0, 0, face{id: "solo", gender: "F"}),
+	}
+	if props := g.WeakLabels(stream); len(props) != 0 {
+		t.Fatalf("singleton generated proposals: %v", props)
+	}
+}
+
+func TestAttrProposalsTieGoesLexicographic(t *testing.T) {
+	g := MustNew(faceConfig(0))
+	stream := []TimedOutputs[face]{
+		sample(0, 0, face{id: "h", gender: "F", hair: "a"}),
+		sample(1, 1, face{id: "h", gender: "M", hair: "a"}),
+	}
+	props := g.WeakLabels(stream)
+	// Tie between F and M: majority() breaks ties lexicographically, so
+	// the M output is corrected to F. Deterministic either way.
+	if len(props) != 1 || props[0].Value != "F" || props[0].Sample != 1 {
+		t.Fatalf("proposals = %v", props)
+	}
+}
+
+func TestAddProposalsForFlicker(t *testing.T) {
+	cfg := faceConfig(1.0)
+	cfg.WeakLabel = func(id string, gapIndex int, before, after TimedOutputs[face]) (face, bool) {
+		return face{id: id, gender: "F", hair: "interp"}, true
+	}
+	g := MustNew(cfg)
+	stream := []TimedOutputs[face]{
+		sample(0, 0.0, face{id: "h", gender: "F"}),
+		sample(1, 0.1),
+		sample(2, 0.2, face{id: "h", gender: "F"}),
+	}
+	props := g.WeakLabels(stream)
+	var adds []Proposal[face]
+	for _, p := range props {
+		if p.Kind == AddOutput {
+			adds = append(adds, p)
+		}
+	}
+	if len(adds) != 1 {
+		t.Fatalf("adds = %v", adds)
+	}
+	if adds[0].Sample != 1 || adds[0].ID != "h" || adds[0].Output.hair != "interp" {
+		t.Fatalf("add = %+v", adds[0])
+	}
+}
+
+func TestAddProposalsSkippedWithoutWeakLabelFunc(t *testing.T) {
+	g := MustNew(faceConfig(1.0))
+	stream := []TimedOutputs[face]{
+		sample(0, 0.0, face{id: "h", gender: "F"}),
+		sample(1, 0.1),
+		sample(2, 0.2, face{id: "h", gender: "F"}),
+	}
+	for _, p := range g.WeakLabels(stream) {
+		if p.Kind == AddOutput {
+			t.Fatalf("AddOutput proposed without WeakLabel func: %+v", p)
+		}
+	}
+}
+
+func TestAddProposalsRespectAbstention(t *testing.T) {
+	cfg := faceConfig(1.0)
+	cfg.WeakLabel = func(string, int, TimedOutputs[face], TimedOutputs[face]) (face, bool) {
+		return face{}, false
+	}
+	g := MustNew(cfg)
+	stream := []TimedOutputs[face]{
+		sample(0, 0.0, face{id: "h"}),
+		sample(1, 0.1),
+		sample(2, 0.2, face{id: "h"}),
+	}
+	for _, p := range g.WeakLabels(stream) {
+		if p.Kind == AddOutput {
+			t.Fatalf("abstaining WeakLabel still proposed: %+v", p)
+		}
+	}
+}
+
+func TestRemoveProposalsForAppear(t *testing.T) {
+	g := MustNew(faceConfig(1.0))
+	stream := []TimedOutputs[face]{
+		sample(0, 0.0),
+		sample(1, 0.1, face{id: "ghost", gender: "F"}),
+		sample(2, 0.2),
+	}
+	props := g.WeakLabels(stream)
+	if len(props) != 1 || props[0].Kind != RemoveOutput {
+		t.Fatalf("proposals = %v", props)
+	}
+	if props[0].Sample != 1 || props[0].ID != "ghost" || props[0].OutputIdx != 0 {
+		t.Fatalf("remove = %+v", props[0])
+	}
+}
+
+func TestRemoveProposalsOnlyWithAppearEnabled(t *testing.T) {
+	cfg := faceConfig(1.0)
+	cfg.Temporal = []TemporalKind{Flicker}
+	g := MustNew(cfg)
+	stream := []TimedOutputs[face]{
+		sample(0, 0.0),
+		sample(1, 0.1, face{id: "ghost"}),
+		sample(2, 0.2),
+	}
+	for _, p := range g.WeakLabels(stream) {
+		if p.Kind == RemoveOutput {
+			t.Fatalf("RemoveOutput proposed with Appear disabled: %+v", p)
+		}
+	}
+}
+
+func TestWeakLabelsOrderedBySample(t *testing.T) {
+	cfg := faceConfig(1.0)
+	cfg.WeakLabel = func(id string, gapIndex int, _, _ TimedOutputs[face]) (face, bool) {
+		return face{id: id}, true
+	}
+	g := MustNew(cfg)
+	stream := []TimedOutputs[face]{
+		sample(0, 0.0, face{id: "h", gender: "F"}, face{id: "g", gender: "M"}),
+		sample(1, 0.1, face{id: "g", gender: "M"}),
+		sample(2, 0.2, face{id: "h", gender: "F"}, face{id: "g", gender: "M"}),
+		sample(3, 0.3, face{id: "h", gender: "M"}, face{id: "g", gender: "M"}),
+		sample(4, 0.4, face{id: "h", gender: "F"}, face{id: "g", gender: "M"}),
+	}
+	props := g.WeakLabels(stream)
+	if len(props) < 2 {
+		t.Fatalf("expected multiple proposals, got %v", props)
+	}
+	for i := 1; i < len(props); i++ {
+		if props[i].Sample < props[i-1].Sample {
+			t.Fatalf("proposals not ordered: %v", props)
+		}
+	}
+}
+
+func TestFlickerEventsExposedDetails(t *testing.T) {
+	g := MustNew(faceConfig(1.0))
+	stream := []TimedOutputs[face]{
+		sample(10, 0.0, face{id: "h"}),
+		sample(11, 0.1),
+		sample(12, 0.2),
+		sample(13, 0.3, face{id: "h"}),
+	}
+	evs := g.FlickerEvents(stream)
+	if len(evs) != 1 {
+		t.Fatalf("events = %v", evs)
+	}
+	ev := evs[0]
+	if ev.LastSeen != 10 || ev.Reappear != 13 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if len(ev.Gap) != 2 || ev.Gap[0] != 11 || ev.Gap[1] != 12 {
+		t.Fatalf("gap = %v", ev.Gap)
+	}
+}
+
+func TestAppearEventsExposedDetails(t *testing.T) {
+	g := MustNew(faceConfig(1.0))
+	stream := []TimedOutputs[face]{
+		sample(0, 0.0),
+		sample(1, 0.1, face{id: "x"}),
+		sample(2, 0.2, face{id: "x"}),
+		sample(3, 0.3),
+	}
+	evs := g.AppearEvents(stream)
+	if len(evs) != 1 || evs[0].ID != "x" {
+		t.Fatalf("events = %v", evs)
+	}
+	if len(evs[0].Samples) != 2 || evs[0].Samples[0] != 1 || evs[0].Samples[1] != 2 {
+		t.Fatalf("samples = %v", evs[0].Samples)
+	}
+}

@@ -1,0 +1,41 @@
+package detection
+
+import (
+	"omg/internal/metrics"
+	"omg/internal/video"
+)
+
+// DetectAll runs the detector over every frame, returning per-frame
+// detections indexed like the input.
+func (m *Model) DetectAll(frames []video.Frame) [][]Detection {
+	out := make([][]Detection, len(frames))
+	for i, f := range frames {
+		out[i] = m.Detect(f)
+	}
+	return out
+}
+
+// EvaluateMAP runs the detector over the frames and scores it against the
+// ground truth with COCO-style mAP at IoU 0.5.
+func (m *Model) EvaluateMAP(frames []video.Frame) float64 {
+	dets, gts := ToMetrics(m.DetectAll(frames), frames)
+	return metrics.NewEvaluator().MAP(dets, gts).MAP
+}
+
+// ToMetrics converts per-frame detections and ground-truth frames into the
+// evaluator's flat record types.
+func ToMetrics(dets [][]Detection, frames []video.Frame) ([]metrics.Det, []metrics.GT) {
+	var md []metrics.Det
+	var mg []metrics.GT
+	for i, frame := range frames {
+		for _, o := range frame.Objects {
+			mg = append(mg, metrics.GT{Frame: frame.Index, Class: o.Class, Box: o.Box})
+		}
+		if i < len(dets) {
+			for _, d := range dets[i] {
+				md = append(md, metrics.Det{Frame: frame.Index, Class: d.Class, Box: d.Box, Score: d.Score})
+			}
+		}
+	}
+	return md, mg
+}

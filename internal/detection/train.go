@@ -1,0 +1,144 @@
+package detection
+
+import (
+	"omg/internal/video"
+)
+
+// ModeCounts tallies, per error mode, how many teachable instances a set
+// of frames contains for the *current* model: realised errors plus the
+// hard-context objects the mode concerns. Labeling a frame whose errors
+// are realised is what teaches the model — this is the mechanism that
+// makes assertion-flagged data more valuable than random data, because
+// assertions fire precisely on realised systematic errors.
+type ModeCounts map[Mode]float64
+
+// AssessFrame computes the teachable-instance counts of one frame under
+// the current model state.
+func (m *Model) AssessFrame(frame video.Frame) ModeCounts {
+	counts := make(ModeCounts)
+	fi := int64(frame.Index)
+	for _, obj := range frame.Objects {
+		tid := int64(obj.TrackID)
+
+		// Realised misses teach strongly (the label reveals an object the
+		// model cannot currently see); a *visible* hard example teaches
+		// only marginally — which is why least-confident sampling, which
+		// can only select what the model detected, underperforms here.
+		if obj.Small {
+			if m.realized(ModeMissSmall, evMissSmall, tid, 0) {
+				counts[ModeMissSmall]++
+			} else {
+				counts[ModeMissSmall] += 0.08
+			}
+		}
+		if obj.LowContrast {
+			if m.realized(ModeMissLowContrast, evMissLowContrast, tid, 0) {
+				counts[ModeMissLowContrast]++
+			} else {
+				counts[ModeMissLowContrast] += 0.08
+			}
+		}
+		if obj.Occluded {
+			if m.realized(ModeMissOccluded, evMissOccluded, tid, fi/occlusionBlock) {
+				counts[ModeMissOccluded]++
+			} else {
+				counts[ModeMissOccluded] += 0.08
+			}
+		}
+		if m.realized(ModeFlicker, evFlicker, tid, fi) {
+			counts[ModeFlicker]++
+		}
+		if m.realized(ModeDuplicate, evDuplicate, tid, fi) {
+			counts[ModeDuplicate]++
+		}
+		if m.realized(ModeClassFlip, evClassFlip, tid, fi/classFlipBlock) {
+			counts[ModeClassFlip]++
+		}
+		// Every labeled object refines localisation a little.
+		counts[ModeLocalization] += 0.5
+	}
+	for k := 0; k < m.params.MaxFPPerFrame; k++ {
+		if m.realized(ModeFalsePositive, evFalsePositive, fi, int64(k)) {
+			counts[ModeFalsePositive]++
+		}
+	}
+	return counts
+}
+
+// Train fine-tunes the model on human-labeled frames: each frame's
+// teachable instances add effective exposure to the corresponding modes.
+// weight scales the exposure (1 for full human labels).
+func (m *Model) Train(frames []video.Frame, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	// Assess against the model state at the *start* of the batch: a batch
+	// is one gradient pass over data collected before training, matching
+	// the paper's round structure.
+	total := make(ModeCounts)
+	for _, f := range frames {
+		for mode, c := range m.AssessFrame(f) {
+			total[mode] += c
+		}
+	}
+	for mode, c := range total {
+		m.exposure[mode] += c * weight
+	}
+}
+
+// WeakKind identifies the kind of weak label being applied, which
+// determines the modes it can teach (a weak label only carries the
+// information its correction rule reconstructs).
+type WeakKind int
+
+const (
+	// WeakFlickerFill is an imputed box for a flickered-out detection
+	// (correction: average of nearby frames). Teaches the flicker mode.
+	WeakFlickerFill WeakKind = iota
+	// WeakDuplicateRemoval removes multibox duplicates. Teaches the
+	// duplicate mode.
+	WeakDuplicateRemoval
+	// WeakClassMajority replaces an inconsistent class with the track
+	// majority. Teaches the class-flip mode.
+	WeakClassMajority
+	// WeakCrossSensorBox is a 2D box imputed from a 3D detection
+	// (the AV weak-supervision rule). Teaches the context miss modes.
+	WeakCrossSensorBox
+	// WeakTransientRemoval removes transient (appear) detections, which
+	// are mostly hallucinations. Teaches the false-positive mode.
+	WeakTransientRemoval
+)
+
+// weakExposure is the effective exposure one weak label contributes to
+// its target mode, relative to a human label (< 1: weak labels are
+// noisier, per the weak-supervision literature the paper builds on).
+const weakExposure = 0.45
+
+// TrainWeak applies weak labels: count labels of the given kind.
+func (m *Model) TrainWeak(kind WeakKind, count int) {
+	if count <= 0 {
+		return
+	}
+	amount := weakExposure * float64(count)
+	switch kind {
+	case WeakFlickerFill:
+		m.exposure[ModeFlicker] += amount
+		// Filled boxes also refine localisation slightly.
+		m.exposure[ModeLocalization] += amount * 0.3
+	case WeakDuplicateRemoval:
+		m.exposure[ModeDuplicate] += amount
+	case WeakClassMajority:
+		m.exposure[ModeClassFlip] += amount
+	case WeakCrossSensorBox:
+		// Imputed boxes point directly at the objects the camera cannot
+		// see: the strongest possible signal for the miss modes.
+		m.exposure[ModeMissSmall] += amount * 2
+		m.exposure[ModeMissLowContrast] += amount * 2
+		m.exposure[ModeMissOccluded] += amount * 2
+	case WeakTransientRemoval:
+		// Removed transient boxes are hallucinations and spurious
+		// duplicates in roughly equal measure.
+		m.exposure[ModeFalsePositive] += amount * 0.7
+		m.exposure[ModeDuplicate] += amount * 0.7
+	}
+}

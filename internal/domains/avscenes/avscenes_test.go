@@ -1,0 +1,160 @@
+package avscenes
+
+import (
+	"testing"
+
+	"omg/internal/assertion"
+	"omg/internal/detection"
+	"omg/internal/geometry"
+	"omg/internal/lidar"
+)
+
+func smallDomain(t *testing.T) *Domain {
+	t.Helper()
+	return New(Config{Seed: 1, PoolScenes: 12, TestScenes: 6})
+}
+
+func TestAgreeConsistentSensors(t *testing.T) {
+	cam := geometry.DefaultCamera()
+	obj := geometry.Box3D{Center: geometry.Vec3{X: 0, Y: 20, Z: 0.8}, Length: 4.5, Width: 1.9, Height: 1.6}
+	proj, ok := cam.ProjectBox(obj)
+	if !ok {
+		t.Fatal("test object not visible")
+	}
+	ld := []lidar.Detection3D{{Box: obj, Class: "car", Score: 0.9}}
+	cd := []detection.Detection{{Box: proj, Class: "car", Score: 0.9}}
+	if got := Agree(cam, ld, cd, 0.1); got != 0 {
+		t.Fatalf("agreeing sensors severity = %v", got)
+	}
+}
+
+func TestAgreeLidarOnly(t *testing.T) {
+	cam := geometry.DefaultCamera()
+	obj := geometry.Box3D{Center: geometry.Vec3{X: 0, Y: 20, Z: 0.8}, Length: 4.5, Width: 1.9, Height: 1.6}
+	ld := []lidar.Detection3D{{Box: obj, Class: "car", Score: 0.9}}
+	if got := Agree(cam, ld, nil, 0.1); got != 1 {
+		t.Fatalf("lidar-only severity = %v, want 1", got)
+	}
+}
+
+func TestAgreeCameraOnly(t *testing.T) {
+	cam := geometry.DefaultCamera()
+	cd := []detection.Detection{{Box: geometry.NewBox2D(100, 100, 300, 250), Class: "car", Score: 0.9}}
+	if got := Agree(cam, nil, cd, 0.1); got != 1 {
+		t.Fatalf("camera-only severity = %v, want 1", got)
+	}
+}
+
+func TestAgreeLidarBehindCameraIgnored(t *testing.T) {
+	cam := geometry.DefaultCamera()
+	behind := geometry.Box3D{Center: geometry.Vec3{X: 0, Y: -20, Z: 0.8}, Length: 4.5, Width: 1.9, Height: 1.6}
+	ld := []lidar.Detection3D{{Box: behind, Class: "car", Score: 0.9}}
+	if got := Agree(cam, ld, nil, 0.1); got != 0 {
+		t.Fatalf("behind-camera severity = %v, want 0", got)
+	}
+}
+
+func TestDomainBasics(t *testing.T) {
+	d := smallDomain(t)
+	if d.Name() != "nuscenes" || d.NumAssertions() != 2 || d.PoolSize() != 12 {
+		t.Fatalf("domain identity: %s %d %d", d.Name(), d.NumAssertions(), d.PoolSize())
+	}
+	m := d.Evaluate()
+	if m <= 0.05 || m >= 0.9 {
+		t.Fatalf("pretrained mAP = %v", m)
+	}
+}
+
+func TestDomainAssess(t *testing.T) {
+	d := smallDomain(t)
+	cands := d.Assess()
+	if len(cands) != 12 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	anyAgree := false
+	for i, c := range cands {
+		if c.Index != i || len(c.Severities) != 2 {
+			t.Fatalf("candidate %d malformed: %+v", i, c)
+		}
+		if c.Severities[IdxAgree] > 0 {
+			anyAgree = true
+		}
+	}
+	if !anyAgree {
+		t.Fatal("agree assertion never fired")
+	}
+}
+
+func TestDomainTrainImprovesAndResets(t *testing.T) {
+	d := smallDomain(t)
+	before := d.Evaluate()
+	d.Train([]int{0, 1, 2, 3, 4, 5})
+	d.Train([]int{6, 7, 8, 9, 10, 11})
+	after := d.Evaluate()
+	if after <= before {
+		t.Fatalf("training did not improve: %v -> %v", before, after)
+	}
+	d.Reset(1)
+	if d.Evaluate() != before {
+		t.Fatal("Reset did not restore bootstrap")
+	}
+}
+
+func TestRunWeakSupervision(t *testing.T) {
+	d := smallDomain(t)
+	res := d.RunWeakSupervision(12)
+	if res.ImputedBoxes == 0 {
+		t.Fatal("no boxes imputed")
+	}
+	if res.WeakMAP <= res.PretrainedMAP {
+		t.Fatalf("weak supervision did not improve: %v -> %v", res.PretrainedMAP, res.WeakMAP)
+	}
+}
+
+func TestCollectPrecisionSamples(t *testing.T) {
+	d := smallDomain(t)
+	samples := d.CollectPrecisionSamples()
+	if len(samples) == 0 {
+		t.Fatal("no precision samples")
+	}
+	agreeErr, agreeN := 0, 0
+	for _, s := range samples {
+		if s.Assertion == "agree" {
+			agreeN++
+			if s.ModelError {
+				agreeErr++
+			}
+		}
+	}
+	if agreeN == 0 {
+		t.Fatal("no agree firings")
+	}
+	if prec := float64(agreeErr) / float64(agreeN); prec < 0.7 {
+		t.Fatalf("agree precision = %v, implausibly low", prec)
+	}
+}
+
+func TestSuiteEvaluatesSensorPair(t *testing.T) {
+	d := smallDomain(t)
+	suite := d.Suite()
+	if suite.Len() != 2 {
+		t.Fatalf("suite size = %d", suite.Len())
+	}
+	scene, frames := d.PoolScene(0)
+	pair := SensorPair{
+		Lidar:  d.LidarDetector().Detect(scene.Frames[0]),
+		Camera: d.Model().Detect(frames[0]),
+	}
+	vec := suite.Evaluate([]assertion.Sample{{Index: 0, Output: pair}})
+	if len(vec) != 2 {
+		t.Fatalf("vector = %v", vec)
+	}
+	// Non-conforming output abstains.
+	vec = suite.Evaluate([]assertion.Sample{{Index: 0, Output: "junk"}})
+	if vec[0] != 0 || vec[1] != 0 {
+		t.Fatalf("non-conforming output fired: %v", vec)
+	}
+	if got := suite.Evaluate(nil); len(got) != 2 {
+		t.Fatalf("empty window vector = %v", got)
+	}
+}

@@ -1,0 +1,150 @@
+package avscenes
+
+import (
+	"omg/internal/detection"
+)
+
+// WeakSupervisionResult reports a Table 4 AV weak-supervision run.
+type WeakSupervisionResult struct {
+	PretrainedMAP   float64
+	WeakMAP         float64
+	ImputedBoxes    int
+	ScenesConsumed  int
+	RelativeGainPct float64
+}
+
+// RunWeakSupervision reproduces the paper's §5.5 AV experiment: over the
+// given number of unlabeled pool scenes, impute 2D boxes from the LIDAR
+// model's 3D detections wherever the camera model missed an object the
+// LIDAR saw (the paper's "custom weak supervision rule that imputed boxes
+// from the 3D predictions"), and fine-tune the camera model on those weak
+// labels.
+func (d *Domain) RunWeakSupervision(scenes int) WeakSupervisionResult {
+	res := WeakSupervisionResult{PretrainedMAP: d.Evaluate()}
+	if scenes > len(d.pool) {
+		scenes = len(d.pool)
+	}
+	res.ScenesConsumed = scenes
+
+	imputed := 0
+	for si := 0; si < scenes; si++ {
+		for fi := range d.pool[si].Frames {
+			fa := d.AssessFrame(si, fi)
+			// Project each LIDAR detection; if no camera detection
+			// overlaps it, the projected box becomes a weak 2D label.
+			for _, ld := range fa.LidarDets {
+				box, ok := d.cam.ProjectBox(ld.Box)
+				if !ok {
+					continue
+				}
+				matched := false
+				for _, cd := range fa.CamDets {
+					if box.IoU(cd.Box) >= d.cfg.AgreeIoU {
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					imputed++
+				}
+			}
+		}
+	}
+	res.ImputedBoxes = imputed
+	d.camModel.TrainWeak(detection.WeakCrossSensorBox, imputed)
+	res.WeakMAP = d.Evaluate()
+	if res.PretrainedMAP > 0 {
+		res.RelativeGainPct = 100 * (res.WeakMAP - res.PretrainedMAP) / res.PretrainedMAP
+	}
+	return res
+}
+
+// PrecisionSample is one agree/multibox firing with its ground-truth
+// verdict, for Table 3.
+type PrecisionSample struct {
+	Assertion  string
+	Scene      int
+	Frame      int
+	ModelError bool
+}
+
+// CollectPrecisionSamples evaluates both assertions over the pool and
+// classifies each firing against ground truth: an agree firing is a true
+// error when a LIDAR detection has no matching ground-truth object (LIDAR
+// wrong) or a ground-truth object visible to the camera was missed or
+// hallucinated by it (camera wrong); a multibox firing is a true error
+// when a duplicate or false positive participates.
+func (d *Domain) CollectPrecisionSamples() []PrecisionSample {
+	var out []PrecisionSample
+	for si := range d.pool {
+		for fi := range d.pool[si].Frames {
+			fa := d.AssessFrame(si, fi)
+			if fa.AgreeSeverity > 0 {
+				out = append(out, PrecisionSample{
+					Assertion:  "agree",
+					Scene:      si,
+					Frame:      fi,
+					ModelError: d.agreeIsModelError(si, fi, fa),
+				})
+			}
+			if fa.MultiboxSeverity > 0 {
+				bad := false
+				for _, cd := range fa.CamDets {
+					if cd.Provenance != detection.ProvTruePositive {
+						bad = true
+						break
+					}
+				}
+				out = append(out, PrecisionSample{
+					Assertion:  "multibox",
+					Scene:      si,
+					Frame:      fi,
+					ModelError: bad,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// agreeIsModelError checks a disagreeing frame against ground truth:
+// either sensor being wrong about any object counts.
+func (d *Domain) agreeIsModelError(si, fi int, fa FrameAssessment) bool {
+	// Camera false positives and duplicates are model errors.
+	for _, cd := range fa.CamDets {
+		if cd.Provenance != detection.ProvTruePositive {
+			return true
+		}
+	}
+	// LIDAR hallucinations are model errors.
+	for _, ld := range fa.LidarDets {
+		if ld.GTTrack == 0 {
+			return true
+		}
+	}
+	// Camera misses of objects the camera should see: any projected GT
+	// object with no camera detection.
+	found := make(map[int]bool)
+	for _, cd := range fa.CamDets {
+		if cd.GTTrack != 0 {
+			found[cd.GTTrack] = true
+		}
+	}
+	for _, o := range d.pool2D[si][fi].Objects {
+		if !found[o.TrackID] {
+			return true
+		}
+	}
+	// LIDAR misses of in-frustum objects with a camera detection: the
+	// projected LIDAR set lacked a counterpart.
+	seen := make(map[int]bool)
+	for _, ld := range fa.LidarDets {
+		seen[ld.GTTrack] = true
+	}
+	for _, o := range d.pool[si].Frames[fi].Objects {
+		if d.cam.InFrustum(o.Box) && !seen[o.TrackID] {
+			return true
+		}
+	}
+	return false
+}

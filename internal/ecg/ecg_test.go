@@ -1,0 +1,244 @@
+package ecg
+
+import (
+	"testing"
+)
+
+func records(t *testing.T, n int) []Record {
+	t.Helper()
+	return Generate(Config{Seed: 1, NumRecords: n})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 2, NumRecords: 50})
+	b := Generate(Config{Seed: 2, NumRecords: 50})
+	for i := range a {
+		if a[i].Label != b[i].Label || len(a[i].Segments) != len(b[i].Segments) {
+			t.Fatalf("record %d differs", i)
+		}
+		for s := range a[i].Segments {
+			if a[i].Segments[s] != b[i].Segments[s] {
+				t.Fatalf("record %d segment %d differs", i, s)
+			}
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	recs := records(t, 100)
+	for i, r := range recs {
+		if r.Index != i {
+			t.Fatalf("record index %d != %d", r.Index, i)
+		}
+		if len(r.Segments) != 12 {
+			t.Fatalf("segments = %d", len(r.Segments))
+		}
+		for s, seg := range r.Segments {
+			if seg.Index != s || seg.Time != float64(s)*SegmentSeconds {
+				t.Fatalf("segment metadata: %+v", seg)
+			}
+			valid := false
+			for _, c := range Classes {
+				if seg.True == c {
+					valid = true
+				}
+			}
+			if !valid {
+				t.Fatalf("unknown class %q", seg.True)
+			}
+		}
+	}
+}
+
+func TestGenerateGroundTruthRespects30sGuideline(t *testing.T) {
+	// The ground truth itself must never violate the assertion: a class
+	// that disappears must stay absent for >= 30 s or not return.
+	for _, r := range records(t, 300) {
+		lastSeen := map[string]float64{}
+		absentSince := map[string]float64{}
+		for _, seg := range r.Segments {
+			for _, c := range Classes {
+				if seg.True == c {
+					if t0, absent := absentSince[c]; absent {
+						gap := seg.Time - t0
+						if gap < 30 {
+							t.Fatalf("record %d: class %s reappears after %vs gap", r.Index, c, gap)
+						}
+						delete(absentSince, c)
+					}
+					lastSeen[c] = seg.Time
+				} else if _, seen := lastSeen[c]; seen {
+					if _, absent := absentSince[c]; !absent {
+						absentSince[c] = seg.Time
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateLabelIsMajority(t *testing.T) {
+	for _, r := range records(t, 100) {
+		counts := map[string]int{}
+		for _, s := range r.Segments {
+			counts[s.True]++
+		}
+		if counts[r.Label]*2 < len(r.Segments) {
+			t.Fatalf("record %d label %q is not the majority: %v", r.Index, r.Label, counts)
+		}
+	}
+}
+
+func TestGenerateClassMixRoughlyCINC17(t *testing.T) {
+	recs := records(t, 3000)
+	counts := map[string]int{}
+	for _, r := range recs {
+		counts[r.Label]++
+	}
+	if counts["N"] < counts["A"] || counts["N"] < counts["O"] {
+		t.Fatalf("N should dominate: %v", counts)
+	}
+	if counts["A"] == 0 || counts["~"] == 0 {
+		t.Fatalf("missing classes: %v", counts)
+	}
+}
+
+func TestClassifierDeterministic(t *testing.T) {
+	recs := records(t, 20)
+	c1, c2 := NewClassifier(5, DefaultClassifierParams()), NewClassifier(5, DefaultClassifierParams())
+	for _, r := range recs {
+		a, b := c1.Classify(r), c2.Classify(r)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("record %d segment %d differs", r.Index, i)
+			}
+		}
+	}
+}
+
+func TestClassifierAccuracyImprovesWithTraining(t *testing.T) {
+	test := Generate(Config{Seed: 9, NumRecords: 400})
+	train := Generate(Config{Seed: 10, NumRecords: 2000})
+	c := NewClassifier(5, DefaultClassifierParams())
+	before := c.Accuracy(test)
+	c.Train(train, 1)
+	after := c.Accuracy(test)
+	if after <= before {
+		t.Fatalf("accuracy did not improve: %v -> %v", before, after)
+	}
+	if before < 0.3 || before > 0.9 {
+		t.Fatalf("initial accuracy implausible: %v", before)
+	}
+}
+
+func TestClassifierRatesDecay(t *testing.T) {
+	c := NewClassifier(1, DefaultClassifierParams())
+	e0, o0 := c.ErrorRate(), c.OscillationRate()
+	c.Train(Generate(Config{Seed: 3, NumRecords: 1000}), 1)
+	if c.ErrorRate() >= e0 {
+		t.Fatal("error rate did not decay")
+	}
+	if c.OscillationRate() >= o0 {
+		t.Fatal("oscillation rate did not decay")
+	}
+}
+
+func TestTrainZeroWeightNoop(t *testing.T) {
+	c := NewClassifier(1, DefaultClassifierParams())
+	before := c.ErrorRate()
+	c.Train(records(t, 100), 0)
+	if c.ErrorRate() != before {
+		t.Fatal("zero-weight training changed the model")
+	}
+}
+
+func TestOscillationsAreInteriorAndHighConfidence(t *testing.T) {
+	recs := records(t, 500)
+	c := NewClassifier(5, DefaultClassifierParams())
+	oscCount := 0
+	var oscConf, okConf float64
+	var okN int
+	for _, r := range recs {
+		preds := c.Classify(r)
+		for i, p := range preds {
+			if p.Oscillated {
+				oscCount++
+				oscConf += p.Confidence
+				if i == 0 || i == len(preds)-1 {
+					t.Fatal("oscillation on a boundary segment")
+				}
+			} else if p.Class == r.Segments[i].True {
+				okConf += p.Confidence
+				okN++
+			}
+		}
+	}
+	if oscCount == 0 {
+		t.Fatal("no oscillations generated")
+	}
+	meanOsc := oscConf / float64(oscCount)
+	meanOK := okConf / float64(okN)
+	if meanOsc < meanOK-0.1 {
+		t.Fatalf("oscillations not high-confidence: %v vs correct %v", meanOsc, meanOK)
+	}
+}
+
+func TestRecordPrediction(t *testing.T) {
+	preds := []Prediction{
+		{Class: "N", Confidence: 0.9},
+		{Class: "A", Confidence: 0.8},
+		{Class: "N", Confidence: 0.7},
+	}
+	cls, conf := RecordPrediction(preds)
+	if cls != "N" {
+		t.Fatalf("majority = %q", cls)
+	}
+	if conf < 0.79 || conf > 0.81 {
+		t.Fatalf("mean confidence = %v", conf)
+	}
+	if cls, conf := RecordPrediction(nil); cls == "" || conf != 0 {
+		// Empty predictions fall back to the first class with count -1
+		// comparison; ensure stability.
+		_ = cls
+	}
+}
+
+func TestTrainWeakOscillationTargetsOscMode(t *testing.T) {
+	c := NewClassifier(1, DefaultClassifierParams())
+	o0, e0 := c.OscillationRate(), c.ErrorRate()
+	c.TrainWeakOscillation(200)
+	if c.OscillationRate() >= o0 {
+		t.Fatal("weak oscillation labels did not reduce oscillation rate")
+	}
+	// Error rate moves much less.
+	dOsc := o0 - c.OscillationRate()
+	dErr := e0 - c.ErrorRate()
+	if dErr > dOsc {
+		t.Fatalf("weak labels taught confusion (%v) more than oscillation (%v)", dErr, dOsc)
+	}
+	c2 := NewClassifier(1, DefaultClassifierParams())
+	c2.TrainWeakOscillation(0)
+	if c2.OscillationRate() != o0 {
+		t.Fatal("zero-count weak training changed model")
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := NewClassifier(1, DefaultClassifierParams())
+	c.Train(records(t, 200), 1)
+	cp := c.Clone()
+	if cp.ErrorRate() != c.ErrorRate() {
+		t.Fatal("clone differs")
+	}
+	cp.Train(records(t, 200), 1)
+	if cp.ErrorRate() >= c.ErrorRate() {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	c := NewClassifier(1, DefaultClassifierParams())
+	if got := c.Accuracy(nil); got != 0 {
+		t.Fatalf("Accuracy(nil) = %v", got)
+	}
+}

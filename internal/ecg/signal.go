@@ -1,0 +1,149 @@
+// Package ecg generates synthetic single-lead ECG rhythm streams and a
+// trainable simulated atrial-fibrillation classifier: the substitute for
+// the CINC17 dataset and the convolutional classifier of Rajpurkar et al.
+// used in the paper's medical-classification experiments (§5.1).
+//
+// A record is a sequence of fixed-length signal segments, each carrying a
+// true rhythm class from the CINC17 label set (N: normal sinus rhythm,
+// A: atrial fibrillation, O: other rhythm, ~: noisy). The paper's domain
+// assertion — a classification must not change A→B→A within 30 seconds,
+// per European Society of Cardiology guidance — is expressed over the
+// per-segment predictions via the consistency API's flicker assertion
+// with T = 30 s.
+package ecg
+
+import (
+	"omg/internal/simrand"
+)
+
+// Classes is the CINC17 label set.
+var Classes = []string{"N", "A", "O", "~"}
+
+// SegmentSeconds is the duration of one classified signal segment.
+const SegmentSeconds = 5.0
+
+// Segment is one classified slice of a record.
+type Segment struct {
+	// Index is the segment's position within its record.
+	Index int
+	// Time is the segment's start time within the record, in seconds.
+	Time float64
+	// True is the ground-truth rhythm class of the segment.
+	True string
+	// Hard marks segments that are genuinely ambiguous (boundary between
+	// rhythms, borderline noise): the classifier is uncertain on them.
+	Hard bool
+}
+
+// Record is one dataset entry: a short single-lead recording, like a
+// CINC17 record.
+type Record struct {
+	// Index is the record's dataset position.
+	Index int
+	// Segments is the record's rhythm timeline.
+	Segments []Segment
+	// Label is the record-level ground truth: the majority rhythm class,
+	// matching CINC17's single label per record.
+	Label string
+}
+
+// Config parameterises the generator.
+type Config struct {
+	Seed       int64
+	NumRecords int
+	// SegmentsPerRecord defaults to 12 (one minute at 5 s per segment).
+	SegmentsPerRecord int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentsPerRecord <= 0 {
+		c.SegmentsPerRecord = 12
+	}
+	return c
+}
+
+// classMix is the approximate CINC17 class distribution (N 59%, O 28%,
+// A 9%, ~ 4%).
+var classMix = []float64{0.59, 0.09, 0.28, 0.04}
+
+// Generate produces synthetic records, deterministic in the seed.
+func Generate(cfg Config) []Record {
+	cfg = cfg.withDefaults()
+	rng := simrand.NewStream(cfg.Seed, "ecg-records")
+	out := make([]Record, cfg.NumRecords)
+	for i := range out {
+		out[i] = genRecord(rng, i, cfg.SegmentsPerRecord)
+	}
+	return out
+}
+
+// genRecord builds one record: a dominant rhythm, optionally with an
+// embedded episode of another rhythm (e.g. paroxysmal AF inside normal
+// rhythm), plus occasional hard boundary segments.
+func genRecord(rng *simrand.RNG, index, nSeg int) Record {
+	dominantIdx := rng.WeightedChoice(classMix)
+	dominant := Classes[dominantIdx]
+
+	segs := make([]Segment, nSeg)
+	for s := range segs {
+		segs[s] = Segment{
+			Index: s,
+			Time:  float64(s) * SegmentSeconds,
+			True:  dominant,
+		}
+	}
+
+	// ~25% of records contain an episode of a second rhythm.
+	if rng.Bool(0.25) {
+		episodeClass := Classes[rng.WeightedChoice([]float64{0.3, 0.35, 0.3, 0.05})]
+		if episodeClass != dominant {
+			// Episodes must respect the 30-second guideline: they span at
+			// least 30/SegmentSeconds segments so the ground truth never
+			// violates the assertion.
+			minLen := int(30/SegmentSeconds) + 1
+			maxLen := nSeg / 2
+			if maxLen < minLen {
+				maxLen = minLen
+			}
+			length := rng.IntBetween(minLen, maxLen)
+			if length < nSeg {
+				start := rng.IntBetween(0, nSeg-length)
+				for s := start; s < start+length && s < nSeg; s++ {
+					segs[s].True = episodeClass
+				}
+				// Boundary segments are genuinely ambiguous.
+				if start > 0 {
+					segs[start].Hard = true
+				}
+				if start+length < nSeg {
+					segs[start+length-1].Hard = true
+				}
+			}
+		}
+	}
+
+	// Sporadic hard segments (baseline wander, electrode noise).
+	for s := range segs {
+		if rng.Bool(0.06) {
+			segs[s].Hard = true
+		}
+	}
+
+	return Record{Index: index, Segments: segs, Label: majorityClass(segs)}
+}
+
+// majorityClass returns the most frequent true class of the segments,
+// breaking ties toward the earlier class in Classes order.
+func majorityClass(segs []Segment) string {
+	counts := make(map[string]int)
+	for _, s := range segs {
+		counts[s.True]++
+	}
+	best, bestN := "", -1
+	for _, c := range Classes {
+		if counts[c] > bestN {
+			best, bestN = c, counts[c]
+		}
+	}
+	return best
+}

@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"omg/internal/domains/avscenes"
+	"omg/internal/domains/heartbeat"
+	"omg/internal/domains/newsroom"
+	"omg/internal/domains/nightstreet"
+	"omg/internal/labels"
+	"omg/internal/loc"
+	"omg/internal/simrand"
+	"omg/internal/tvnews"
+	"omg/internal/video"
+)
+
+// ---------------------------------------------------------------------
+// Table 1: tasks, models and assertions.
+
+// Table1Row summarises one task.
+type Table1Row struct {
+	Task, Model, Assertions string
+}
+
+// Table1 reproduces the paper's task/model/assertion summary from the
+// domains' registries and configurations.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{"TV news", "simulated face pipeline (custom)", "consistency (§4: identity/gender/hair per scene slot)"},
+		{"Object detection (video)", "simulated SSD (internal/detection)", "multibox; consistency flicker + appear"},
+		{"Vehicle detection (AVs)", "simulated Second (internal/lidar) + simulated SSD", "agree (2D/3D projection); multibox"},
+		{"AF classification", "simulated ECG ResNet (internal/ecg)", "consistency within 30 s window (flicker, T=30)"},
+	}
+}
+
+// RenderTable1 renders Table 1.
+func RenderTable1() string {
+	rows := make([][]string, 0, 4)
+	for _, r := range Table1() {
+		rows = append(rows, []string{r.Task, r.Model, r.Assertions})
+	}
+	return "Table 1: tasks, models and assertions\n" +
+		table([]string{"Task", "Model", "Assertions"}, rows)
+}
+
+// ---------------------------------------------------------------------
+// Table 2: lines of code per assertion, measured with go/parser over this
+// repository's own assertion implementations.
+
+// Table2Entries maps each deployed assertion to the Go functions that
+// implement it (body) and the shared helpers it uses (double counted
+// between assertions, as in the paper).
+func Table2Entries() []loc.Entry {
+	const (
+		nightstreetDir = "internal/domains/nightstreet"
+		avDir          = "internal/domains/avscenes"
+		heartbeatDir   = "internal/domains/heartbeat"
+		newsroomDir    = "internal/domains/newsroom"
+		tvnewsDir      = "internal/tvnews"
+		geometryDir    = "internal/geometry"
+	)
+	return []loc.Entry{
+		{
+			Assertion: "news", Consistency: true, Dir: newsroomDir,
+			Body: []string{"ConsistencyConfig"},
+			Helpers: []loc.Helper{
+				{Dir: tvnewsDir, Name: "Detection.ID"},
+				{Dir: tvnewsDir, Name: "Detection.Attrs"},
+			},
+		},
+		{
+			Assertion: "ECG", Consistency: true, Dir: heartbeatDir,
+			Body: []string{"ConsistencyConfig"},
+			Helpers: []loc.Helper{
+				{Dir: heartbeatDir, Name: "PredictionStream"},
+			},
+		},
+		{
+			Assertion: "flicker", Consistency: true, Dir: nightstreetDir,
+			Body: []string{"ConsistencyConfig"},
+			Helpers: []loc.Helper{
+				{Dir: nightstreetDir, Name: "InterpolateBox"},
+			},
+		},
+		{
+			Assertion: "appear", Consistency: true, Dir: nightstreetDir,
+			Body: []string{"ConsistencyConfig"},
+			Helpers: []loc.Helper{
+				{Dir: nightstreetDir, Name: "idOf"},
+			},
+		},
+		{
+			Assertion: "multibox", Dir: nightstreetDir,
+			Body: []string{"Multibox"},
+			Helpers: []loc.Helper{
+				{Dir: geometryDir, Name: "CountOverlappingTriples"},
+			},
+		},
+		{
+			Assertion: "agree", Dir: avDir,
+			Body: []string{"Agree"},
+			Helpers: []loc.Helper{
+				{Dir: geometryDir, Name: "Camera.ProjectBox"},
+			},
+		},
+	}
+}
+
+// Table2 measures the LOC rows. repoRoot is the repository root (the
+// directory containing go.mod); pass "." when running from the root.
+func Table2(repoRoot string) ([]loc.Row, error) {
+	entries := Table2Entries()
+	for i := range entries {
+		entries[i].Dir = repoRoot + "/" + entries[i].Dir
+		for j := range entries[i].Helpers {
+			entries[i].Helpers[j].Dir = repoRoot + "/" + entries[i].Helpers[j].Dir
+		}
+	}
+	return loc.Measure(entries)
+}
+
+// RenderTable2 renders Table 2.
+func RenderTable2(repoRoot string) (string, error) {
+	rows, err := Table2(repoRoot)
+	if err != nil {
+		return "", err
+	}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Assertion,
+			fmt.Sprintf("%d", r.BodyLOC),
+			fmt.Sprintf("%d", r.TotalLOC),
+		})
+	}
+	return "Table 2: lines of code per assertion (measured over this repository)\n" +
+		table([]string{"Assertion", "LOC (no helpers)", "LOC (inc. helpers)"}, out), nil
+}
+
+// ---------------------------------------------------------------------
+// Table 3: assertion precision on sampled firings.
+
+// Table3Row is one precision measurement.
+type Table3Row struct {
+	Assertion string
+	// Sampled is how many firings were inspected (paper: 50).
+	Sampled int
+	// PrecisionPipeline is the "identifier and output" column (empty
+	// string rendering for custom assertions where it is N/A).
+	PrecisionPipeline float64
+	HasPipeline       bool
+	// PrecisionModel is the "model output only" column.
+	PrecisionModel float64
+}
+
+// Table3 measures assertion precision over each domain, sampling up to 50
+// firings per assertion as in the paper.
+func Table3(s Scale) []Table3Row {
+	const sampleSize = 50
+	rng := simrand.NewStream(s.Seed, "table3-sampling")
+	var rows []Table3Row
+
+	sample := func(n int) []int { return rng.SampleWithoutReplacement(n, sampleSize) }
+
+	// TV news.
+	news := newsroom.New(tvnews.Config{Seed: simrand.DeriveSeed(s.Seed, "news"), Hours: s.NewsHours})
+	newsSamples := news.CollectPrecisionSamples()
+	{
+		idx := sample(len(newsSamples))
+		pipeOK, modelOK := 0, 0
+		for _, i := range idx {
+			if newsSamples[i].PipelineError {
+				pipeOK++
+			}
+			if newsSamples[i].ModelError {
+				modelOK++
+			}
+		}
+		n := len(idx)
+		rows = append(rows, Table3Row{
+			Assertion: "news", Sampled: n, HasPipeline: true,
+			PrecisionPipeline: ratio(pipeOK, n), PrecisionModel: ratio(modelOK, n),
+		})
+	}
+
+	// ECG.
+	hb := heartbeat.New(heartbeat.Config{Seed: simrand.DeriveSeed(s.Seed, "ecg"),
+		PoolRecords: s.ECGPoolRecords, TestRecords: s.ECGTestRecords})
+	ecgSamples := hb.CollectPrecisionSamples()
+	{
+		idx := sample(len(ecgSamples))
+		modelOK := 0
+		for _, i := range idx {
+			if ecgSamples[i].ModelError {
+				modelOK++
+			}
+		}
+		n := len(idx)
+		rows = append(rows, Table3Row{
+			Assertion: "ECG", Sampled: n, HasPipeline: true,
+			PrecisionPipeline: ratio(modelOK, n), PrecisionModel: ratio(modelOK, n),
+		})
+	}
+
+	// Video: flicker, appear, multibox.
+	ns := nightstreet.New(nightstreet.Config{Seed: simrand.DeriveSeed(s.Seed, "video"),
+		PoolFrames: s.VideoPoolFrames, TestFrames: s.VideoTestFrames})
+	errs, _ := ns.CollectAssertionErrors()
+	byAssertion := map[string][]nightstreet.AssertionError{}
+	for _, e := range errs {
+		byAssertion[e.Assertion] = append(byAssertion[e.Assertion], e)
+	}
+	for _, name := range []string{"flicker", "appear"} {
+		es := byAssertion[name]
+		idx := sample(len(es))
+		pipeOK, modelOK := 0, 0
+		for _, i := range idx {
+			if es[i].PipelineError {
+				pipeOK++
+			}
+			if es[i].ModelError {
+				modelOK++
+			}
+		}
+		n := len(idx)
+		rows = append(rows, Table3Row{
+			Assertion: name, Sampled: n, HasPipeline: true,
+			PrecisionPipeline: ratio(pipeOK, n), PrecisionModel: ratio(modelOK, n),
+		})
+	}
+	{
+		es := byAssertion["multibox"]
+		idx := sample(len(es))
+		modelOK := 0
+		for _, i := range idx {
+			if es[i].ModelError {
+				modelOK++
+			}
+		}
+		n := len(idx)
+		rows = append(rows, Table3Row{
+			Assertion: "multibox", Sampled: n,
+			PrecisionModel: ratio(modelOK, n),
+		})
+	}
+
+	// AV: agree.
+	av := avscenes.New(avscenes.Config{Seed: simrand.DeriveSeed(s.Seed, "av"),
+		PoolScenes: s.AVPoolScenes, TestScenes: s.AVTestScenes})
+	avSamples := av.CollectPrecisionSamples()
+	var agreeSamples []avscenes.PrecisionSample
+	for _, p := range avSamples {
+		if p.Assertion == "agree" {
+			agreeSamples = append(agreeSamples, p)
+		}
+	}
+	{
+		idx := sample(len(agreeSamples))
+		modelOK := 0
+		for _, i := range idx {
+			if agreeSamples[i].ModelError {
+				modelOK++
+			}
+		}
+		n := len(idx)
+		rows = append(rows, Table3Row{
+			Assertion: "agree", Sampled: n,
+			PrecisionModel: ratio(modelOK, n),
+		})
+	}
+	return rows
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// RenderTable3 renders Table 3.
+func RenderTable3(s Scale) string {
+	rows := Table3(s)
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		pipe := "N/A"
+		if r.HasPipeline {
+			pipe = pct(r.PrecisionPipeline)
+		}
+		out = append(out, []string{r.Assertion, fmt.Sprintf("%d", r.Sampled), pipe, pct(r.PrecisionModel)})
+	}
+	return "Table 3: assertion precision on sampled firings\n" +
+		table([]string{"Assertion", "Sampled", "Precision (identifier and output)", "Precision (model output only)"}, out)
+}
+
+// ---------------------------------------------------------------------
+// Table 6 (Appendix E): validating human labels.
+
+// Table6Result is the human-label validation outcome.
+type Table6Result struct {
+	labels.ValidationResult
+}
+
+// Table6 reproduces Appendix E: label LabelSample random frames from a
+// LabelFramePool-frame video with the simulated labeling service, then
+// validate the labels with the tracking-based consistency assertion.
+func Table6(s Scale) Table6Result {
+	frames := video.Generate(video.Config{
+		Seed:      simrand.DeriveSeed(s.Seed, "label-video"),
+		NumFrames: s.LabelFramePool,
+	})
+	sampled := labels.SampleRandomFrames(simrand.DeriveSeed(s.Seed, "label-pick"), frames, s.LabelSample)
+	labs := labels.Label(labels.ServiceConfig{Seed: simrand.DeriveSeed(s.Seed, "label-svc")}, sampled)
+	return Table6Result{ValidationResult: labels.Validate(labs)}
+}
+
+// RenderTable6 renders Table 6.
+func RenderTable6(s Scale) string {
+	r := Table6(s)
+	rows := [][]string{
+		{"All labels", fmt.Sprintf("%d", r.AllLabels)},
+		{"Errors", fmt.Sprintf("%d", r.Errors)},
+		{"Errors caught", fmt.Sprintf("%d (%.1f%%)", r.ErrorsCaught, 100*r.CatchRate())},
+	}
+	return "Table 6 (Appendix E): validating human labels with model assertions\n" +
+		table([]string{"Description", "Number"}, rows)
+}
+
+// sortedKeys returns map keys sorted, for deterministic rendering.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

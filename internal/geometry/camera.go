@@ -1,0 +1,94 @@
+package geometry
+
+import "math"
+
+// Camera is a pinhole camera model. World coordinates follow the repository
+// convention (x right, y forward, z up); the camera looks along +y from
+// Position, with the image x axis aligned to world x and the image y axis
+// pointing down (so higher world z maps to smaller image y).
+//
+// This is sufficient to reproduce the paper's AV "agree" assertion, which
+// projects 3D LIDAR boxes onto the 2D camera plane to check consistency
+// with the camera detector's output.
+type Camera struct {
+	// FocalLength in pixels (identical for x and y).
+	FocalLength float64
+	// CX, CY is the principal point in pixels.
+	CX, CY float64
+	// ImageWidth, ImageHeight bound the sensor in pixels.
+	ImageWidth, ImageHeight float64
+	// Position of the optical centre in world coordinates.
+	Position Vec3
+}
+
+// DefaultCamera returns a camera matching the synthetic AV rig used by the
+// lidar simulator: a 1600x900 sensor (NuScenes camera resolution) mounted
+// 1.5 m above the ground at the world origin.
+func DefaultCamera() Camera {
+	return Camera{
+		FocalLength: 1250,
+		CX:          800,
+		CY:          450,
+		ImageWidth:  1600,
+		ImageHeight: 900,
+		Position:    Vec3{X: 0, Y: 0, Z: 1.5},
+	}
+}
+
+// ImageBounds returns the full sensor rectangle.
+func (c Camera) ImageBounds() Box2D {
+	return Box2D{X1: 0, Y1: 0, X2: c.ImageWidth, Y2: c.ImageHeight}
+}
+
+// ProjectPoint projects a world point to pixel coordinates. ok is false if
+// the point is at or behind the camera plane (depth <= 0), in which case
+// the returned pixel values are meaningless.
+func (c Camera) ProjectPoint(p Vec3) (u, v float64, ok bool) {
+	rel := p.Sub(c.Position)
+	if rel.Y <= 1e-9 {
+		return 0, 0, false
+	}
+	u = c.CX + c.FocalLength*rel.X/rel.Y
+	v = c.CY - c.FocalLength*rel.Z/rel.Y
+	return u, v, true
+}
+
+// ProjectBox projects a 3D box to the tightest axis-aligned 2D box covering
+// the projections of its 8 corners, clipped to the image. ok is false when
+// the box is entirely behind the camera or projects entirely outside the
+// image.
+func (c Camera) ProjectBox(b Box3D) (Box2D, bool) {
+	minU, minV := math.Inf(1), math.Inf(1)
+	maxU, maxV := math.Inf(-1), math.Inf(-1)
+	visible := 0
+	for _, corner := range b.Corners() {
+		u, v, ok := c.ProjectPoint(corner)
+		if !ok {
+			continue
+		}
+		visible++
+		minU = math.Min(minU, u)
+		maxU = math.Max(maxU, u)
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	if visible == 0 {
+		return Box2D{}, false
+	}
+	raw := Box2D{X1: minU, Y1: minV, X2: maxU, Y2: maxV}
+	clipped := raw.Clip(c.ImageBounds())
+	if clipped.Area() <= 0 {
+		return Box2D{}, false
+	}
+	return clipped, true
+}
+
+// InFrustum reports whether the centre of the box projects inside the
+// image with positive depth.
+func (c Camera) InFrustum(b Box3D) bool {
+	u, v, ok := c.ProjectPoint(b.Center)
+	if !ok {
+		return false
+	}
+	return c.ImageBounds().Contains(u, v)
+}

@@ -1,0 +1,135 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProjectPointCenterline(t *testing.T) {
+	c := DefaultCamera()
+	// A point straight ahead at camera height projects to the principal
+	// point.
+	u, v, ok := c.ProjectPoint(Vec3{X: 0, Y: 20, Z: c.Position.Z})
+	if !ok {
+		t.Fatal("point ahead not visible")
+	}
+	if !approxEq(u, c.CX, 1e-9) || !approxEq(v, c.CY, 1e-9) {
+		t.Fatalf("projection = (%v,%v), want principal point (%v,%v)", u, v, c.CX, c.CY)
+	}
+}
+
+func TestProjectPointBehindCamera(t *testing.T) {
+	c := DefaultCamera()
+	if _, _, ok := c.ProjectPoint(Vec3{X: 0, Y: -5, Z: 1}); ok {
+		t.Fatal("point behind camera reported visible")
+	}
+	if _, _, ok := c.ProjectPoint(c.Position); ok {
+		t.Fatal("point at camera reported visible")
+	}
+}
+
+func TestProjectPointScalesInverselyWithDepth(t *testing.T) {
+	c := DefaultCamera()
+	u1, _, ok1 := c.ProjectPoint(Vec3{X: 2, Y: 10, Z: c.Position.Z})
+	u2, _, ok2 := c.ProjectPoint(Vec3{X: 2, Y: 20, Z: c.Position.Z})
+	if !ok1 || !ok2 {
+		t.Fatal("points not visible")
+	}
+	off1, off2 := u1-c.CX, u2-c.CX
+	if !approxEq(off1, 2*off2, 1e-9) {
+		t.Fatalf("offsets %v, %v: doubling depth should halve offset", off1, off2)
+	}
+}
+
+func TestProjectPointHigherIsLowerV(t *testing.T) {
+	c := DefaultCamera()
+	_, vLow, _ := c.ProjectPoint(Vec3{X: 0, Y: 10, Z: 0})
+	_, vHigh, _ := c.ProjectPoint(Vec3{X: 0, Y: 10, Z: 3})
+	if vHigh >= vLow {
+		t.Fatalf("higher world point should have smaller image v: %v vs %v", vHigh, vLow)
+	}
+}
+
+func TestProjectBoxAhead(t *testing.T) {
+	c := DefaultCamera()
+	b := Box3D{Center: Vec3{X: 0, Y: 20, Z: 0.8}, Length: 4, Width: 2, Height: 1.6}
+	box2d, ok := c.ProjectBox(b)
+	if !ok {
+		t.Fatal("box ahead not visible")
+	}
+	if box2d.Area() <= 0 {
+		t.Fatal("projected box has no area")
+	}
+	cx, _ := box2d.Center()
+	if !approxEq(cx, c.CX, 30) {
+		t.Fatalf("centered box projects off-center: cx = %v", cx)
+	}
+	if !c.ImageBounds().ContainsBox(box2d) {
+		t.Fatalf("projection not clipped to image: %v", box2d)
+	}
+}
+
+func TestProjectBoxBehind(t *testing.T) {
+	c := DefaultCamera()
+	b := Box3D{Center: Vec3{X: 0, Y: -20, Z: 0.8}, Length: 4, Width: 2, Height: 1.6}
+	if _, ok := c.ProjectBox(b); ok {
+		t.Fatal("box behind camera reported visible")
+	}
+}
+
+func TestProjectBoxFarOffAxis(t *testing.T) {
+	c := DefaultCamera()
+	b := Box3D{Center: Vec3{X: 500, Y: 10, Z: 0.8}, Length: 4, Width: 2, Height: 1.6}
+	if _, ok := c.ProjectBox(b); ok {
+		t.Fatal("box far outside frustum reported visible")
+	}
+}
+
+func TestProjectBoxCloserIsBigger(t *testing.T) {
+	c := DefaultCamera()
+	near := Box3D{Center: Vec3{X: 0, Y: 10, Z: 0.8}, Length: 4, Width: 2, Height: 1.6}
+	far := Box3D{Center: Vec3{X: 0, Y: 40, Z: 0.8}, Length: 4, Width: 2, Height: 1.6}
+	nb, ok1 := c.ProjectBox(near)
+	fb, ok2 := c.ProjectBox(far)
+	if !ok1 || !ok2 {
+		t.Fatal("boxes not visible")
+	}
+	if nb.Area() <= fb.Area() {
+		t.Fatalf("near box area %v should exceed far box area %v", nb.Area(), fb.Area())
+	}
+}
+
+func TestInFrustum(t *testing.T) {
+	c := DefaultCamera()
+	if !c.InFrustum(Box3D{Center: Vec3{X: 0, Y: 15, Z: 1}, Length: 4, Width: 2, Height: 1.6}) {
+		t.Fatal("box ahead should be in frustum")
+	}
+	if c.InFrustum(Box3D{Center: Vec3{X: 0, Y: -15, Z: 1}, Length: 4, Width: 2, Height: 1.6}) {
+		t.Fatal("box behind should not be in frustum")
+	}
+}
+
+func TestQuickProjectionInsideImage(t *testing.T) {
+	c := DefaultCamera()
+	f := func(x, y, z float64) bool {
+		clamp := func(v, lo, hi float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return lo
+			}
+			return lo + math.Mod(math.Abs(v), hi-lo)
+		}
+		b := Box3D{
+			Center: Vec3{X: clamp(x, -50, 50), Y: clamp(y, 1, 80), Z: clamp(z, 0, 3)},
+			Length: 4, Width: 2, Height: 1.6,
+		}
+		box2d, ok := c.ProjectBox(b)
+		if !ok {
+			return true
+		}
+		return c.ImageBounds().ContainsBox(box2d) && box2d.Area() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package geometry
+
+import "sort"
+
+// ScoredBox pairs a 2D box with a detection confidence, the unit of work
+// for non-maximum suppression.
+type ScoredBox struct {
+	Box   Box2D
+	Score float64
+	// Index is the caller's identifier for the box; NMS preserves it so
+	// callers can map kept boxes back to richer detection records.
+	Index int
+}
+
+// CountOverlappingTriples returns the number of box triples whose members
+// pairwise overlap with IoU above the threshold: the geometric core of
+// the paper's multibox assertion ("three vehicles should not highly
+// overlap", Figure 7).
+func CountOverlappingTriples(boxes []Box2D, iouThreshold float64) int {
+	n := len(boxes)
+	triples := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if boxes[i].IoU(boxes[j]) <= iouThreshold {
+				continue
+			}
+			for k := j + 1; k < n; k++ {
+				if boxes[i].IoU(boxes[k]) > iouThreshold &&
+					boxes[j].IoU(boxes[k]) > iouThreshold {
+					triples++
+				}
+			}
+		}
+	}
+	return triples
+}
+
+// NMS performs standard greedy non-maximum suppression: boxes are visited
+// in decreasing score order, and a box is kept unless it overlaps an
+// already-kept box with IoU greater than iouThreshold. The returned slice
+// preserves the input ordering of kept elements by descending score. The
+// input slice is not modified.
+func NMS(boxes []ScoredBox, iouThreshold float64) []ScoredBox {
+	if len(boxes) == 0 {
+		return nil
+	}
+	order := make([]ScoredBox, len(boxes))
+	copy(order, boxes)
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].Score > order[j].Score
+	})
+	kept := make([]ScoredBox, 0, len(order))
+	for _, cand := range order {
+		suppressed := false
+		for _, k := range kept {
+			if cand.Box.IoU(k.Box) > iouThreshold {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, cand)
+		}
+	}
+	return kept
+}

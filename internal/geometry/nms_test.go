@@ -1,0 +1,94 @@
+package geometry
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNMSEmpty(t *testing.T) {
+	if got := NMS(nil, 0.5); got != nil {
+		t.Fatalf("NMS(nil) = %v", got)
+	}
+}
+
+func TestNMSSingle(t *testing.T) {
+	in := []ScoredBox{{Box: NewBox2D(0, 0, 10, 10), Score: 0.9, Index: 7}}
+	got := NMS(in, 0.5)
+	if len(got) != 1 || got[0].Index != 7 {
+		t.Fatalf("NMS single = %v", got)
+	}
+}
+
+func TestNMSSuppressesDuplicates(t *testing.T) {
+	in := []ScoredBox{
+		{Box: NewBox2D(0, 0, 10, 10), Score: 0.9, Index: 0},
+		{Box: NewBox2D(0.5, 0.5, 10.5, 10.5), Score: 0.8, Index: 1}, // near-duplicate
+		{Box: NewBox2D(50, 50, 60, 60), Score: 0.7, Index: 2},       // disjoint
+	}
+	got := NMS(in, 0.5)
+	if len(got) != 2 {
+		t.Fatalf("kept %d boxes, want 2: %v", len(got), got)
+	}
+	if got[0].Index != 0 || got[1].Index != 2 {
+		t.Fatalf("wrong survivors: %v", got)
+	}
+}
+
+func TestNMSKeepsHighestScore(t *testing.T) {
+	in := []ScoredBox{
+		{Box: NewBox2D(0, 0, 10, 10), Score: 0.5, Index: 0},
+		{Box: NewBox2D(0, 0, 10, 10), Score: 0.9, Index: 1},
+	}
+	got := NMS(in, 0.5)
+	if len(got) != 1 || got[0].Index != 1 {
+		t.Fatalf("NMS should keep highest-score duplicate: %v", got)
+	}
+}
+
+func TestNMSThresholdBoundary(t *testing.T) {
+	// Two boxes with IoU exactly 1/3 survive at threshold 0.34 but not 0.3.
+	a := NewBox2D(0, 0, 2, 1)
+	b := NewBox2D(1, 0, 3, 1)
+	in := []ScoredBox{{Box: a, Score: 0.9}, {Box: b, Score: 0.8, Index: 1}}
+	if got := NMS(in, 0.34); len(got) != 2 {
+		t.Fatalf("threshold above IoU should keep both, got %v", got)
+	}
+	if got := NMS(in, 0.3); len(got) != 1 {
+		t.Fatalf("threshold below IoU should suppress one, got %v", got)
+	}
+}
+
+func TestNMSDoesNotMutateInput(t *testing.T) {
+	in := []ScoredBox{
+		{Box: NewBox2D(0, 0, 1, 1), Score: 0.1, Index: 0},
+		{Box: NewBox2D(5, 5, 6, 6), Score: 0.9, Index: 1},
+	}
+	_ = NMS(in, 0.5)
+	if in[0].Index != 0 || in[1].Index != 1 || in[0].Score != 0.1 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestQuickNMSOutputPairwiseBelowThreshold(t *testing.T) {
+	f := func(raw [6][4]float64, scores [6]float64) bool {
+		in := make([]ScoredBox, 0, len(raw))
+		for i, r := range raw {
+			in = append(in, ScoredBox{Box: randomBox(r), Score: scores[i], Index: i})
+		}
+		out := NMS(in, 0.5)
+		if len(out) > len(in) {
+			return false
+		}
+		for i := range out {
+			for j := i + 1; j < len(out); j++ {
+				if out[i].Box.IoU(out[j].Box) > 0.5 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

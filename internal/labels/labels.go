@@ -1,0 +1,198 @@
+// Package labels simulates a production data-labeling service and the
+// paper's Appendix E experiment: using model assertions to validate
+// human-generated labels (humans act as an "ML model" with effective
+// confidence 1). The paper obtained Scale AI labels for 1,000 random
+// frames of night-street, found 32 classification errors among 469
+// boxes, and caught 12.5% of them with a tracking-based consistency
+// assertion (the same object in different frames must have the same
+// label).
+package labels
+
+import (
+	"sort"
+
+	"omg/internal/geometry"
+	"omg/internal/simrand"
+	"omg/internal/video"
+)
+
+// HumanLabel is one labeled box returned by the simulated service.
+type HumanLabel struct {
+	// Frame is the source frame index.
+	Frame int
+	// Box is the annotated box (the paper found no localisation errors,
+	// so geometry is ground truth).
+	Box geometry.Box2D
+	// Class is the class the human assigned.
+	Class string
+	// GTTrack and TrueClass are ground truth, for scoring the validator.
+	GTTrack   int
+	TrueClass string
+}
+
+// ServiceConfig parameterises the simulated labeling service.
+type ServiceConfig struct {
+	Seed int64
+	// ClassErrorRate is the per-box probability of a wrong class label.
+	// The paper observed 32/469 ≈ 6.8%.
+	ClassErrorRate float64
+}
+
+// Label annotates the given frames: every ground-truth object gets a box;
+// classes are wrong at the configured rate.
+func Label(cfg ServiceConfig, frames []video.Frame) []HumanLabel {
+	rate := cfg.ClassErrorRate
+	if rate <= 0 {
+		rate = 0.068
+	}
+	rng := simrand.NewStream(cfg.Seed, "labeling-service")
+	var out []HumanLabel
+	for _, f := range frames {
+		for _, o := range f.Objects {
+			l := HumanLabel{
+				Frame:     f.Index,
+				Box:       o.Box,
+				Class:     o.Class,
+				GTTrack:   o.TrackID,
+				TrueClass: o.Class,
+			}
+			if rng.Bool(rate) {
+				l.Class = wrongClass(rng, o.Class)
+			}
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func wrongClass(rng *simrand.RNG, true_ string) string {
+	var others []string
+	for _, c := range video.Classes {
+		if c != true_ {
+			others = append(others, c)
+		}
+	}
+	return others[rng.Choice(len(others))]
+}
+
+// ValidationResult is the Table 6 output.
+type ValidationResult struct {
+	// AllLabels is the number of boxes returned by the service.
+	AllLabels int
+	// Errors is the number of misclassified boxes.
+	Errors int
+	// ErrorsCaught is how many of them the consistency assertion flagged.
+	ErrorsCaught int
+	// FalseFlags counts correct labels that were flagged (assertion
+	// imprecision on this task).
+	FalseFlags int
+}
+
+// CatchRate returns ErrorsCaught / Errors (0 when there are no errors).
+func (r ValidationResult) CatchRate() float64 {
+	if r.Errors == 0 {
+		return 0
+	}
+	return float64(r.ErrorsCaught) / float64(r.Errors)
+}
+
+// MaxChainGap is how many source-video frames the automated tracking
+// method can bridge between two labeled samples of the same object.
+// Random sampling leaves most consecutive samples of an object farther
+// apart than this, which is why the paper catches only ~12.5% of label
+// errors on 1,000 randomly sampled frames.
+const MaxChainGap = 5
+
+// Validate runs the paper's label-validation assertion: labeled boxes are
+// tracked across frames with an automated method, and a label that
+// disagrees with its track's majority class is flagged. Only objects
+// connected across at least two sampled frames can ever be validated;
+// the tracker can only bridge gaps of up to MaxChainGap frames.
+func Validate(labs []HumanLabel) ValidationResult {
+	res := ValidationResult{AllLabels: len(labs)}
+	for _, l := range labs {
+		if l.Class != l.TrueClass {
+			res.Errors++
+		}
+	}
+
+	// Chain labels of the same underlying object across sampled frames,
+	// breaking the chain when the frame gap exceeds what tracking can
+	// bridge.
+	byObject := make(map[int][]HumanLabel)
+	for _, l := range labs {
+		byObject[l.GTTrack] = append(byObject[l.GTTrack], l)
+	}
+	objects := make([]int, 0, len(byObject))
+	for o := range byObject {
+		objects = append(objects, o)
+	}
+	sort.Ints(objects)
+
+	var chains [][]HumanLabel
+	for _, o := range objects {
+		ls := byObject[o]
+		sort.Slice(ls, func(i, j int) bool { return ls[i].Frame < ls[j].Frame })
+		current := []HumanLabel{ls[0]}
+		for _, l := range ls[1:] {
+			if l.Frame-current[len(current)-1].Frame <= MaxChainGap {
+				current = append(current, l)
+			} else {
+				chains = append(chains, current)
+				current = []HumanLabel{l}
+			}
+		}
+		chains = append(chains, current)
+	}
+
+	// Within each multi-observation chain, flag labels that disagree with
+	// the chain majority (ties break lexicographically — with two
+	// disagreeing observations one is flagged arbitrarily, as a human
+	// reviewer would have to inspect it anyway).
+	for _, chain := range chains {
+		if len(chain) < 2 {
+			continue
+		}
+		counts := make(map[string]int)
+		for _, l := range chain {
+			counts[l.Class]++
+		}
+		if len(counts) < 2 {
+			continue // consistent chain: nothing to flag
+		}
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		maj, majN := "", -1
+		for _, k := range keys {
+			if counts[k] > majN {
+				maj, majN = k, counts[k]
+			}
+		}
+		for _, l := range chain {
+			if l.Class != maj {
+				if l.Class != l.TrueClass {
+					res.ErrorsCaught++
+				} else {
+					res.FalseFlags++
+				}
+			}
+		}
+	}
+	return res
+}
+
+// SampleRandomFrames draws n distinct random frames from a video,
+// returning them in index order (the paper labels 1,000 random frames).
+func SampleRandomFrames(seed int64, frames []video.Frame, n int) []video.Frame {
+	rng := simrand.NewStream(seed, "label-sample")
+	idx := rng.SampleWithoutReplacement(len(frames), n)
+	sort.Ints(idx)
+	out := make([]video.Frame, len(idx))
+	for i, fi := range idx {
+		out[i] = frames[fi]
+	}
+	return out
+}

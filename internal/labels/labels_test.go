@@ -1,0 +1,136 @@
+package labels
+
+import (
+	"testing"
+
+	"omg/internal/geometry"
+	"omg/internal/video"
+)
+
+func TestLabelErrorRate(t *testing.T) {
+	frames := video.Generate(video.Config{Seed: 1, NumFrames: 2000})
+	labs := Label(ServiceConfig{Seed: 2}, frames)
+	if len(labs) == 0 {
+		t.Fatal("no labels")
+	}
+	errs := 0
+	for _, l := range labs {
+		if l.Class != l.TrueClass {
+			errs++
+		}
+	}
+	rate := float64(errs) / float64(len(labs))
+	if rate < 0.03 || rate > 0.12 {
+		t.Fatalf("label error rate = %v, want ~0.068", rate)
+	}
+}
+
+func TestLabelDeterministic(t *testing.T) {
+	frames := video.Generate(video.Config{Seed: 1, NumFrames: 100})
+	a := Label(ServiceConfig{Seed: 2}, frames)
+	b := Label(ServiceConfig{Seed: 2}, frames)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("labeling not deterministic")
+		}
+	}
+}
+
+func mkLabel(frame, track int, class, true_ string) HumanLabel {
+	return HumanLabel{
+		Frame: frame, GTTrack: track, Class: class, TrueClass: true_,
+		Box: geometry.NewBox2D(0, 0, 10, 10),
+	}
+}
+
+func TestValidateCatchesMinorityError(t *testing.T) {
+	labs := []HumanLabel{
+		mkLabel(0, 1, "car", "car"),
+		mkLabel(1, 1, "car", "car"),
+		mkLabel(2, 1, "truck", "car"), // error, minority in a 3-chain
+	}
+	res := Validate(labs)
+	if res.Errors != 1 || res.ErrorsCaught != 1 || res.FalseFlags != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.CatchRate() != 1 {
+		t.Fatalf("catch rate = %v", res.CatchRate())
+	}
+}
+
+func TestValidateMissesIsolatedError(t *testing.T) {
+	// The object appears once: no chain, no validation possible.
+	labs := []HumanLabel{mkLabel(0, 1, "truck", "car")}
+	res := Validate(labs)
+	if res.Errors != 1 || res.ErrorsCaught != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestValidateChainBrokenByGap(t *testing.T) {
+	// Two samples of the same object far apart: tracking cannot bridge
+	// the gap, so the error escapes.
+	labs := []HumanLabel{
+		mkLabel(0, 1, "car", "car"),
+		mkLabel(100, 1, "truck", "car"),
+	}
+	res := Validate(labs)
+	if res.ErrorsCaught != 0 {
+		t.Fatalf("caught across a %d-frame gap: %+v", 100, res)
+	}
+}
+
+func TestValidateConsistentErrorEscapes(t *testing.T) {
+	// The labeler is consistently wrong: consistency cannot catch it.
+	labs := []HumanLabel{
+		mkLabel(0, 1, "truck", "car"),
+		mkLabel(1, 1, "truck", "car"),
+	}
+	res := Validate(labs)
+	if res.Errors != 2 || res.ErrorsCaught != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestValidateNoFalseFlagsOnCleanChains(t *testing.T) {
+	labs := []HumanLabel{
+		mkLabel(0, 1, "car", "car"),
+		mkLabel(1, 1, "car", "car"),
+		mkLabel(0, 2, "bus", "bus"),
+		mkLabel(2, 2, "bus", "bus"),
+	}
+	res := Validate(labs)
+	if res.FalseFlags != 0 || res.ErrorsCaught != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestValidateEndToEndCatchRate(t *testing.T) {
+	// Random sparse sampling: the catch rate should be well below 1 —
+	// the Appendix E phenomenon.
+	frames := video.Generate(video.Config{Seed: 3, NumFrames: 20000})
+	sampled := SampleRandomFrames(4, frames, 700)
+	labs := Label(ServiceConfig{Seed: 5}, sampled)
+	res := Validate(labs)
+	if res.Errors == 0 {
+		t.Fatal("no label errors generated")
+	}
+	cr := res.CatchRate()
+	if cr <= 0 || cr > 0.5 {
+		t.Fatalf("catch rate = %v (%d/%d), want sparse-sampling regime (0, 0.5]",
+			cr, res.ErrorsCaught, res.Errors)
+	}
+}
+
+func TestSampleRandomFrames(t *testing.T) {
+	frames := video.Generate(video.Config{Seed: 1, NumFrames: 500})
+	sampled := SampleRandomFrames(7, frames, 50)
+	if len(sampled) != 50 {
+		t.Fatalf("sampled = %d", len(sampled))
+	}
+	for i := 1; i < len(sampled); i++ {
+		if sampled[i].Index <= sampled[i-1].Index {
+			t.Fatal("samples not in index order / not distinct")
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package lidar
+
+import (
+	"omg/internal/geometry"
+	"omg/internal/simrand"
+)
+
+// Detection3D is one output of the simulated LIDAR detector.
+type Detection3D struct {
+	Box   geometry.Box3D
+	Class string
+	Score float64
+	// GTTrack is simulation provenance (0 for false positives), used only
+	// by tests and experiment accounting.
+	GTTrack int
+}
+
+// DetectorParams configures the simulated LIDAR (Second/PointPillars
+// stand-in) detector. LIDAR failure modes differ from the camera's: range
+// sparsity drives misses, and box extents can be estimated badly (the
+// paper's Figure 8b shows the LIDAR model predicting a truck "too
+// large"), which is what the cross-sensor agree assertion catches from
+// the LIDAR side.
+type DetectorParams struct {
+	// MissNear/MissFar are miss probabilities at ranges 0 and 75 m;
+	// interpolated linearly in between.
+	MissNear, MissFar float64
+	// OversizeRate is the probability a detection's extents are badly
+	// wrong (1.5-2.2x too large).
+	OversizeRate float64
+	// FPRate is the per-frame probability of each of up to 2 hallucinated
+	// boxes.
+	FPRate float64
+	// DriftRate scales centre jitter (metres).
+	DriftRate float64
+}
+
+// DefaultDetectorParams matches a LIDAR model bootstrapped on a few
+// hundred scenes (the paper trains it on 350 NuScenes scenes): decent
+// close-range recall, degrading with distance.
+func DefaultDetectorParams() DetectorParams {
+	return DetectorParams{
+		MissNear:     0.06,
+		MissFar:      0.55,
+		OversizeRate: 0.07,
+		FPRate:       0.05,
+		DriftRate:    0.25,
+	}
+}
+
+// Detector is the simulated LIDAR 3D detector. It is deliberately *not*
+// trainable in the AV experiments — the paper bootstraps the LIDAR model
+// once and improves the camera (SSD) model against it.
+type Detector struct {
+	seed   int64
+	params DetectorParams
+}
+
+// NewDetector builds a LIDAR detector.
+func NewDetector(seed int64, params DetectorParams) *Detector {
+	return &Detector{seed: seed, params: params}
+}
+
+const (
+	evLMiss int64 = iota + 100
+	evLOversize
+	evLFP
+	evLGeom
+	evLConf
+)
+
+// missRate interpolates the miss probability at the given range.
+func (d *Detector) missRate(distance float64) float64 {
+	frac := distance / 75
+	if frac > 1 {
+		frac = 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	return d.params.MissNear + (d.params.MissFar-d.params.MissNear)*frac
+}
+
+// Detect runs the LIDAR detector on one frame.
+func (d *Detector) Detect(f Frame) []Detection3D {
+	var out []Detection3D
+	gi := int64(f.Global)
+	for _, o := range f.Objects {
+		tid := int64(o.TrackID)
+		if simrand.HashUniform(d.seed, evLMiss, tid, gi) < d.missRate(o.Distance) {
+			continue
+		}
+		g := simrand.HashRNG(d.seed, evLGeom, tid, gi)
+		det := Detection3D{
+			Class:   o.Class,
+			GTTrack: o.TrackID,
+			Box:     o.Box,
+		}
+		det.Box.Center.X += g.Gaussian(0, d.params.DriftRate)
+		det.Box.Center.Y += g.Gaussian(0, d.params.DriftRate)
+		det.Box.Yaw += g.Gaussian(0, 0.05)
+		if simrand.HashUniform(d.seed, evLOversize, tid, gi) < d.params.OversizeRate {
+			factor := g.Uniform(1.5, 2.2)
+			det.Box.Length *= factor
+			det.Box.Width *= factor
+		} else {
+			det.Box.Length *= g.Uniform(0.95, 1.05)
+			det.Box.Width *= g.Uniform(0.95, 1.05)
+		}
+		cg := simrand.HashRNG(d.seed, evLConf, tid, gi)
+		det.Score = 0.4 + 0.6*cg.Beta(6, 2)
+		out = append(out, det)
+	}
+	for k := int64(0); k < 2; k++ {
+		if simrand.HashUniform(d.seed, evLFP, gi, k) >= d.params.FPRate {
+			continue
+		}
+		g := simrand.HashRNG(d.seed, evLFP+50, gi, k)
+		out = append(out, Detection3D{
+			Box: geometry.Box3D{
+				Center: geometry.Vec3{X: g.Uniform(-20, 20), Y: g.Uniform(8, 60), Z: 0.8},
+				Length: g.Uniform(3.5, 6), Width: g.Uniform(1.6, 2.4), Height: 1.6,
+				Yaw: g.Uniform(0, 6.28),
+			},
+			Class: "car",
+			Score: 0.3 + 0.5*g.Beta(2, 3),
+		})
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package lidar
+
+import (
+	"testing"
+
+	"omg/internal/geometry"
+)
+
+func world(t *testing.T, scenes int) []Scene {
+	t.Helper()
+	return Generate(Config{Seed: 1, NumScenes: scenes})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 4, NumScenes: 5})
+	b := Generate(Config{Seed: 4, NumScenes: 5})
+	for si := range a {
+		if len(a[si].Frames) != len(b[si].Frames) {
+			t.Fatal("frame counts differ")
+		}
+		for fi := range a[si].Frames {
+			if len(a[si].Frames[fi].Objects) != len(b[si].Frames[fi].Objects) {
+				t.Fatalf("scene %d frame %d differs", si, fi)
+			}
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	scenes := world(t, 10)
+	if len(scenes) != 10 {
+		t.Fatalf("scenes = %d", len(scenes))
+	}
+	global := 0
+	for si, s := range scenes {
+		if s.Index != si {
+			t.Fatalf("scene index %d != %d", s.Index, si)
+		}
+		if len(s.Frames) != 40 {
+			t.Fatalf("frames per scene = %d", len(s.Frames))
+		}
+		for fi, f := range s.Frames {
+			if f.Scene != si || f.Index != fi || f.Global != global {
+				t.Fatalf("frame metadata wrong: %+v", f)
+			}
+			if f.Time != float64(global)*0.5 {
+				t.Fatalf("2Hz time wrong: %v", f.Time)
+			}
+			global++
+			for _, o := range f.Objects {
+				if o.Box.Volume() <= 0 {
+					t.Fatalf("degenerate 3D box: %v", o.Box)
+				}
+				if o.Distance <= 0 {
+					t.Fatalf("distance = %v", o.Distance)
+				}
+				if o.TrackID < 1 {
+					t.Fatal("bad track id")
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateHasObjects(t *testing.T) {
+	scenes := world(t, 20)
+	total := 0
+	for _, s := range scenes {
+		for _, f := range s.Frames {
+			total += len(f.Objects)
+		}
+	}
+	if total < 20*40 { // at least ~1 object per frame on average
+		t.Fatalf("world too empty: %d object-frames", total)
+	}
+}
+
+func TestProjectFrame(t *testing.T) {
+	cam := geometry.DefaultCamera()
+	scenes := world(t, 10)
+	projected, visible := 0, 0
+	for _, s := range scenes {
+		for _, f := range s.Frames {
+			vf, vis := ProjectFrame(cam, f)
+			if vf.Index != f.Global || vf.Time != f.Time {
+				t.Fatalf("projected frame metadata: %+v", vf)
+			}
+			if len(vf.Objects) != len(vis) {
+				t.Fatal("visible list mismatched")
+			}
+			projected += len(vf.Objects)
+			visible += len(f.Objects)
+			for _, o := range vf.Objects {
+				if !cam.ImageBounds().ContainsBox(o.Box) {
+					t.Fatalf("projected box outside image: %v", o.Box)
+				}
+			}
+		}
+	}
+	if projected == 0 {
+		t.Fatal("nothing projected into the camera")
+	}
+	if projected >= visible {
+		t.Fatal("camera frustum culled nothing; expected partial visibility")
+	}
+}
+
+func TestProjectFrameFarIsSmall(t *testing.T) {
+	cam := geometry.DefaultCamera()
+	f := Frame{Global: 0, Objects: []Object3D{
+		{TrackID: 1, Class: "car", Distance: 60,
+			Box: geometry.Box3D{Center: geometry.Vec3{X: 0, Y: 60, Z: 0.8}, Length: 4.5, Width: 1.9, Height: 1.6}},
+		{TrackID: 2, Class: "car", Distance: 8,
+			Box: geometry.Box3D{Center: geometry.Vec3{X: 3, Y: 8, Z: 0.8}, Length: 4.5, Width: 1.9, Height: 1.6}},
+	}}
+	vf, _ := ProjectFrame(cam, f)
+	if len(vf.Objects) != 2 {
+		t.Fatalf("projected %d objects", len(vf.Objects))
+	}
+	for _, o := range vf.Objects {
+		if o.TrackID == 1 && !o.Small {
+			t.Fatal("far object not marked small")
+		}
+		if o.TrackID == 2 && o.Small {
+			t.Fatal("near object marked small")
+		}
+	}
+}
+
+func TestDetectorDeterministic(t *testing.T) {
+	scenes := world(t, 3)
+	d1 := NewDetector(7, DefaultDetectorParams())
+	d2 := NewDetector(7, DefaultDetectorParams())
+	for _, s := range scenes {
+		for _, f := range s.Frames {
+			a, b := d1.Detect(f), d2.Detect(f)
+			if len(a) != len(b) {
+				t.Fatal("nondeterministic detection count")
+			}
+		}
+	}
+}
+
+func TestDetectorMissesMoreAtRange(t *testing.T) {
+	d := NewDetector(7, DefaultDetectorParams())
+	if d.missRate(5) >= d.missRate(70) {
+		t.Fatal("miss rate not increasing with range")
+	}
+	if d.missRate(1000) != DefaultDetectorParams().MissFar {
+		t.Fatal("miss rate not clamped at far range")
+	}
+}
+
+func TestDetectorRecallAndErrors(t *testing.T) {
+	scenes := world(t, 20)
+	d := NewDetector(7, DefaultDetectorParams())
+	gt, detected, oversized, fps := 0, 0, 0, 0
+	for _, s := range scenes {
+		for _, f := range s.Frames {
+			gt += len(f.Objects)
+			byTrack := make(map[int]bool)
+			for _, o := range f.Objects {
+				byTrack[o.TrackID] = true
+			}
+			gtVol := make(map[int]float64)
+			for _, o := range f.Objects {
+				gtVol[o.TrackID] = o.Box.Volume()
+			}
+			for _, det := range d.Detect(f) {
+				if det.GTTrack == 0 {
+					fps++
+					continue
+				}
+				detected++
+				if det.Box.Volume() > gtVol[det.GTTrack]*1.8 {
+					oversized++
+				}
+				if det.Score < 0.3 || det.Score > 1 {
+					t.Fatalf("score out of range: %v", det.Score)
+				}
+			}
+		}
+	}
+	recall := float64(detected) / float64(gt)
+	if recall < 0.5 || recall > 0.95 {
+		t.Fatalf("recall = %v, outside plausible band", recall)
+	}
+	if oversized == 0 {
+		t.Fatal("no oversize errors generated")
+	}
+	if fps == 0 {
+		t.Fatal("no false positives generated")
+	}
+}

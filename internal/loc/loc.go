@@ -1,0 +1,150 @@
+// Package loc counts lines of code of assertion implementations using
+// go/parser, reproducing the paper's Table 2 methodology: for each
+// deployed assertion, the LOC of the assertion's main body (for
+// consistency assertions: the identifier and attribute functions plus
+// registration) and the LOC including shared helper functions, double
+// counting helpers shared between assertions.
+package loc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+)
+
+// FuncLOC is the measured size of one function.
+type FuncLOC struct {
+	Name  string
+	File  string
+	Lines int
+}
+
+// CountFuncs parses every .go file in dir (non-recursive, tests excluded)
+// and returns the line counts of the requested functions. Function names
+// may be plain ("Multibox") or method-qualified ("Domain.Assess").
+func CountFuncs(dir string, names []string) (map[string]FuncLOC, error) {
+	wanted := make(map[string]bool, len(names))
+	for _, n := range names {
+		wanted[n] = true
+	}
+	out := make(map[string]FuncLOC)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loc: %w", err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		if len(e.Name()) > 8 && e.Name()[len(e.Name())-8:] == "_test.go" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("loc: parse %s: %w", path, err)
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			name := fn.Name.Name
+			if fn.Recv != nil && len(fn.Recv.List) == 1 {
+				name = recvTypeName(fn.Recv.List[0].Type) + "." + name
+			}
+			if !wanted[name] {
+				continue
+			}
+			start := fset.Position(fn.Pos()).Line
+			end := fset.Position(fn.End()).Line
+			out[name] = FuncLOC{Name: name, File: e.Name(), Lines: end - start + 1}
+		}
+	}
+	return out, nil
+}
+
+// recvTypeName extracts the receiver's base type name.
+func recvTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	default:
+		return ""
+	}
+}
+
+// Entry describes one assertion's implementation for the Table 2 report:
+// the functions constituting its main body and its helpers.
+type Entry struct {
+	Assertion string
+	// Dir is the package directory holding Body functions.
+	Dir  string
+	Body []string
+	// Helpers lists (dir, function) pairs of shared helpers the assertion
+	// uses; helpers are double counted across assertions, as in the
+	// paper.
+	Helpers []Helper
+	// Consistency marks assertions written via the §4 consistency API.
+	Consistency bool
+}
+
+// Helper is one shared helper function reference.
+type Helper struct {
+	Dir  string
+	Name string
+}
+
+// Row is one measured Table 2 row.
+type Row struct {
+	Assertion   string
+	Consistency bool
+	// BodyLOC is the assertion body only ("LOC (no helpers)").
+	BodyLOC int
+	// TotalLOC includes helper functions ("LOC (inc. helpers)").
+	TotalLOC int
+}
+
+// Measure computes Table 2 rows for the given entries.
+func Measure(entries []Entry) ([]Row, error) {
+	rows := make([]Row, 0, len(entries))
+	for _, e := range entries {
+		body, err := CountFuncs(e.Dir, e.Body)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Assertion: e.Assertion, Consistency: e.Consistency}
+		for _, name := range e.Body {
+			f, ok := body[name]
+			if !ok {
+				return nil, fmt.Errorf("loc: function %q not found in %s", name, e.Dir)
+			}
+			row.BodyLOC += f.Lines
+		}
+		row.TotalLOC = row.BodyLOC
+		for _, h := range e.Helpers {
+			hs, err := CountFuncs(h.Dir, []string{h.Name})
+			if err != nil {
+				return nil, err
+			}
+			f, ok := hs[h.Name]
+			if !ok {
+				return nil, fmt.Errorf("loc: helper %q not found in %s", h.Name, h.Dir)
+			}
+			row.TotalLOC += f.Lines
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,129 @@
+package loc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountFuncs(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", `package a
+
+func Small() int {
+	return 1
+}
+
+func Bigger(x int) int {
+	if x > 0 {
+		return x
+	}
+	return -x
+}
+
+type T struct{}
+
+func (t *T) Method() string {
+	return "m"
+}
+`)
+	got, err := CountFuncs(dir, []string{"Small", "Bigger", "T.Method", "Missing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["Small"].Lines != 3 {
+		t.Fatalf("Small = %d lines", got["Small"].Lines)
+	}
+	if got["Bigger"].Lines != 6 {
+		t.Fatalf("Bigger = %d lines", got["Bigger"].Lines)
+	}
+	if got["T.Method"].Lines != 3 {
+		t.Fatalf("T.Method = %d lines", got["T.Method"].Lines)
+	}
+	if _, ok := got["Missing"]; ok {
+		t.Fatal("Missing should be absent")
+	}
+}
+
+func TestCountFuncsSkipsTests(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a_test.go", `package a
+
+func InTest() {}
+`)
+	got, err := CountFuncs(dir, []string{"InTest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("test file not skipped: %v", got)
+	}
+}
+
+func TestCountFuncsBadDir(t *testing.T) {
+	if _, err := CountFuncs("/nonexistent-dir-xyz", []string{"A"}); err == nil {
+		t.Fatal("missing dir should error")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", `package a
+
+func Body() int {
+	return 1
+}
+
+func Helper() int {
+	return 2
+}
+`)
+	rows, err := Measure([]Entry{{
+		Assertion: "x", Dir: dir,
+		Body:    []string{"Body"},
+		Helpers: []Helper{{Dir: dir, Name: "Helper"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].BodyLOC != 3 || rows[0].TotalLOC != 6 {
+		t.Fatalf("row = %+v", rows[0])
+	}
+}
+
+func TestMeasureMissingFunction(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", "package a\n")
+	if _, err := Measure([]Entry{{Assertion: "x", Dir: dir, Body: []string{"Nope"}}}); err == nil {
+		t.Fatal("missing body function should error")
+	}
+}
+
+func TestGenericReceiver(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "g.go", `package g
+
+type G[T any] struct{ v T }
+
+func (g *G[T]) Get() T {
+	return g.v
+}
+`)
+	got, err := CountFuncs(dir, []string{"G.Get"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["G.Get"].Lines != 3 {
+		t.Fatalf("G.Get = %+v", got["G.Get"])
+	}
+}

@@ -1,0 +1,208 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionMatrixBasics(t *testing.T) {
+	m := NewConfusionMatrix()
+	m.Add("A", "A")
+	m.Add("A", "B")
+	m.Add("B", "B")
+	m.Add("B", "B")
+
+	if m.Total() != 4 {
+		t.Fatalf("Total = %d", m.Total())
+	}
+	if m.Correct() != 3 {
+		t.Fatalf("Correct = %d", m.Correct())
+	}
+	if acc := m.Accuracy(); math.Abs(acc-0.75) > 1e-12 {
+		t.Fatalf("Accuracy = %v", acc)
+	}
+	if got := m.Count("A", "B"); got != 1 {
+		t.Fatalf("Count(A,B) = %d", got)
+	}
+	if got := m.Count("B", "A"); got != 0 {
+		t.Fatalf("Count(B,A) = %d", got)
+	}
+}
+
+func TestConfusionMatrixEmptyAccuracy(t *testing.T) {
+	if acc := NewConfusionMatrix().Accuracy(); acc != 0 {
+		t.Fatalf("empty accuracy = %v", acc)
+	}
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	m := NewConfusionMatrix()
+	// A: 3 true, 2 correctly predicted; B predicted as A once.
+	m.Add("A", "A")
+	m.Add("A", "A")
+	m.Add("A", "B")
+	m.Add("B", "A")
+	m.Add("B", "B")
+
+	if p := m.Precision("A"); math.Abs(p-2.0/3.0) > 1e-12 {
+		t.Fatalf("Precision(A) = %v", p)
+	}
+	if r := m.Recall("A"); math.Abs(r-2.0/3.0) > 1e-12 {
+		t.Fatalf("Recall(A) = %v", r)
+	}
+	if f := m.F1("A"); math.Abs(f-2.0/3.0) > 1e-12 {
+		t.Fatalf("F1(A) = %v", f)
+	}
+}
+
+func TestPrecisionRecallDegenerate(t *testing.T) {
+	m := NewConfusionMatrix()
+	m.Add("A", "A")
+	if p := m.Precision("never-predicted"); p != 0 {
+		t.Fatalf("Precision of unseen class = %v", p)
+	}
+	if r := m.Recall("never-true"); r != 0 {
+		t.Fatalf("Recall of unseen class = %v", r)
+	}
+	if f := m.F1("never"); f != 0 {
+		t.Fatalf("F1 of unseen class = %v", f)
+	}
+}
+
+func TestMacroF1(t *testing.T) {
+	m := NewConfusionMatrix()
+	m.Add("A", "A") // A perfect
+	m.Add("B", "C") // B all wrong
+	m.Add("C", "C") // C recall 1, precision 1/2
+	got := m.MacroF1()
+	f1C := 2 * (0.5 * 1) / (0.5 + 1)
+	want := (1 + 0 + f1C) / 3
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MacroF1 = %v, want %v", got, want)
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	m := NewConfusionMatrix()
+	m.Add("AF", "N")
+	s := m.String()
+	if !strings.Contains(s, "AF") || !strings.Contains(s, "N") {
+		t.Fatalf("String missing classes: %q", s)
+	}
+}
+
+func TestAccuracyHelper(t *testing.T) {
+	got := Accuracy([]string{"a", "b", "c"}, []string{"a", "x", "c"})
+	if math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestAccuracyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	Accuracy([]string{"a"}, nil)
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	_ = Percentile(vals, 50)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Fatalf("input mutated: %v", vals)
+	}
+}
+
+func TestPercentileRank(t *testing.T) {
+	vals := []float64{1, 2, 3, 4}
+	if got := PercentileRank(vals, 3); math.Abs(got-50) > 1e-12 {
+		t.Fatalf("PercentileRank(3) = %v", got)
+	}
+	if got := PercentileRank(vals, 0); got != 0 {
+		t.Fatalf("PercentileRank(min) = %v", got)
+	}
+	if got := PercentileRank(vals, 10); got != 100 {
+		t.Fatalf("PercentileRank(above max) = %v", got)
+	}
+	if got := PercentileRank(nil, 1); got != 0 {
+		t.Fatalf("PercentileRank(empty) = %v", got)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if m := Mean([]float64{2, 4, 6}); math.Abs(m-4) > 1e-12 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v", m)
+	}
+	if s := StdDev([]float64{5}); s != 0 {
+		t.Fatalf("StdDev(single) = %v", s)
+	}
+	s := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(s-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", s)
+	}
+}
+
+func TestQuickAccuracyBounded(t *testing.T) {
+	f := func(xs []bool) bool {
+		truth := make([]string, len(xs))
+		pred := make([]string, len(xs))
+		for i, x := range xs {
+			truth[i] = "t"
+			if x {
+				pred[i] = "t"
+			} else {
+				pred[i] = "f"
+			}
+		}
+		a := Accuracy(truth, pred)
+		return a >= 0 && a <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(raw []float64, p8 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			vals = append(vals, v)
+		}
+		p := float64(p8) / 255 * 100
+		got := Percentile(vals, p)
+		lo := Percentile(vals, 0)
+		hi := Percentile(vals, 100)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"omg/internal/geometry"
+)
+
+func box(x, y, w, h float64) geometry.Box2D {
+	return geometry.NewBox2D(x, y, x+w, y+h)
+}
+
+func TestAPPerfectDetections(t *testing.T) {
+	e := NewEvaluator()
+	gts := []GT{
+		{Frame: 0, Class: "car", Box: box(0, 0, 10, 10)},
+		{Frame: 1, Class: "car", Box: box(20, 20, 10, 10)},
+	}
+	dets := []Det{
+		{Frame: 0, Class: "car", Box: box(0, 0, 10, 10), Score: 0.9},
+		{Frame: 1, Class: "car", Box: box(20, 20, 10, 10), Score: 0.8},
+	}
+	res := e.AP("car", dets, gts)
+	if math.Abs(res.AP-1) > 1e-9 {
+		t.Fatalf("perfect AP = %v, want 1", res.AP)
+	}
+	if res.NumTP != 2 || res.NumFP != 0 {
+		t.Fatalf("TP/FP = %d/%d", res.NumTP, res.NumFP)
+	}
+}
+
+func TestAPNoDetections(t *testing.T) {
+	e := NewEvaluator()
+	gts := []GT{{Frame: 0, Class: "car", Box: box(0, 0, 10, 10)}}
+	res := e.AP("car", nil, gts)
+	if res.AP != 0 {
+		t.Fatalf("AP with no detections = %v", res.AP)
+	}
+}
+
+func TestAPNoGroundTruthNoDetections(t *testing.T) {
+	e := NewEvaluator()
+	res := e.AP("car", nil, nil)
+	if res.AP != 1 {
+		t.Fatalf("vacuous AP = %v, want 1", res.AP)
+	}
+}
+
+func TestAPNoGroundTruthWithDetections(t *testing.T) {
+	e := NewEvaluator()
+	dets := []Det{{Frame: 0, Class: "car", Box: box(0, 0, 10, 10), Score: 0.9}}
+	res := e.AP("car", dets, nil)
+	if res.AP != 0 {
+		t.Fatalf("hallucinated-class AP = %v, want 0", res.AP)
+	}
+}
+
+func TestAPAllFalsePositives(t *testing.T) {
+	e := NewEvaluator()
+	gts := []GT{{Frame: 0, Class: "car", Box: box(0, 0, 10, 10)}}
+	dets := []Det{{Frame: 0, Class: "car", Box: box(100, 100, 10, 10), Score: 0.9}}
+	res := e.AP("car", dets, gts)
+	if res.AP != 0 || res.NumFP != 1 {
+		t.Fatalf("AP = %v, FP = %d", res.AP, res.NumFP)
+	}
+}
+
+func TestAPDuplicateDetectionsPenalized(t *testing.T) {
+	e := NewEvaluator()
+	gts := []GT{{Frame: 0, Class: "car", Box: box(0, 0, 10, 10)}}
+	dets := []Det{
+		{Frame: 0, Class: "car", Box: box(0, 0, 10, 10), Score: 0.9},
+		{Frame: 0, Class: "car", Box: box(0.2, 0.2, 10, 10), Score: 0.8},
+	}
+	res := e.AP("car", dets, gts)
+	if res.NumTP != 1 || res.NumFP != 1 {
+		t.Fatalf("duplicate should be FP: TP=%d FP=%d", res.NumTP, res.NumFP)
+	}
+	if res.AP != 1 {
+		// TP comes first by score: precision at recall 1 is 1; the later FP
+		// does not reduce interpolated AP.
+		t.Fatalf("AP = %v, want 1 (FP ranked after TP)", res.AP)
+	}
+}
+
+func TestAPLowScoredTPStillCounts(t *testing.T) {
+	e := NewEvaluator()
+	gts := []GT{
+		{Frame: 0, Class: "car", Box: box(0, 0, 10, 10)},
+		{Frame: 0, Class: "car", Box: box(50, 50, 10, 10)},
+	}
+	dets := []Det{
+		{Frame: 0, Class: "car", Box: box(200, 0, 10, 10), Score: 0.95}, // FP first
+		{Frame: 0, Class: "car", Box: box(0, 0, 10, 10), Score: 0.9},
+		{Frame: 0, Class: "car", Box: box(50, 50, 10, 10), Score: 0.3},
+	}
+	res := e.AP("car", dets, gts)
+	// Curve: FP (p=0,r=0), TP (p=1/2, r=1/2), TP (p=2/3, r=1). The
+	// all-point interpolation envelope lifts precision at recall 1/2 to
+	// max(1/2, 2/3) = 2/3, so AP = 2/3.
+	want := 2.0 / 3.0
+	if math.Abs(res.AP-want) > 1e-9 {
+		t.Fatalf("AP = %v, want %v", res.AP, want)
+	}
+}
+
+func TestAPRespectsFrames(t *testing.T) {
+	e := NewEvaluator()
+	// Same box coordinates but in a different frame must not match.
+	gts := []GT{{Frame: 0, Class: "car", Box: box(0, 0, 10, 10)}}
+	dets := []Det{{Frame: 1, Class: "car", Box: box(0, 0, 10, 10), Score: 0.9}}
+	res := e.AP("car", dets, gts)
+	if res.NumTP != 0 {
+		t.Fatal("cross-frame match should not happen")
+	}
+}
+
+func TestAPIgnoresOtherClasses(t *testing.T) {
+	e := NewEvaluator()
+	gts := []GT{{Frame: 0, Class: "car", Box: box(0, 0, 10, 10)}}
+	dets := []Det{
+		{Frame: 0, Class: "truck", Box: box(0, 0, 10, 10), Score: 0.9},
+		{Frame: 0, Class: "car", Box: box(0, 0, 10, 10), Score: 0.5},
+	}
+	res := e.AP("car", dets, gts)
+	if res.NumDet != 1 || res.NumTP != 1 || math.Abs(res.AP-1) > 1e-9 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestAPDifficultGTIgnored(t *testing.T) {
+	e := NewEvaluator()
+	gts := []GT{
+		{Frame: 0, Class: "car", Box: box(0, 0, 10, 10), Difficult: true},
+		{Frame: 0, Class: "car", Box: box(50, 0, 10, 10)},
+	}
+	dets := []Det{
+		{Frame: 0, Class: "car", Box: box(0, 0, 10, 10), Score: 0.9},  // matches difficult -> ignored
+		{Frame: 0, Class: "car", Box: box(50, 0, 10, 10), Score: 0.8}, // TP
+	}
+	res := e.AP("car", dets, gts)
+	if res.NumGT != 1 {
+		t.Fatalf("difficult GT counted: NumGT = %d", res.NumGT)
+	}
+	if math.Abs(res.AP-1) > 1e-9 {
+		t.Fatalf("AP = %v, want 1", res.AP)
+	}
+}
+
+func TestAPIoUThreshold(t *testing.T) {
+	gts := []GT{{Frame: 0, Class: "car", Box: box(0, 0, 10, 10)}}
+	// IoU of these boxes is (5*10)/(150) = 1/3.
+	dets := []Det{{Frame: 0, Class: "car", Box: box(5, 0, 10, 10), Score: 0.9}}
+	strict := &Evaluator{IoUThreshold: 0.5}
+	if res := strict.AP("car", dets, gts); res.NumTP != 0 {
+		t.Fatal("IoU 1/3 should not match at threshold 0.5")
+	}
+	loose := &Evaluator{IoUThreshold: 0.3}
+	if res := loose.AP("car", dets, gts); res.NumTP != 1 {
+		t.Fatal("IoU 1/3 should match at threshold 0.3")
+	}
+}
+
+func TestMAPAveragesClasses(t *testing.T) {
+	e := NewEvaluator()
+	gts := []GT{
+		{Frame: 0, Class: "car", Box: box(0, 0, 10, 10)},
+		{Frame: 0, Class: "truck", Box: box(50, 0, 10, 10)},
+	}
+	dets := []Det{
+		// Perfect for car, nothing for truck.
+		{Frame: 0, Class: "car", Box: box(0, 0, 10, 10), Score: 0.9},
+	}
+	res := e.MAP(dets, gts)
+	if math.Abs(res.MAP-0.5) > 1e-9 {
+		t.Fatalf("mAP = %v, want 0.5", res.MAP)
+	}
+	if len(res.PerClass) != 2 {
+		t.Fatalf("per-class count = %d", len(res.PerClass))
+	}
+}
+
+func TestMAPEmpty(t *testing.T) {
+	e := NewEvaluator()
+	res := e.MAP(nil, nil)
+	if res.MAP != 0 || len(res.PerClass) != 0 {
+		t.Fatalf("empty mAP = %+v", res)
+	}
+}
+
+func TestMAPDetectionOnlyClassDragsDown(t *testing.T) {
+	e := NewEvaluator()
+	gts := []GT{{Frame: 0, Class: "car", Box: box(0, 0, 10, 10)}}
+	dets := []Det{
+		{Frame: 0, Class: "car", Box: box(0, 0, 10, 10), Score: 0.9},
+		{Frame: 0, Class: "ghost", Box: box(30, 30, 5, 5), Score: 0.9},
+	}
+	res := e.MAP(dets, gts)
+	if math.Abs(res.MAP-0.5) > 1e-9 {
+		t.Fatalf("mAP = %v, want 0.5 (ghost class AP 0)", res.MAP)
+	}
+}
+
+func TestMAPMonotoneInQuality(t *testing.T) {
+	// Degrading detections (removing a TP) must not increase mAP: a basic
+	// sanity property the active-learning experiments rely on.
+	e := NewEvaluator()
+	gts := []GT{
+		{Frame: 0, Class: "car", Box: box(0, 0, 10, 10)},
+		{Frame: 1, Class: "car", Box: box(0, 0, 10, 10)},
+	}
+	full := []Det{
+		{Frame: 0, Class: "car", Box: box(0, 0, 10, 10), Score: 0.9},
+		{Frame: 1, Class: "car", Box: box(0, 0, 10, 10), Score: 0.9},
+	}
+	partial := full[:1]
+	if e.MAP(full, gts).MAP < e.MAP(partial, gts).MAP {
+		t.Fatal("removing a TP increased mAP")
+	}
+}

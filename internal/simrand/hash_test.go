@@ -1,0 +1,123 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashUniformDeterministic(t *testing.T) {
+	a := HashUniform(42, 1, 2, 3)
+	b := HashUniform(42, 1, 2, 3)
+	if a != b {
+		t.Fatalf("not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestHashUniformDistinct(t *testing.T) {
+	if HashUniform(42, 1, 2) == HashUniform(42, 2, 1) {
+		t.Fatal("part order ignored")
+	}
+	if HashUniform(42, 1) == HashUniform(43, 1) {
+		t.Fatal("seed ignored")
+	}
+}
+
+func TestHashUniformRange(t *testing.T) {
+	for i := int64(0); i < 10000; i++ {
+		u := HashUniform(7, i)
+		if u < 0 || u >= 1 {
+			t.Fatalf("HashUniform out of range: %v", u)
+		}
+	}
+}
+
+func TestHashUniformApproximatelyUniform(t *testing.T) {
+	const n = 50000
+	buckets := make([]int, 10)
+	for i := int64(0); i < n; i++ {
+		buckets[int(HashUniform(13, i)*10)]++
+	}
+	for i, c := range buckets {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Fatalf("bucket %d frequency %v, want ~0.1", i, frac)
+		}
+	}
+}
+
+func TestHashRNGDeterministic(t *testing.T) {
+	a := HashRNG(5, 8, 9).Float64()
+	b := HashRNG(5, 8, 9).Float64()
+	if a != b {
+		t.Fatalf("HashRNG not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestHashGaussianMoments(t *testing.T) {
+	const n = 50000
+	sum, sumsq := 0.0, 0.0
+	for i := int64(0); i < n; i++ {
+		v := HashGaussian(3, i)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("gaussian mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("gaussian variance = %v", variance)
+	}
+}
+
+func TestInvNormCDFKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.8413, 0.99982}, // ~1 sigma
+	}
+	for _, c := range cases {
+		if got := invNormCDF(c.p); math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("invNormCDF(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestQuickInvNormCDFMonotone(t *testing.T) {
+	f := func(a8, b8 uint16) bool {
+		pa := 0.001 + 0.998*float64(a8)/65535
+		pb := 0.001 + 0.998*float64(b8)/65535
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return invNormCDF(pa) <= invNormCDF(pb)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The monotone-error property: if an event is not realised at rate r, it is
+// also not realised at any lower rate.
+func TestQuickHashUniformMonotoneRealization(t *testing.T) {
+	f := func(ev int64, r1, r2 float64) bool {
+		lo, hi := math.Abs(math.Mod(r1, 1)), math.Abs(math.Mod(r2, 1))
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			return true
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		u := HashUniform(11, ev)
+		realizedLo := u < lo
+		realizedHi := u < hi
+		// realized at lower rate implies realized at higher rate
+		return !realizedLo || realizedHi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,263 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(42, "detector")
+	b := DeriveSeed(42, "detector")
+	if a != b {
+		t.Fatalf("DeriveSeed not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestDeriveSeedDistinctLabels(t *testing.T) {
+	labels := []string{"a", "b", "detector", "scene", "labeler", "bandit", ""}
+	seen := make(map[int64]string)
+	for _, l := range labels {
+		s := DeriveSeed(7, l)
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("labels %q and %q collide on seed %d", prev, l, s)
+		}
+		seen[s] = l
+	}
+}
+
+func TestDeriveSeedDistinctSeeds(t *testing.T) {
+	if DeriveSeed(1, "x") == DeriveSeed(2, "x") {
+		t.Fatal("different parent seeds produced the same child seed")
+	}
+}
+
+func TestStreamsIndependentOfDrawOrder(t *testing.T) {
+	// The defining property: deriving stream B is unaffected by how many
+	// draws were made from stream A.
+	a1 := NewStream(99, "a")
+	b1 := NewStream(99, "b")
+	_ = a1.Float64()
+	_ = a1.Float64()
+	first := b1.Float64()
+
+	b2 := NewStream(99, "b")
+	if got := b2.Float64(); got != first {
+		t.Fatalf("stream b not independent: %v vs %v", got, first)
+	}
+}
+
+func TestBoolEdgeCases(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+		if r.Bool(-0.5) {
+			t.Fatal("Bool(negative) returned true")
+		}
+		if !r.Bool(1.5) {
+			t.Fatal("Bool(>1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	r := New(2)
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	freq := float64(hits) / n
+	if math.Abs(freq-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) frequency = %v, want ~0.3", freq)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Uniform(-2,5) out of range: %v", v)
+		}
+	}
+}
+
+func TestClampedGaussianBounds(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 1000; i++ {
+		v := r.ClampedGaussian(0, 10, -1, 1)
+		if v < -1 || v > 1 {
+			t.Fatalf("ClampedGaussian out of bounds: %v", v)
+		}
+	}
+}
+
+func TestBetaBoundsAndMean(t *testing.T) {
+	r := New(5)
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Beta(8, 2)
+		if v < 0 || v > 1 {
+			t.Fatalf("Beta sample out of [0,1]: %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.8) > 0.02 {
+		t.Fatalf("Beta(8,2) mean = %v, want ~0.8", mean)
+	}
+}
+
+func TestBetaSmallShapes(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 1000; i++ {
+		v := r.Beta(0.5, 0.5)
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("Beta(0.5,0.5) invalid sample: %v", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(7)
+	const n = 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(3)
+	}
+	mean := sum / n
+	if math.Abs(mean-3) > 0.1 {
+		t.Fatalf("Exponential(3) mean = %v", mean)
+	}
+}
+
+func TestIntBetweenInclusive(t *testing.T) {
+	r := New(8)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.IntBetween(2, 4)
+		if v < 2 || v > 4 {
+			t.Fatalf("IntBetween(2,4) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 2; v <= 4; v++ {
+		if !seen[v] {
+			t.Fatalf("IntBetween never produced %d", v)
+		}
+	}
+}
+
+func TestIntBetweenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntBetween(5,2) did not panic")
+		}
+	}()
+	New(9).IntBetween(5, 2)
+}
+
+func TestWeightedChoiceDistribution(t *testing.T) {
+	r := New(10)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.WeightedChoice(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index selected %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Fatalf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestWeightedChoiceAllZero(t *testing.T) {
+	r := New(11)
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		counts[r.WeightedChoice([]float64{0, 0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("uniform fallback never selected index %d", i)
+		}
+	}
+}
+
+func TestWeightedChoiceNegativeTreatedAsZero(t *testing.T) {
+	r := New(12)
+	for i := 0; i < 1000; i++ {
+		if r.WeightedChoice([]float64{-5, 1}) == 0 {
+			t.Fatal("negative-weight index selected")
+		}
+	}
+}
+
+func TestWeightedChoicePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WeightedChoice(nil) did not panic")
+		}
+	}()
+	New(13).WeightedChoice(nil)
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(14)
+	got := r.SampleWithoutReplacement(10, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	seen := make(map[int]bool)
+	for _, v := range got {
+		if v < 0 || v >= 10 {
+			t.Fatalf("index out of range: %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate index %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacementOversized(t *testing.T) {
+	r := New(15)
+	got := r.SampleWithoutReplacement(3, 10)
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+}
+
+func TestQuickDeriveSeedStable(t *testing.T) {
+	f := func(seed int64, label string) bool {
+		return DeriveSeed(seed, label) == DeriveSeed(seed, label)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBetaInUnitInterval(t *testing.T) {
+	r := New(16)
+	f := func(a8, b8 uint8) bool {
+		a := 0.1 + float64(a8%50)/10
+		b := 0.1 + float64(b8%50)/10
+		v := r.Beta(a, b)
+		return v >= 0 && v <= 1 && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

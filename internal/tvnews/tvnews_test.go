@@ -1,0 +1,136 @@
+package tvnews
+
+import (
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 1, Hours: 0.2})
+	b := Generate(Config{Seed: 1, Hours: 0.2})
+	if len(a.Detections) != len(b.Detections) {
+		t.Fatal("detection counts differ")
+	}
+	for i := range a.Detections {
+		if a.Detections[i] != b.Detections[i] {
+			t.Fatalf("detection %d differs", i)
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	arch := Generate(Config{Seed: 2, Hours: 0.5})
+	if arch.NumFrames != 600 { // 0.5h * 3600 / 3s
+		t.Fatalf("NumFrames = %d", arch.NumFrames)
+	}
+	if arch.NumScenes < 50 {
+		t.Fatalf("NumScenes = %d, scenes too long", arch.NumScenes)
+	}
+	if len(arch.Cast) != 24 {
+		t.Fatalf("cast = %d", len(arch.Cast))
+	}
+	lastFrame := -1
+	for _, d := range arch.Detections {
+		if d.Frame < lastFrame {
+			t.Fatal("detections not ordered by frame")
+		}
+		lastFrame = d.Frame
+		if d.Time != float64(d.Frame)*3 {
+			t.Fatalf("3s sampling violated: %+v", d)
+		}
+		if d.Slot != 0 && d.Slot != 1 {
+			t.Fatalf("slot = %d", d.Slot)
+		}
+		if d.Box.Area() <= 0 {
+			t.Fatal("degenerate face box")
+		}
+	}
+}
+
+func TestGenerateErrorRatesCalibrated(t *testing.T) {
+	arch := Generate(Config{Seed: 3, Hours: 4})
+	var idErr, genderErr, hairErr int
+	for _, d := range arch.Detections {
+		if d.Identity != d.TrueIdentity {
+			idErr++
+		}
+		if d.Gender != d.TrueGender {
+			genderErr++
+		}
+		if d.Hair != d.TrueHair {
+			hairErr++
+		}
+	}
+	n := float64(len(arch.Detections))
+	if n == 0 {
+		t.Fatal("no detections")
+	}
+	check := func(name string, count int, want float64) {
+		rate := float64(count) / n
+		if rate < want*0.5 || rate > want*2 {
+			t.Fatalf("%s error rate = %v, want ~%v", name, rate, want)
+		}
+	}
+	check("identity", idErr, 0.02)
+	check("gender", genderErr, 0.015)
+	check("hair", hairErr, 0.03)
+}
+
+func TestSceneConsistentGroundTruth(t *testing.T) {
+	arch := Generate(Config{Seed: 4, Hours: 1})
+	// Within a scene+slot, the true person never changes.
+	truth := make(map[string]string)
+	for _, d := range arch.Detections {
+		id := d.ID()
+		if prev, ok := truth[id]; ok && prev != d.TrueIdentity {
+			t.Fatalf("identifier %s has two true identities", id)
+		}
+		truth[id] = d.TrueIdentity
+	}
+}
+
+func TestFacesOverlapWithinSceneSlot(t *testing.T) {
+	arch := Generate(Config{Seed: 5, Hours: 0.5})
+	// Consecutive detections of the same scene+slot must highly overlap
+	// (the premise of the paper's TV-news consistency assertion).
+	last := make(map[string]Detection)
+	for _, d := range arch.Detections {
+		id := d.ID()
+		if prev, ok := last[id]; ok {
+			if iou := prev.Box.IoU(d.Box); iou < 0.3 {
+				t.Fatalf("same-slot faces IoU = %v", iou)
+			}
+		}
+		last[id] = d
+	}
+}
+
+func TestIDAndAttrs(t *testing.T) {
+	d := Detection{Scene: 3, Slot: 1, Identity: "person-01", Gender: "F", Hair: "gray"}
+	if d.ID() != "s3-p1" {
+		t.Fatalf("ID = %q", d.ID())
+	}
+	attrs := d.Attrs()
+	if attrs["identity"] != "person-01" || attrs["gender"] != "F" || attrs["hair"] != "gray" {
+		t.Fatalf("Attrs = %v", attrs)
+	}
+}
+
+func TestTwoPersonScenesOccur(t *testing.T) {
+	arch := Generate(Config{Seed: 6, Hours: 1})
+	slots := make(map[int]map[int]bool)
+	for _, d := range arch.Detections {
+		if slots[d.Scene] == nil {
+			slots[d.Scene] = make(map[int]bool)
+		}
+		slots[d.Scene][d.Slot] = true
+	}
+	two := 0
+	for _, s := range slots {
+		if len(s) == 2 {
+			two++
+		}
+	}
+	if two == 0 {
+		t.Fatal("no two-person scenes generated")
+	}
+}

@@ -1,0 +1,179 @@
+// Package omg is the public API of the OMG model-assertion library, a Go
+// reproduction of "Model Assertions for Monitoring and Improving ML
+// Models" (Kang, Raghavan, Bailis, Zaharia — MLSys 2020).
+//
+// OMG ("OMG Model Guardian") lets ML engineering teams register model
+// assertions — arbitrary functions over a model's inputs and outputs that
+// return a severity score when an error may be occurring — and use them
+// for:
+//
+//   - runtime monitoring: a Monitor evaluates every registered assertion
+//     after each model invocation, records violations (optionally as a
+//     JSONL stream), and triggers corrective actions;
+//   - active learning: the BAL bandit (Algorithm 2 of the paper) selects
+//     which assertion-flagged data points to label each round;
+//   - weak supervision: consistency assertions (§4 of the paper) are
+//     generated from Id/Attrs/T descriptions of the model's output and
+//     propose corrected labels for failing outputs.
+//
+// The facade re-exports the stable core from the internal packages; the
+// experiment harnesses reproducing the paper's tables and figures live in
+// internal/experiments and are driven by cmd/omg-bench and the benchmark
+// suite.
+package omg
+
+import (
+	"omg/internal/assertion"
+	"omg/internal/bandit"
+	"omg/internal/consistency"
+)
+
+// Core assertion types.
+type (
+	// Sample is one (input, output) observation of a deployed model.
+	Sample = assertion.Sample
+	// Assertion is a model assertion: Name plus Check(window) severity.
+	Assertion = assertion.Assertion
+	// Meta is descriptive metadata attached to a registered assertion.
+	Meta = assertion.Meta
+	// Registry is the assertion database shared by a team.
+	Registry = assertion.Registry
+	// Suite is an ordered evaluation view of assertions.
+	Suite = assertion.Suite
+	// Vector is a severity vector (one entry per suite assertion).
+	Vector = assertion.Vector
+	// Monitor is the runtime monitoring component.
+	Monitor = assertion.Monitor
+	// MonitorOption configures a Monitor.
+	MonitorOption = assertion.MonitorOption
+	// Violation is one recorded assertion firing.
+	Violation = assertion.Violation
+	// Recorder stores violations and aggregate statistics.
+	Recorder = assertion.Recorder
+	// Action is a corrective callback for violations.
+	Action = assertion.Action
+)
+
+// NewAssertion adapts a severity function into an Assertion, the analogue
+// of OMG's AddAssertion(func) for arbitrary callables.
+func NewAssertion(name string, fn func(window []Sample) float64) Assertion {
+	return assertion.New(name, fn)
+}
+
+// NewBoolAssertion adapts a Boolean predicate into an Assertion
+// (severity 1 when the predicate reports a violation).
+func NewBoolAssertion(name string, fn func(window []Sample) bool) Assertion {
+	return assertion.NewBool(name, fn)
+}
+
+// NewRegistry returns an empty assertion database.
+func NewRegistry() *Registry { return assertion.NewRegistry() }
+
+// NewSuite builds an evaluation suite directly from assertions.
+func NewSuite(assertions ...Assertion) *Suite { return assertion.NewSuite(assertions...) }
+
+// NewMonitor builds a runtime monitor over a suite.
+func NewMonitor(suite *Suite, opts ...MonitorOption) *Monitor {
+	return assertion.NewMonitor(suite, opts...)
+}
+
+// NewRecorder returns a violation recorder keeping at most limit entries
+// in memory (0 = unbounded).
+func NewRecorder(limit int) *Recorder { return assertion.NewRecorder(limit) }
+
+// WithWindowSize sets the monitor's sliding-window length.
+func WithWindowSize(n int) MonitorOption { return assertion.WithWindowSize(n) }
+
+// WithRecorder attaches a recorder to a monitor.
+func WithRecorder(r *Recorder) MonitorOption { return assertion.WithRecorder(r) }
+
+// Consistency-assertion API (paper §4).
+type (
+	// ConsistencyConfig describes a consistency assertion via Id, Attrs
+	// and the temporal threshold T.
+	ConsistencyConfig[Y any] = consistency.Config[Y]
+	// ConsistencyGenerator holds the generated assertions and correction
+	// rules.
+	ConsistencyGenerator[Y any] = consistency.Generator[Y]
+	// TimedOutputs is a model's outputs for one input.
+	TimedOutputs[Y any] = consistency.TimedOutputs[Y]
+	// Proposal is one weak-label proposal from a correction rule.
+	Proposal[Y any] = consistency.Proposal[Y]
+	// TemporalKind selects generated temporal assertions.
+	TemporalKind = consistency.TemporalKind
+)
+
+// Temporal assertion kinds.
+const (
+	Flicker = consistency.Flicker
+	Appear  = consistency.Appear
+)
+
+// Weak-label proposal kinds.
+const (
+	ModifyAttr   = consistency.ModifyAttr
+	AddOutput    = consistency.AddOutput
+	RemoveOutput = consistency.RemoveOutput
+)
+
+// AddConsistencyAssertion validates a consistency description, registers
+// the generated Boolean assertions (one per attribute plus the selected
+// temporal assertions) in the registry, and returns the generator whose
+// WeakLabels method implements the correction rules. This is the paper's
+// AddConsistencyAssertion(Id, Attrs, T) entry point.
+func AddConsistencyAssertion[Y any](reg *Registry, cfg ConsistencyConfig[Y], meta Meta) (*ConsistencyGenerator[Y], error) {
+	gen, err := consistency.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := gen.Register(reg, meta); err != nil {
+		return nil, err
+	}
+	return gen, nil
+}
+
+// ConsistencySamples converts typed timed outputs into monitor samples.
+func ConsistencySamples[Y any](stream []TimedOutputs[Y]) []Sample {
+	return consistency.Samples(stream)
+}
+
+// Data selection (paper §3).
+type (
+	// Candidate is one unlabeled data point offered to a selector.
+	Candidate = bandit.Candidate
+	// RoundState is the per-round input to a selector.
+	RoundState = bandit.RoundState
+	// Selector chooses data points to label each round.
+	Selector = bandit.Selector
+	// BALConfig tunes the BAL algorithm.
+	BALConfig = bandit.BALConfig
+	// CCMAB is the resource-unconstrained reference bandit (Algorithm 1).
+	CCMAB = bandit.CCMAB
+	// CCArm is one volatile arm for CC-MAB.
+	CCArm = bandit.CCArm
+)
+
+// NewBAL builds the paper's bandit-based active-learning selector
+// (Algorithm 2). The zero BALConfig uses the paper's defaults: 25%
+// uniform exploration, 1% fallback threshold, random fallback.
+func NewBAL(seed int64, cfg BALConfig) *bandit.BAL { return bandit.NewBAL(seed, cfg) }
+
+// NewRandomSelector returns the random-sampling baseline.
+func NewRandomSelector(seed int64) Selector { return bandit.NewRandom(seed) }
+
+// NewUncertaintySelector returns the least-confident uncertainty baseline.
+func NewUncertaintySelector() Selector { return bandit.NewUncertainty() }
+
+// NewUniformMASelector returns the uniform-from-assertions baseline.
+func NewUniformMASelector(seed int64) Selector { return bandit.NewUniformMA(seed) }
+
+// NewCCMAB builds the CC-MAB reference algorithm for a context dimension,
+// horizon and Hölder smoothness.
+func NewCCMAB(seed int64, d, horizon int, alpha float64) *CCMAB {
+	return bandit.NewCCMAB(seed, d, horizon, alpha)
+}
+
+// FiredCounts computes per-assertion firing counts for a candidate pool.
+func FiredCounts(cands []Candidate, numAssertions int) []float64 {
+	return bandit.FiredCounts(cands, numAssertions)
+}
