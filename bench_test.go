@@ -7,8 +7,10 @@ package omg_test
 // experiments at full scale.
 
 import (
+	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"omg"
@@ -249,6 +251,61 @@ func BenchmarkMonitorObserve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		mon.Observe(omg.Sample{Index: i})
 	}
+}
+
+// benchSuite is the assertion suite shared by the monitor benchmarks.
+func benchSuite() *omg.Suite {
+	reg := omg.NewRegistry()
+	reg.MustAdd(omg.NewAssertion("noop", func(w []omg.Sample) float64 { return 0 }))
+	reg.MustAdd(omg.NewAssertion("len", func(w []omg.Sample) float64 { return float64(len(w) % 2) }))
+	return reg.Suite()
+}
+
+// BenchmarkMonitorPoolObserve measures multi-stream monitoring throughput
+// on the synchronous path: each goroutine is its own stream, so shards
+// evaluate concurrently and ns/op should drop as GOMAXPROCS grows —
+// compare with the single-mutex BenchmarkMonitorObserve.
+func BenchmarkMonitorPoolObserve(b *testing.B) {
+	pool := omg.NewMonitorPool(benchSuite(), omg.WithPoolWindowSize(8))
+	defer pool.Close()
+	var stream atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		key := fmt.Sprintf("stream-%d", stream.Add(1))
+		i := 0
+		for pb.Next() {
+			pool.Observe(omg.Sample{Stream: key, Index: i})
+			i++
+		}
+	})
+}
+
+// BenchmarkMonitorPoolObserveBatch measures the asynchronous ingestion
+// path: batches are enqueued onto the bounded per-shard queues and the
+// pool's workers evaluate them off the caller's path.
+func BenchmarkMonitorPoolObserveBatch(b *testing.B) {
+	pool := omg.NewMonitorPool(benchSuite(), omg.WithPoolWindowSize(8), omg.WithQueueDepth(1024))
+	defer pool.Close()
+	const streams, batchSize = 8, 256
+	keys := make([]string, streams)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("stream-%d", i)
+	}
+	batch := make([]omg.Sample, batchSize)
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			batch[j] = omg.Sample{Stream: keys[n%streams], Index: n}
+			n++
+		}
+		if err := pool.ObserveBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := pool.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(batchSize), "samples/op")
 }
 
 func BenchmarkBALSelect(b *testing.B) {

@@ -1,12 +1,16 @@
 // Command omg-monitor demonstrates OMG's runtime-monitoring deployment
-// (paper §2.3): it streams a simulated night-street deployment through a
-// Monitor holding the domain's three assertions, logs every violation as
-// JSONL, and prints a dashboard-style summary — the "populate dashboards"
-// use the paper describes.
+// (paper §2.3): it streams one or more simulated night-street deployments
+// through a sharded MonitorPool holding the domain's three assertions,
+// logs every violation as JSONL, and prints a dashboard-style summary —
+// the "populate dashboards" use the paper describes.
+//
+// With -streams N > 1 it drives N concurrent camera feeds (each with its
+// own seed and stream key) through the pool's asynchronous ingestion path,
+// exercising the multi-stream hot path.
 //
 // Usage:
 //
-//	omg-monitor [-frames N] [-seed S] [-log violations.jsonl]
+//	omg-monitor [-frames N] [-seed S] [-log violations.jsonl] [-streams N] [-workers N]
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sync"
 
 	"omg/internal/assertion"
 	"omg/internal/consistency"
@@ -21,46 +26,99 @@ import (
 )
 
 func main() {
-	frames := flag.Int("frames", 2000, "number of video frames to monitor")
-	seed := flag.Int64("seed", 1, "simulation seed")
+	frames := flag.Int("frames", 2000, "number of video frames to monitor per stream")
+	seed := flag.Int64("seed", 1, "simulation seed (stream i uses seed+i)")
 	logPath := flag.String("log", "", "JSONL violation log path (default: stdout summary only)")
+	streams := flag.Int("streams", 1, "number of concurrent camera streams")
+	workers := flag.Int("workers", 0, "max shards evaluating concurrently (0 = one per shard)")
 	flag.Parse()
-
-	domain := nightstreet.New(nightstreet.Config{Seed: *seed, PoolFrames: *frames, TestFrames: 100})
+	if *streams < 1 {
+		log.Fatalf("-streams must be >= 1")
+	}
 
 	rec := assertion.NewRecorder(10000)
+	var logFile *os.File
 	if *logPath != "" {
 		f, err := os.Create(*logPath)
 		if err != nil {
 			log.Fatalf("create log: %v", err)
 		}
-		defer f.Close()
+		logFile = f
 		rec.StreamTo(f)
 	}
-	mon := assertion.NewMonitor(domain.Suite(), assertion.WithWindowSize(8), assertion.WithRecorder(rec))
+
+	// Every stream runs the same model and assertion suite; the suite's
+	// assertions are pure functions of the sample window, so one suite
+	// serves all shards.
+	domains := make([]*nightstreet.Domain, *streams)
+	for i := range domains {
+		domains[i] = nightstreet.New(nightstreet.Config{
+			Seed: *seed + int64(i), PoolFrames: *frames, TestFrames: 100,
+		})
+	}
+	suite := domains[0].Suite()
+
+	popts := []assertion.PoolOption{
+		assertion.WithShards(*streams),
+		assertion.WithPoolWindowSize(8),
+		assertion.WithPoolRecorder(rec),
+	}
+	if *workers > 0 {
+		popts = append(popts, assertion.WithPoolWorkers(*workers))
+	}
+	pool := assertion.NewMonitorPool(suite, popts...)
 
 	// Corrective action: a real deployment might disengage an autopilot;
-	// here we count high-severity events.
+	// here we count high-severity events. Actions may run concurrently
+	// across shards, hence the mutex.
+	var highMu sync.Mutex
 	highSeverity := 0
-	mon.OnViolation(3, func(v assertion.Violation) { highSeverity++ })
+	pool.OnViolation(3, func(v assertion.Violation) {
+		highMu.Lock()
+		highSeverity++
+		highMu.Unlock()
+	})
 
-	// Stream the deployment: run the model per frame and hand each
-	// (input, output) to the monitor, exactly OMG's post-inference
-	// callback.
-	stream := domain.DetectTracked(domain.Pool())
-	for _, s := range consistency.Samples(stream) {
-		mon.Observe(s)
+	// Drive the deployments: each stream runs its model per frame and
+	// enqueues every (input, output) into the pool — exactly OMG's
+	// post-inference callback, but N cameras wide.
+	var wg sync.WaitGroup
+	for i, d := range domains {
+		wg.Add(1)
+		go func(i int, d *nightstreet.Domain) {
+			defer wg.Done()
+			key := fmt.Sprintf("cam-%02d", i)
+			stream := d.DetectTracked(d.Pool())
+			for _, s := range consistency.Samples(stream) {
+				s.Stream = key
+				if err := pool.Enqueue(s); err != nil {
+					log.Printf("stream %s: %v", key, err)
+					return
+				}
+			}
+		}(i, d)
+	}
+	wg.Wait()
+	if err := pool.Close(); err != nil {
+		log.Fatalf("drain monitor pool: %v", err)
 	}
 
-	fmt.Printf("monitored %d frames with %d assertions\n", mon.Observed(), domain.Suite().Len())
+	fmt.Printf("monitored %d frames across %d streams (%d shards) with %d assertions\n",
+		pool.Observed(), pool.NumStreams(), pool.NumShards(), suite.Len())
 	fmt.Printf("violations recorded: %d (high severity: %d)\n", rec.TotalFired(), highSeverity)
 	for _, name := range rec.AssertionNames() {
 		st, _ := rec.Stats(name)
 		fmt.Printf("  %-18s fired %5d times, max severity %.1f\n", name, st.Fired, st.MaxSev)
 	}
-	if *logPath != "" {
-		if err := rec.Err(); err != nil {
-			log.Fatalf("log stream error: %v", err)
+
+	// A full disk must not silently truncate the violation log: surface
+	// sink errors and the file close error, and exit non-zero.
+	if err := rec.Close(); err != nil {
+		log.Fatalf("log stream error: %v", err)
+	}
+	if logFile != nil {
+		if err := logFile.Close(); err != nil {
+			log.Fatalf("close log: %v", err)
 		}
 		fmt.Printf("JSONL violation log written to %s\n", *logPath)
 	}

@@ -1,0 +1,3 @@
+module omg
+
+go 1.24

@@ -26,6 +26,11 @@ type Sample struct {
 	// Index is the caller-assigned position of the sample in its stream
 	// (e.g. a frame number or dataset index).
 	Index int
+	// Stream identifies which deployment stream the sample belongs to
+	// (e.g. a camera or patient id). A MonitorPool routes samples to
+	// shards by this key so each stream keeps its own window order; the
+	// empty string is a valid (default) stream.
+	Stream string
 	// Time is the sample's timestamp in seconds. Temporal consistency
 	// assertions (paper §4) are expressed over this clock.
 	Time float64

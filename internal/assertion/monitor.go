@@ -9,6 +9,8 @@ import (
 type Violation struct {
 	// Assertion is the name of the assertion that fired.
 	Assertion string `json:"assertion"`
+	// Stream is the Stream key of the sample that triggered evaluation.
+	Stream string `json:"stream,omitempty"`
 	// SampleIndex is the Index of the sample that triggered evaluation.
 	SampleIndex int `json:"sample_index"`
 	// Time is the triggering sample's timestamp in seconds.
@@ -125,6 +127,7 @@ func (m *Monitor) Observe(s Sample) Vector {
 		}
 		v := Violation{
 			Assertion:   names[i],
+			Stream:      s.Stream,
 			SampleIndex: s.Index,
 			Time:        s.Time,
 			Severity:    sev,

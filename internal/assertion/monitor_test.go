@@ -2,6 +2,7 @@ package assertion
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -154,6 +155,48 @@ func TestMonitorConcurrentObserve(t *testing.T) {
 	}
 	if got := m.Recorder().TotalFired(); got != 4*n {
 		t.Fatalf("TotalFired = %d", got)
+	}
+}
+
+func TestMonitorConcurrentObserveAndRegister(t *testing.T) {
+	// Run with -race: registering actions while samples are observed must
+	// be safe, and actions registered before the stream starts must all
+	// fire.
+	a := New("always", func([]Sample) float64 { return 1 })
+	m := NewMonitor(NewSuite(a))
+	var pre atomic.Int64
+	m.OnViolation(0.5, func(Violation) { pre.Add(1) })
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	regDone := make(chan struct{})
+	go func() {
+		defer close(regDone)
+		for i := 0; i < 50; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.OnViolation(10, func(Violation) {})         // never fires (severity is 1)
+			m.OnAssertion("other", 0, func(Violation) {}) // never fires (wrong name)
+		}
+	}()
+	const n = 200
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				m.Observe(Sample{Index: g*n + i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-regDone
+	if pre.Load() != 4*n {
+		t.Fatalf("pre-registered action fired %d times, want %d", pre.Load(), 4*n)
 	}
 }
 

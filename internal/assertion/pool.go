@@ -1,0 +1,402 @@
+package assertion
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Enqueue, TryEnqueue and ObserveBatch after
+// the pool has been closed.
+var ErrPoolClosed = errors.New("assertion: monitor pool is closed")
+
+// MonitorPool is the sharded, pipelined runtime-monitoring component: it
+// routes samples by their Stream key to shards, so independent deployment
+// streams (cameras, patients, feeds) are evaluated concurrently. Each
+// stream gets its own Monitor (lazily created on first sample), so sliding
+// windows never mix streams, and a stream always maps to exactly one
+// shard, so per-stream results are independent of the shard count and each
+// stream keeps the total order its window semantics require.
+//
+// Two ingestion paths are offered:
+//
+//   - Observe evaluates synchronously on the owning shard and returns the
+//     severity vector — for a single stream this reproduces Monitor
+//     exactly;
+//   - Enqueue/ObserveBatch queue samples on a bounded per-shard queue
+//     drained by the pool's worker goroutines. A full queue blocks the
+//     producer (explicit backpressure, never silent loss); Flush waits for
+//     the pipeline and the recorder's JSONL sink to drain.
+//
+// All streams share one Recorder, whose statistics are lock-free and whose
+// JSONL sink is asynchronous, so the observe path stays allocation-lean
+// under multi-stream load.
+type MonitorPool struct {
+	suite      *Suite
+	windowSize int
+
+	shards  []*poolShard
+	queues  []chan Sample
+	rec     *Recorder
+	sem     chan struct{} // bounds concurrent evaluation; nil when unbounded
+	wg      sync.WaitGroup
+	pending *waiter
+	drained chan struct{} // closed once the workers have exited
+
+	// actMu serialises action registration against stream-monitor
+	// creation so every monitor sees every action exactly once.
+	// Lock order: actMu before poolShard.mu.
+	actMu   sync.Mutex
+	actions []actionSpec
+
+	mu     sync.RWMutex // enqueue (read side) vs close (write side)
+	closed bool
+}
+
+// poolShard owns the per-stream monitors of the streams routed to it.
+type poolShard struct {
+	mu      sync.Mutex
+	streams map[string]*Monitor
+}
+
+type poolConfig struct {
+	shards     int
+	workers    int
+	queueDepth int
+	windowSize int
+	recorder   *Recorder
+}
+
+// PoolOption configures a MonitorPool.
+type PoolOption func(*poolConfig)
+
+// WithShards sets the number of shards (default: GOMAXPROCS, minimum 1).
+// More shards allow more streams to be evaluated concurrently.
+func WithShards(n int) PoolOption {
+	return func(c *poolConfig) {
+		if n >= 1 {
+			c.shards = n
+		}
+	}
+}
+
+// WithPoolWorkers bounds how many shards may evaluate assertions at the
+// same time (default: one worker per shard). Use it to cap CPU spent on
+// monitoring without reducing the shard count.
+func WithPoolWorkers(n int) PoolOption {
+	return func(c *poolConfig) {
+		if n >= 1 {
+			c.workers = n
+		}
+	}
+}
+
+// WithQueueDepth sets the per-shard ingestion queue capacity for the async
+// path (default 256, minimum 1). A full queue blocks Enqueue — that is the
+// pool's backpressure signal.
+func WithQueueDepth(n int) PoolOption {
+	return func(c *poolConfig) {
+		if n >= 1 {
+			c.queueDepth = n
+		}
+	}
+}
+
+// WithPoolWindowSize sets each stream monitor's sliding-window length
+// (default 16, minimum 1).
+func WithPoolWindowSize(n int) PoolOption {
+	return func(c *poolConfig) {
+		if n >= 1 {
+			c.windowSize = n
+		}
+	}
+}
+
+// WithPoolRecorder attaches a shared recorder; by default a fresh
+// unbounded in-memory recorder is created.
+func WithPoolRecorder(r *Recorder) PoolOption {
+	return func(c *poolConfig) {
+		if r != nil {
+			c.recorder = r
+		}
+	}
+}
+
+// NewMonitorPool builds a sharded monitor over the given suite and starts
+// its worker goroutines. Call Close when done with the async path.
+func NewMonitorPool(suite *Suite, opts ...PoolOption) *MonitorPool {
+	cfg := poolConfig{
+		shards:     runtime.GOMAXPROCS(0),
+		queueDepth: 256,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.shards < 1 {
+		cfg.shards = 1
+	}
+	if cfg.recorder == nil {
+		cfg.recorder = NewRecorder(0)
+	}
+	p := &MonitorPool{
+		suite:      suite,
+		windowSize: cfg.windowSize,
+		rec:        cfg.recorder,
+		pending:    newWaiter(),
+		drained:    make(chan struct{}),
+	}
+	// The semaphore exists only when it can actually bind: with one
+	// worker slot per shard it could never block, so the unbounded
+	// default skips the channel operations entirely.
+	if cfg.workers > 0 && cfg.workers < cfg.shards {
+		p.sem = make(chan struct{}, cfg.workers)
+	}
+	for i := 0; i < cfg.shards; i++ {
+		p.shards = append(p.shards, &poolShard{streams: make(map[string]*Monitor)})
+		p.queues = append(p.queues, make(chan Sample, cfg.queueDepth))
+	}
+	for i := range p.queues {
+		p.wg.Add(1)
+		go p.runShard(i)
+	}
+	return p
+}
+
+// runShard drains one shard's queue. Each shard is serviced by exactly one
+// goroutine, which is what preserves per-stream total order; the semaphore
+// bounds how many shards evaluate simultaneously.
+func (p *MonitorPool) runShard(i int) {
+	defer p.wg.Done()
+	for s := range p.queues[i] {
+		p.observeOn(i, s)
+		p.pending.add(-1)
+	}
+}
+
+// observeOn evaluates one sample on the given shard, honouring the
+// worker-count bound on both the async and sync paths.
+func (p *MonitorPool) observeOn(shard int, s Sample) Vector {
+	if p.sem != nil {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+	}
+	return p.monitorFor(shard, s.Stream).Observe(s)
+}
+
+// shardFor routes a stream key to its shard with FNV-1a.
+func (p *MonitorPool) shardFor(stream string) int {
+	if len(p.shards) == 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(stream); i++ {
+		h ^= uint32(stream[i])
+		h *= prime32
+	}
+	return int(h % uint32(len(p.shards)))
+}
+
+// monitorFor returns the stream's monitor, creating it on first use with
+// the pool's window size, shared recorder and every action registered so
+// far.
+func (p *MonitorPool) monitorFor(shard int, stream string) *Monitor {
+	sh := p.shards[shard]
+	sh.mu.Lock()
+	m, ok := sh.streams[stream]
+	sh.mu.Unlock()
+	if ok {
+		return m
+	}
+
+	// Slow path: create under actMu so a concurrent OnViolation either
+	// sees the new monitor in the map or its actions in p.actions — never
+	// neither, never both.
+	p.actMu.Lock()
+	defer p.actMu.Unlock()
+	sh.mu.Lock()
+	if m, ok = sh.streams[stream]; ok {
+		sh.mu.Unlock()
+		return m
+	}
+	sh.mu.Unlock()
+
+	mopts := []MonitorOption{WithRecorder(p.rec)}
+	if p.windowSize >= 1 {
+		mopts = append(mopts, WithWindowSize(p.windowSize))
+	}
+	m = NewMonitor(p.suite, mopts...)
+	for _, spec := range p.actions {
+		if spec.assertion == "" {
+			m.OnViolation(spec.threshold, spec.action)
+		} else {
+			m.OnAssertion(spec.assertion, spec.threshold, spec.action)
+		}
+	}
+	sh.mu.Lock()
+	sh.streams[stream] = m
+	sh.mu.Unlock()
+	return m
+}
+
+// Observe synchronously delivers one sample to its stream's monitor and
+// returns the severity vector. For any single stream this is byte-for-byte
+// the behaviour of Monitor.Observe. Do not mix Observe and Enqueue on the
+// same stream while the async pipeline is non-empty, or the stream's
+// sample order is no longer defined.
+func (p *MonitorPool) Observe(s Sample) Vector {
+	return p.observeOn(p.shardFor(s.Stream), s)
+}
+
+// Enqueue queues one sample for asynchronous evaluation on its stream's
+// shard. It blocks while the shard's queue is full (backpressure) and
+// returns ErrPoolClosed after Close.
+func (p *MonitorPool) Enqueue(s Sample) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	p.pending.add(1)
+	p.queues[p.shardFor(s.Stream)] <- s
+	return nil
+}
+
+// TryEnqueue is Enqueue without blocking: it reports false when the
+// shard's queue is full, letting load-shedding callers decide what to do
+// with the sample instead of stalling.
+func (p *MonitorPool) TryEnqueue(s Sample) (bool, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false, ErrPoolClosed
+	}
+	p.pending.add(1)
+	select {
+	case p.queues[p.shardFor(s.Stream)] <- s:
+		return true, nil
+	default:
+		p.pending.add(-1)
+		return false, nil
+	}
+}
+
+// ObserveBatch queues a batch of samples for asynchronous evaluation,
+// preserving the batch's relative order within each stream. It blocks
+// whenever a shard queue is full.
+func (p *MonitorPool) ObserveBatch(batch []Sample) error {
+	for _, s := range batch {
+		if err := p.Enqueue(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush blocks until every queued sample has been evaluated and the
+// recorder's JSONL sink (if any) has drained, and returns the sink's
+// error, if any.
+func (p *MonitorPool) Flush() error {
+	p.pending.wait()
+	return p.rec.Flush()
+}
+
+// Close drains the pipeline, stops the worker goroutines and flushes the
+// recorder's sink, returning its error. The recorder itself is not closed
+// — callers that attached a JSONL sink should rec.Close() it when the
+// stream is final. Close is idempotent; Observe keeps working afterwards
+// but Enqueue returns ErrPoolClosed.
+func (p *MonitorPool) Close() error {
+	p.mu.Lock()
+	first := !p.closed
+	p.closed = true
+	p.mu.Unlock()
+	if first {
+		for _, q := range p.queues {
+			close(q)
+		}
+		p.wg.Wait()
+		close(p.drained)
+	} else {
+		// A concurrent or repeated Close must also not return before
+		// the pipeline has drained.
+		<-p.drained
+	}
+	return p.rec.Flush()
+}
+
+// OnViolation registers an action on every stream monitor (current and
+// future), triggered whenever any assertion fires with severity >=
+// threshold. Actions may be invoked concurrently from different shards and
+// must be safe for concurrent use.
+func (p *MonitorPool) OnViolation(threshold float64, a Action) {
+	p.registerAction(actionSpec{threshold: threshold, action: a})
+}
+
+// OnAssertion registers an action on every stream monitor (current and
+// future), triggered when the named assertion fires with severity >=
+// threshold. Actions may be invoked concurrently from different shards and
+// must be safe for concurrent use.
+func (p *MonitorPool) OnAssertion(name string, threshold float64, a Action) {
+	p.registerAction(actionSpec{assertion: name, threshold: threshold, action: a})
+}
+
+func (p *MonitorPool) registerAction(spec actionSpec) {
+	p.actMu.Lock()
+	defer p.actMu.Unlock()
+	p.actions = append(p.actions, spec)
+	p.eachMonitor(func(m *Monitor) {
+		if spec.assertion == "" {
+			m.OnViolation(spec.threshold, spec.action)
+		} else {
+			m.OnAssertion(spec.assertion, spec.threshold, spec.action)
+		}
+	})
+}
+
+// eachMonitor visits every stream monitor. Callers needing consistency
+// with action registration must hold actMu.
+func (p *MonitorPool) eachMonitor(fn func(*Monitor)) {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for _, m := range sh.streams {
+			fn(m)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Observed returns the number of samples evaluated so far across all
+// streams. Queued-but-unevaluated samples are not counted; call Flush
+// first for an exact total.
+func (p *MonitorPool) Observed() int {
+	total := 0
+	p.eachMonitor(func(m *Monitor) { total += m.Observed() })
+	return total
+}
+
+// NumStreams returns how many distinct stream keys have been seen.
+func (p *MonitorPool) NumStreams() int {
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += len(sh.streams)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Recorder returns the pool's shared recorder.
+func (p *MonitorPool) Recorder() *Recorder { return p.rec }
+
+// NumShards returns the number of shards.
+func (p *MonitorPool) NumShards() int { return len(p.shards) }
+
+// Reset clears every stream monitor's sliding window (e.g. at a
+// deployment boundary) without clearing recorded violations.
+func (p *MonitorPool) Reset() {
+	p.eachMonitor(func(m *Monitor) { m.Reset() })
+}

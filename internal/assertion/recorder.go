@@ -1,11 +1,11 @@
 package assertion
 
 import (
-	"encoding/json"
-	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats summarises the firings of one assertion.
@@ -17,76 +17,198 @@ type Stats struct {
 	FirstSample int     `json:"first_sample"`
 }
 
+// statsCell is the internal lock-free accumulator behind Stats. Floats are
+// stored as IEEE-754 bit patterns and updated with CAS loops so concurrent
+// recorders never contend on a lock for the aggregate counters.
+type statsCell struct {
+	fired    atomic.Int64
+	totalSev atomic.Uint64 // float64 bits
+	maxSev   atomic.Uint64 // float64 bits
+	first    atomic.Int64
+	last     atomic.Int64
+}
+
+func (c *statsCell) snapshot() Stats {
+	return Stats{
+		Fired:       int(c.fired.Load()),
+		TotalSev:    math.Float64frombits(c.totalSev.Load()),
+		MaxSev:      math.Float64frombits(c.maxSev.Load()),
+		LastSample:  int(c.last.Load()),
+		FirstSample: int(c.first.Load()),
+	}
+}
+
+// atomicAddFloat adds x to the float64 stored as bits in a.
+func atomicAddFloat(a *atomic.Uint64, x float64) {
+	for {
+		old := a.Load()
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if a.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// atomicMaxFloat raises the float64 stored as bits in a to at least x.
+func atomicMaxFloat(a *atomic.Uint64, x float64) {
+	for {
+		old := a.Load()
+		if math.Float64frombits(old) >= x {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(x)) {
+			return
+		}
+	}
+}
+
 // Recorder stores assertion violations: an in-memory log (optionally
-// bounded) plus aggregate statistics, with optional JSONL streaming to an
+// bounded, kept as a ring buffer so eviction is O(1)) plus lock-free
+// aggregate statistics, with optional asynchronous JSONL streaming to an
 // io.Writer. In a production deployment the JSONL stream is what populates
 // dashboards and the data-collection pipeline (paper §2.3). It is safe for
 // concurrent use.
+//
+// The observe path never encodes JSON: Record hands violations to a sink
+// worker goroutine over a bounded channel, and Flush/Close make the stream
+// durable. Call Flush (or Close) before reading the sink's output or its
+// error state.
 type Recorder struct {
-	mu         sync.Mutex
-	violations []Violation
-	stats      map[string]*Stats
-	limit      int
-	dropped    int
-	sink       io.Writer
-	sinkErr    error
+	limit int
+
+	mu      sync.Mutex // guards the violation ring only
+	ring    []Violation
+	head    int // index of the oldest retained violation once the ring is full
+	dropped atomic.Int64
+
+	stats sync.Map // assertion name -> *statsCell
+
+	sink atomic.Pointer[jsonlSink]
+
+	// errMu/firstErr retain the first streaming error across sink swaps,
+	// so rotating logs with StreamTo cannot silently discard a failure.
+	errMu    sync.Mutex
+	firstErr error
+}
+
+func (r *Recorder) saveErr(err error) {
+	if err == nil {
+		return
+	}
+	r.errMu.Lock()
+	if r.firstErr == nil {
+		r.firstErr = err
+	}
+	r.errMu.Unlock()
+}
+
+func (r *Recorder) storedErr() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.firstErr
 }
 
 // NewRecorder returns a recorder keeping at most limit violations in
 // memory (0 or negative = unbounded). Aggregate statistics are always
 // complete regardless of the memory bound.
 func NewRecorder(limit int) *Recorder {
-	return &Recorder{stats: make(map[string]*Stats), limit: limit}
+	return &Recorder{limit: limit}
 }
 
-// StreamTo attaches a JSONL sink: every subsequent violation is encoded as
-// one JSON object per line. Encoding errors are retained and reported by
-// Err.
-func (r *Recorder) StreamTo(w io.Writer) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.sink = w
+// StreamTo attaches a buffered asynchronous JSONL sink: every subsequent
+// violation is queued for a worker goroutine that encodes it as one JSON
+// object per line. Write and encoding errors are retained and reported by
+// Err. Use Flush or Close to wait for queued violations to reach w; a
+// previously attached sink is closed (flushed) first. Passing nil detaches
+// the current sink.
+func (r *Recorder) StreamTo(w io.Writer) { r.StreamToBuffered(w, 0) }
+
+// StreamToBuffered is StreamTo with an explicit queue depth (<= 0 uses the
+// default of 1024). When the queue is full, Record blocks until the sink
+// worker catches up — explicit backpressure rather than silent loss.
+func (r *Recorder) StreamToBuffered(w io.Writer, depth int) {
+	var s *jsonlSink
+	if w != nil {
+		s = newJSONLSink(w, depth)
+	}
+	if old := r.sink.Swap(s); old != nil {
+		r.saveErr(old.close())
+	}
 }
 
-// Err returns the first error encountered while streaming, if any.
+// Err returns the first error encountered while streaming, if any —
+// including errors from sinks since replaced or closed. Because the sink
+// is asynchronous, call Flush first to observe errors from
+// already-recorded violations.
 func (r *Recorder) Err() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.sinkErr
+	if err := r.storedErr(); err != nil {
+		return err
+	}
+	if s := r.sink.Load(); s != nil {
+		return s.lastErr()
+	}
+	return nil
 }
 
-// Record appends one violation.
+// Flush blocks until every queued violation has been written to the sink
+// and returns the first streaming error, if any. It is a no-op without an
+// attached sink.
+func (r *Recorder) Flush() error {
+	if s := r.sink.Load(); s != nil {
+		s.flush()
+	}
+	return r.Err()
+}
+
+// Close flushes and stops the sink worker, returning the first streaming
+// error. The recorder itself remains usable (and Err still reports the
+// sink's error); subsequent violations are no longer streamed.
+func (r *Recorder) Close() error {
+	if s := r.sink.Load(); s != nil {
+		r.saveErr(s.close())
+	}
+	return r.Err()
+}
+
+// Record appends one violation. The in-memory log uses a ring buffer, so
+// recording is O(1) even when the bounded log is full and evicting.
 func (r *Recorder) Record(v Violation) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-
-	st, ok := r.stats[v.Assertion]
+	cell, ok := r.stats.Load(v.Assertion)
 	if !ok {
-		st = &Stats{FirstSample: v.SampleIndex}
-		r.stats[v.Assertion] = st
+		fresh := &statsCell{}
+		fresh.first.Store(int64(v.SampleIndex))
+		cell, _ = r.stats.LoadOrStore(v.Assertion, fresh)
 	}
-	st.Fired++
-	st.TotalSev += v.Severity
-	if v.Severity > st.MaxSev {
-		st.MaxSev = v.Severity
-	}
-	st.LastSample = v.SampleIndex
+	st := cell.(*statsCell)
+	st.fired.Add(1)
+	atomicAddFloat(&st.totalSev, v.Severity)
+	atomicMaxFloat(&st.maxSev, v.Severity)
+	st.last.Store(int64(v.SampleIndex))
 
-	if r.limit > 0 && len(r.violations) >= r.limit {
-		// Drop the oldest entry to bound memory.
-		copy(r.violations, r.violations[1:])
-		r.violations = r.violations[:len(r.violations)-1]
-		r.dropped++
-	}
-	r.violations = append(r.violations, v)
-
-	if r.sink != nil && r.sinkErr == nil {
-		data, err := json.Marshal(v)
-		if err == nil {
-			_, err = fmt.Fprintf(r.sink, "%s\n", data)
+	r.mu.Lock()
+	if r.limit > 0 && len(r.ring) == r.limit {
+		// Overwrite the oldest entry in place: constant-time eviction.
+		r.ring[r.head] = v
+		r.head++
+		if r.head == r.limit {
+			r.head = 0
 		}
-		if err != nil {
-			r.sinkErr = err
+		r.dropped.Add(1)
+	} else {
+		r.ring = append(r.ring, v)
+	}
+	r.mu.Unlock()
+
+	if s := r.sink.Load(); s != nil {
+		// A send can be refused when a concurrent StreamTo swap closed
+		// this sink between the Load and the send; retry on the
+		// replacement so the violation lands in exactly one stream.
+		for !s.send(v) {
+			next := r.sink.Load()
+			if next == nil || next == s {
+				break // detached, or closed for good via Close
+			}
+			s = next
 		}
 	}
 }
@@ -95,17 +217,21 @@ func (r *Recorder) Record(v Violation) {
 func (r *Recorder) Violations() []Violation {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Violation, len(r.violations))
-	copy(out, r.violations)
+	out := make([]Violation, 0, len(r.ring))
+	out = append(out, r.ring[r.head:]...)
+	out = append(out, r.ring[:r.head]...)
 	return out
 }
 
-// ByAssertion returns retained violations of the named assertion.
+// ByAssertion returns retained violations of the named assertion in
+// arrival order.
 func (r *Recorder) ByAssertion(name string) []Violation {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var out []Violation
-	for _, v := range r.violations {
+	n := len(r.ring)
+	for i := 0; i < n; i++ {
+		v := r.ring[(r.head+i)%n]
 		if v.Assertion == name {
 			out = append(out, v)
 		}
@@ -115,43 +241,35 @@ func (r *Recorder) ByAssertion(name string) []Violation {
 
 // Stats returns aggregate statistics for the named assertion.
 func (r *Recorder) Stats(name string) (Stats, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	st, ok := r.stats[name]
+	cell, ok := r.stats.Load(name)
 	if !ok {
 		return Stats{}, false
 	}
-	return *st, true
+	return cell.(*statsCell).snapshot(), true
 }
 
 // TotalFired returns the total number of violations recorded (including
 // any dropped from the in-memory log).
 func (r *Recorder) TotalFired() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	total := 0
-	for _, st := range r.stats {
-		total += st.Fired
-	}
-	return total
+	total := int64(0)
+	r.stats.Range(func(_, cell any) bool {
+		total += cell.(*statsCell).fired.Load()
+		return true
+	})
+	return int(total)
 }
 
 // Dropped returns how many violations were evicted from the bounded
 // in-memory log.
-func (r *Recorder) Dropped() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.dropped
-}
+func (r *Recorder) Dropped() int { return int(r.dropped.Load()) }
 
 // AssertionNames returns the names of assertions that have fired, sorted.
 func (r *Recorder) AssertionNames() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.stats))
-	for name := range r.stats {
-		out = append(out, name)
-	}
+	var out []string
+	r.stats.Range(func(name, _ any) bool {
+		out = append(out, name.(string))
+		return true
+	})
 	sort.Strings(out)
 	return out
 }
@@ -159,20 +277,24 @@ func (r *Recorder) AssertionNames() []string {
 // Summary renders per-assertion firing counts as a map (assertion name →
 // count) for dashboards and tests.
 func (r *Recorder) Summary() map[string]int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make(map[string]int, len(r.stats))
-	for name, st := range r.stats {
-		out[name] = st.Fired
-	}
+	out := make(map[string]int)
+	r.stats.Range(func(name, cell any) bool {
+		out[name.(string)] = int(cell.(*statsCell).fired.Load())
+		return true
+	})
 	return out
 }
 
-// Clear removes all retained violations and statistics.
+// Clear removes all retained violations and statistics. It must not be
+// called concurrently with Record.
 func (r *Recorder) Clear() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.violations = nil
-	r.stats = make(map[string]*Stats)
-	r.dropped = 0
+	r.ring = nil
+	r.head = 0
+	r.mu.Unlock()
+	r.stats.Range(func(name, _ any) bool {
+		r.stats.Delete(name)
+		return true
+	})
+	r.dropped.Store(0)
 }

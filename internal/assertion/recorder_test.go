@@ -69,6 +69,9 @@ func TestRecorderJSONLStream(t *testing.T) {
 	r.StreamTo(&buf)
 	r.Record(Violation{Assertion: "flicker", SampleIndex: 7, Time: 0.25, Severity: 1})
 	r.Record(Violation{Assertion: "agree", SampleIndex: 9, Severity: 2})
+	if err := r.Flush(); err != nil {
+		t.Fatalf("Flush = %v", err)
+	}
 
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	if len(lines) != 2 {
@@ -94,13 +97,19 @@ func TestRecorderStreamErrorRetained(t *testing.T) {
 	r := NewRecorder(0)
 	r.StreamTo(failingWriter{})
 	r.Record(Violation{Assertion: "a", Severity: 1})
-	if r.Err() == nil {
+	if err := r.Flush(); err == nil {
 		t.Fatal("stream error not retained")
+	}
+	if r.Err() == nil {
+		t.Fatal("Err should report the stream error")
 	}
 	// Recording must continue despite the sink failure.
 	r.Record(Violation{Assertion: "a", Severity: 1})
 	if r.TotalFired() != 2 {
 		t.Fatalf("TotalFired = %d", r.TotalFired())
+	}
+	if err := r.Close(); err == nil {
+		t.Fatal("Close should report the stream error")
 	}
 }
 
@@ -124,6 +133,121 @@ func TestRecorderByAssertion(t *testing.T) {
 	}
 	if got := r.ByAssertion("zzz"); len(got) != 0 {
 		t.Fatalf("unknown assertion = %v", got)
+	}
+}
+
+func TestRecorderRingWraparound(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 8; i++ {
+		r.Record(Violation{Assertion: "a", SampleIndex: i, Severity: 1})
+	}
+	vs := r.Violations()
+	if len(vs) != 3 {
+		t.Fatalf("retained = %d", len(vs))
+	}
+	for i, want := range []int{5, 6, 7} {
+		if vs[i].SampleIndex != want {
+			t.Fatalf("arrival order wrong after wraparound: %v", vs)
+		}
+	}
+	if r.Dropped() != 5 {
+		t.Fatalf("Dropped = %d", r.Dropped())
+	}
+	by := r.ByAssertion("a")
+	if len(by) != 3 || by[0].SampleIndex != 5 || by[2].SampleIndex != 7 {
+		t.Fatalf("ByAssertion order wrong after wraparound: %v", by)
+	}
+}
+
+func TestRecorderFlushAndClose(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(0)
+	r.StreamTo(&buf)
+	const n = 2000 // exceed the sink batch size to exercise coalescing
+	for i := 0; i < n; i++ {
+		r.Record(Violation{Assertion: "a", SampleIndex: i, Severity: 1})
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatalf("Flush = %v", err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != n {
+		t.Fatalf("lines after Flush = %d, want %d", got, n)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	// After Close the recorder still records, but no longer streams.
+	r.Record(Violation{Assertion: "a", SampleIndex: n, Severity: 1})
+	if got := strings.Count(buf.String(), "\n"); got != n {
+		t.Fatalf("lines after Close = %d, want %d", got, n)
+	}
+	if r.TotalFired() != n+1 {
+		t.Fatalf("TotalFired = %d", r.TotalFired())
+	}
+}
+
+func TestRecorderSinkDetach(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(0)
+	r.StreamTo(&buf)
+	r.Record(Violation{Assertion: "a", Severity: 1})
+	r.StreamTo(nil) // detach flushes the previous sink
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Fatalf("lines after detach = %d, want 1", got)
+	}
+	r.Record(Violation{Assertion: "a", Severity: 1})
+	if err := r.Flush(); err != nil {
+		t.Fatalf("Flush = %v", err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Fatalf("detached sink still receiving: %d lines", got)
+	}
+}
+
+func TestRecorderErrorSurvivesSinkSwap(t *testing.T) {
+	r := NewRecorder(0)
+	r.StreamTo(failingWriter{})
+	r.Record(Violation{Assertion: "a", Severity: 1})
+	// Rotating the log must not discard the failed sink's error.
+	var buf bytes.Buffer
+	r.StreamTo(&buf)
+	if r.Err() == nil {
+		t.Fatal("error lost across StreamTo swap")
+	}
+	if err := r.Flush(); err == nil {
+		t.Fatal("Flush lost the swapped-out sink's error")
+	}
+	if err := r.Close(); err == nil {
+		t.Fatal("Close lost the swapped-out sink's error")
+	}
+}
+
+func TestRecorderConcurrentStats(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Record(Violation{Assertion: "a", SampleIndex: i, Severity: 2})
+			}
+		}(g)
+	}
+	wg.Wait()
+	st, ok := r.Stats("a")
+	if !ok {
+		t.Fatal("stats missing")
+	}
+	if st.Fired != goroutines*each {
+		t.Fatalf("Fired = %d, want %d", st.Fired, goroutines*each)
+	}
+	if st.TotalSev != float64(goroutines*each)*2 {
+		t.Fatalf("TotalSev = %v", st.TotalSev)
+	}
+	if st.MaxSev != 2 {
+		t.Fatalf("MaxSev = %v", st.MaxSev)
 	}
 }
 

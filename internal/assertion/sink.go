@@ -1,0 +1,175 @@
+package assertion
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+const (
+	defaultSinkDepth = 1024
+	// sinkBatchMax bounds how many queued violations the worker coalesces
+	// into a single Write call.
+	sinkBatchMax = 256
+)
+
+// waiter is a counter that lets goroutines wait until in-flight work
+// drains to zero. Unlike sync.WaitGroup it permits add(1) concurrent with
+// wait, which is exactly the Flush-while-recording pattern.
+type waiter struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func newWaiter() *waiter {
+	w := &waiter{}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+func (w *waiter) add(delta int) {
+	w.mu.Lock()
+	w.n += delta
+	if w.n <= 0 {
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
+}
+
+func (w *waiter) wait() {
+	w.mu.Lock()
+	for w.n > 0 {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// jsonlSink is the buffered asynchronous JSONL writer behind
+// Recorder.StreamTo. Violations are handed to a single worker goroutine
+// over a bounded channel; the worker coalesces whatever is queued into one
+// Write so encoding and I/O never run on the observe path. After the first
+// write error the worker keeps draining (discarding output) so senders are
+// never blocked by a dead sink.
+type jsonlSink struct {
+	w io.Writer
+
+	mu     sync.RWMutex // send (read side) vs close (write side)
+	closed bool
+	ch     chan Violation
+
+	pending *waiter
+	done    chan struct{}
+
+	errMu sync.Mutex
+	err   error
+}
+
+func newJSONLSink(w io.Writer, depth int) *jsonlSink {
+	if depth <= 0 {
+		depth = defaultSinkDepth
+	}
+	s := &jsonlSink{
+		w:       w,
+		ch:      make(chan Violation, depth),
+		pending: newWaiter(),
+		done:    make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// send queues one violation, blocking when the buffer is full
+// (backpressure). It reports false when the sink has been closed so the
+// caller can retry against a replacement sink.
+func (s *jsonlSink) send(v Violation) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false
+	}
+	s.pending.add(1)
+	s.ch <- v
+	return true
+}
+
+// flush blocks until everything queued so far has been written.
+func (s *jsonlSink) flush() error {
+	s.pending.wait()
+	return s.lastErr()
+}
+
+// close drains the queue, stops the worker, and returns the first error.
+func (s *jsonlSink) close() error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.ch)
+	}
+	<-s.done
+	return s.lastErr()
+}
+
+func (s *jsonlSink) lastErr() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+func (s *jsonlSink) setErr(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+func (s *jsonlSink) run() {
+	defer close(s.done)
+	var buf bytes.Buffer
+	for v := range s.ch {
+		// Once a write has failed the sink only drains, so a dead sink
+		// costs no encoding work for the recorder's remaining lifetime.
+		dead := s.lastErr() != nil
+		buf.Reset()
+		n := 1
+		if !dead {
+			s.encode(&buf, v)
+		}
+		// Coalesce whatever is already queued into this write.
+	drain:
+		for n < sinkBatchMax {
+			select {
+			case more, ok := <-s.ch:
+				if !ok {
+					break drain
+				}
+				if !dead {
+					s.encode(&buf, more)
+				}
+				n++
+			default:
+				break drain
+			}
+		}
+		if !dead && buf.Len() > 0 {
+			if _, err := s.w.Write(buf.Bytes()); err != nil {
+				s.setErr(err)
+			}
+		}
+		s.pending.add(-n)
+	}
+}
+
+func (s *jsonlSink) encode(buf *bytes.Buffer, v Violation) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		s.setErr(err)
+		return
+	}
+	buf.Write(data)
+	buf.WriteByte('\n')
+}

@@ -46,6 +46,13 @@ type (
 	Monitor = assertion.Monitor
 	// MonitorOption configures a Monitor.
 	MonitorOption = assertion.MonitorOption
+	// MonitorPool is the sharded, pipelined runtime-monitoring component:
+	// samples are routed by Sample.Stream to per-stream monitors, with a
+	// synchronous Observe path and an asynchronous Enqueue/ObserveBatch
+	// path behind a bounded worker pool.
+	MonitorPool = assertion.MonitorPool
+	// PoolOption configures a MonitorPool.
+	PoolOption = assertion.PoolOption
 	// Violation is one recorded assertion firing.
 	Violation = assertion.Violation
 	// Recorder stores violations and aggregate statistics.
@@ -77,6 +84,16 @@ func NewMonitor(suite *Suite, opts ...MonitorOption) *Monitor {
 	return assertion.NewMonitor(suite, opts...)
 }
 
+// NewMonitorPool builds a sharded runtime monitor over a suite and starts
+// its worker goroutines; Close it when done with the async path.
+func NewMonitorPool(suite *Suite, opts ...PoolOption) *MonitorPool {
+	return assertion.NewMonitorPool(suite, opts...)
+}
+
+// ErrPoolClosed is returned by a MonitorPool's async ingestion methods
+// after Close.
+var ErrPoolClosed = assertion.ErrPoolClosed
+
 // NewRecorder returns a violation recorder keeping at most limit entries
 // in memory (0 = unbounded).
 func NewRecorder(limit int) *Recorder { return assertion.NewRecorder(limit) }
@@ -86,6 +103,21 @@ func WithWindowSize(n int) MonitorOption { return assertion.WithWindowSize(n) }
 
 // WithRecorder attaches a recorder to a monitor.
 func WithRecorder(r *Recorder) MonitorOption { return assertion.WithRecorder(r) }
+
+// WithShards sets a pool's shard count (default GOMAXPROCS).
+func WithShards(n int) PoolOption { return assertion.WithShards(n) }
+
+// WithPoolWorkers bounds how many shards evaluate concurrently.
+func WithPoolWorkers(n int) PoolOption { return assertion.WithPoolWorkers(n) }
+
+// WithQueueDepth sets a pool's per-shard async queue capacity.
+func WithQueueDepth(n int) PoolOption { return assertion.WithQueueDepth(n) }
+
+// WithPoolWindowSize sets each stream monitor's sliding-window length.
+func WithPoolWindowSize(n int) PoolOption { return assertion.WithPoolWindowSize(n) }
+
+// WithPoolRecorder attaches a shared recorder to a pool.
+func WithPoolRecorder(r *Recorder) PoolOption { return assertion.WithPoolRecorder(r) }
 
 // Consistency-assertion API (paper §4).
 type (
