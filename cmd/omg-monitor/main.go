@@ -1,16 +1,22 @@
 // Command omg-monitor demonstrates OMG's runtime-monitoring deployment
 // (paper §2.3): it streams one or more simulated night-street deployments
 // through a sharded MonitorPool holding the domain's three assertions,
-// logs every violation as JSONL, and prints a dashboard-style summary —
-// the "populate dashboards" use the paper describes.
+// logs every violation through a pluggable sink backend, and prints a
+// dashboard-style summary — the "populate dashboards" use the paper
+// describes.
 //
 // With -streams N > 1 it drives N concurrent camera feeds (each with its
 // own seed and stream key) through the pool's asynchronous ingestion path,
-// exercising the multi-stream hot path.
+// exercising the multi-stream hot path. -sink selects the violation
+// backend (plain JSONL, size-rotated files, or per-assertion sampling)
+// and -per-stream-recorders gives each camera its own violation recorder.
 //
 // Usage:
 //
-//	omg-monitor [-frames N] [-seed S] [-log violations.jsonl] [-streams N] [-workers N]
+//	omg-monitor [-frames N] [-seed S] [-log violations.jsonl]
+//	            [-streams N] [-workers N]
+//	            [-sink jsonl|rotate|sample] [-rotate-bytes N] [-rotate-keep N]
+//	            [-sample-every N] [-per-stream-recorders]
 package main
 
 import (
@@ -31,20 +37,58 @@ func main() {
 	logPath := flag.String("log", "", "JSONL violation log path (default: stdout summary only)")
 	streams := flag.Int("streams", 1, "number of concurrent camera streams")
 	workers := flag.Int("workers", 0, "max shards evaluating concurrently (0 = one per shard)")
+	sinkKind := flag.String("sink", "jsonl", "violation sink backend with -log: jsonl, rotate or sample")
+	rotateBytes := flag.Int64("rotate-bytes", 1<<20, "rotate the log after this many bytes (-sink=rotate)")
+	rotateKeep := flag.Int("rotate-keep", 3, "rotated log files to keep (-sink=rotate)")
+	sampleEvery := flag.Int("sample-every", 10, "keep 1 in N violations per assertion (-sink=sample)")
+	perStream := flag.Bool("per-stream-recorders", false, "give each stream its own violation recorder")
 	flag.Parse()
 	if *streams < 1 {
 		log.Fatalf("-streams must be >= 1")
 	}
+	switch *sinkKind {
+	case "jsonl", "rotate", "sample":
+	default:
+		log.Fatalf("unknown -sink %q (want jsonl, rotate or sample)", *sinkKind)
+	}
+	if *logPath == "" && *sinkKind != "jsonl" {
+		log.Fatalf("-sink=%s requires -log", *sinkKind)
+	}
+	if *rotateBytes <= 0 {
+		log.Fatalf("-rotate-bytes must be > 0")
+	}
+	if *rotateKeep < 1 {
+		log.Fatalf("-rotate-keep must be >= 1")
+	}
+	if *sampleEvery < 1 {
+		log.Fatalf("-sample-every must be >= 1")
+	}
 
-	rec := assertion.NewRecorder(10000)
+	// A full disk or a bad path must not silently truncate the violation
+	// log: every sink error path below exits non-zero.
+	var sink assertion.Sink
+	var sampler *assertion.SamplingSink
 	var logFile *os.File
 	if *logPath != "" {
-		f, err := os.Create(*logPath)
-		if err != nil {
-			log.Fatalf("create log: %v", err)
+		switch *sinkKind {
+		case "jsonl", "sample":
+			f, err := os.Create(*logPath)
+			if err != nil {
+				log.Fatalf("create log: %v", err)
+			}
+			logFile = f
+			sink = assertion.NewJSONLSink(f, 0)
+			if *sinkKind == "sample" {
+				sampler = assertion.NewSamplingSink(sink, *sampleEvery)
+				sink = sampler
+			}
+		case "rotate":
+			s, err := assertion.NewRotatingFileSink(*logPath, *rotateBytes, *rotateKeep)
+			if err != nil {
+				log.Fatalf("open rotating log: %v", err)
+			}
+			sink = s
 		}
-		logFile = f
-		rec.StreamTo(f)
 	}
 
 	// Every stream runs the same model and assertion suite; the suite's
@@ -61,7 +105,14 @@ func main() {
 	popts := []assertion.PoolOption{
 		assertion.WithShards(*streams),
 		assertion.WithPoolWindowSize(8),
-		assertion.WithPoolRecorder(rec),
+	}
+	if *perStream {
+		popts = append(popts, assertion.WithPerStreamRecorders(10000))
+	} else {
+		popts = append(popts, assertion.WithPoolRecorder(assertion.NewRecorder(10000)))
+	}
+	if sink != nil {
+		popts = append(popts, assertion.WithPoolSink(sink))
 	}
 	if *workers > 0 {
 		popts = append(popts, assertion.WithPoolWorkers(*workers))
@@ -99,27 +150,29 @@ func main() {
 		}(i, d)
 	}
 	wg.Wait()
+	// Close drains the pipeline, flushes every recorder and closes the
+	// pool-owned sink; any sink error surfaces here.
 	if err := pool.Close(); err != nil {
 		log.Fatalf("drain monitor pool: %v", err)
 	}
 
 	fmt.Printf("monitored %d frames across %d streams (%d shards) with %d assertions\n",
 		pool.Observed(), pool.NumStreams(), pool.NumShards(), suite.Len())
-	fmt.Printf("violations recorded: %d (high severity: %d)\n", rec.TotalFired(), highSeverity)
-	for _, name := range rec.AssertionNames() {
-		st, _ := rec.Stats(name)
+	fmt.Printf("violations recorded: %d (high severity: %d)\n", pool.TotalFired(), highSeverity)
+	for _, name := range pool.AssertionNames() {
+		st, _ := pool.Stats(name)
 		fmt.Printf("  %-18s fired %5d times, max severity %.1f\n", name, st.Fired, st.MaxSev)
 	}
-
-	// A full disk must not silently truncate the violation log: surface
-	// sink errors and the file close error, and exit non-zero.
-	if err := rec.Close(); err != nil {
-		log.Fatalf("log stream error: %v", err)
+	if sampler != nil && sampler.SampledOut() > 0 {
+		fmt.Printf("sink sampled out %d violations (sampling policy)\n", sampler.SampledOut())
 	}
+
 	if logFile != nil {
 		if err := logFile.Close(); err != nil {
 			log.Fatalf("close log: %v", err)
 		}
+	}
+	if sink != nil {
 		fmt.Printf("JSONL violation log written to %s\n", *logPath)
 	}
 }

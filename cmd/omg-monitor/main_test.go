@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"omg/internal/assertion"
+)
+
+// monitorBin is the omg-monitor binary built once by TestMain; empty when
+// the go toolchain is unavailable (tests skip then).
+var monitorBin string
+
+func TestMain(m *testing.M) {
+	var cleanup string
+	if _, err := exec.LookPath("go"); err == nil {
+		dir, err := os.MkdirTemp("", "omg-monitor-e2e")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cleanup = dir
+		bin := filepath.Join(dir, "omg-monitor")
+		if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+			os.RemoveAll(dir)
+			fmt.Fprintf(os.Stderr, "building omg-monitor: %v\n%s", err, out)
+			os.Exit(1)
+		}
+		monitorBin = bin
+	}
+	code := m.Run()
+	if cleanup != "" {
+		os.RemoveAll(cleanup)
+	}
+	os.Exit(code)
+}
+
+func needBinary(t *testing.T) string {
+	t.Helper()
+	if monitorBin == "" {
+		t.Skip("go toolchain unavailable; cannot build omg-monitor")
+	}
+	return monitorBin
+}
+
+// readViolations parses a JSONL violation log.
+func readViolations(t *testing.T, path string) []assertion.Violation {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open log: %v", err)
+	}
+	defer f.Close()
+	var out []assertion.Violation
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var v assertion.Violation
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestEndToEndJSONLSink(t *testing.T) {
+	bin := needBinary(t)
+	logPath := filepath.Join(t.TempDir(), "violations.jsonl")
+	out, err := exec.Command(bin,
+		"-frames", "300", "-streams", "3", "-workers", "2", "-log", logPath,
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("omg-monitor failed: %v\n%s", err, out)
+	}
+
+	vs := readViolations(t, logPath)
+	if len(vs) == 0 {
+		t.Fatal("no violations logged; the night-street domain should fire")
+	}
+	// Every logged violation must carry one of the driven stream keys.
+	valid := map[string]bool{"cam-00": true, "cam-01": true, "cam-02": true}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if !valid[v.Stream] {
+			t.Fatalf("violation carries unknown stream key %q", v.Stream)
+		}
+		seen[v.Stream] = true
+		if v.Assertion == "" || v.Severity <= 0 {
+			t.Fatalf("malformed violation: %+v", v)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no stream keys in log")
+	}
+	// The dashboard total and the durable log must agree.
+	m := regexp.MustCompile(`violations recorded: (\d+)`).FindSubmatch(out)
+	if m == nil {
+		t.Fatalf("summary line missing from output:\n%s", out)
+	}
+	total, _ := strconv.Atoi(string(m[1]))
+	if total != len(vs) {
+		t.Fatalf("summary reports %d violations, log holds %d", total, len(vs))
+	}
+}
+
+func TestEndToEndUnwritableSinkPath(t *testing.T) {
+	bin := needBinary(t)
+	out, err := exec.Command(bin,
+		"-frames", "50", "-log", filepath.Join(t.TempDir(), "no-such-dir", "v.jsonl"),
+	).CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected non-zero exit for unwritable sink path; output:\n%s", out)
+	}
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("run error: %v", err)
+	}
+}
+
+func TestEndToEndBadSinkFlags(t *testing.T) {
+	bin := needBinary(t)
+	logPath := filepath.Join(t.TempDir(), "v.jsonl")
+	// Unknown backend, with and without -log, and a backend that needs a
+	// log path but got none: all must fail loudly, never silently no-op.
+	for _, args := range [][]string{
+		{"-frames", "50", "-log", logPath, "-sink", "bogus"},
+		{"-frames", "50", "-sink", "bogus"},
+		{"-frames", "50", "-sink", "rotate"},
+	} {
+		if out, err := exec.Command(bin, args...).CombinedOutput(); err == nil {
+			t.Fatalf("%v: expected non-zero exit; output:\n%s", args, out)
+		}
+	}
+}
+
+func TestEndToEndRotatingSink(t *testing.T) {
+	bin := needBinary(t)
+	logPath := filepath.Join(t.TempDir(), "violations.jsonl")
+	out, err := exec.Command(bin,
+		"-frames", "500", "-streams", "2", "-log", logPath,
+		"-sink", "rotate", "-rotate-bytes", "2048", "-rotate-keep", "2",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("omg-monitor failed: %v\n%s", err, out)
+	}
+	if vs := readViolations(t, logPath); len(vs) == 0 {
+		t.Fatal("active rotated log is empty")
+	}
+	if _, err := os.Stat(logPath + ".1"); err != nil {
+		t.Fatalf("expected at least one rotation at 2 KiB: %v", err)
+	}
+	if _, err := os.Stat(logPath + ".3"); err == nil {
+		t.Fatal("-rotate-keep 2 must prune the third rotated file")
+	}
+}
+
+func TestEndToEndSamplingSinkAndPerStreamRecorders(t *testing.T) {
+	bin := needBinary(t)
+	logPath := filepath.Join(t.TempDir(), "violations.jsonl")
+	out, err := exec.Command(bin,
+		"-frames", "300", "-streams", "2", "-log", logPath,
+		"-sink", "sample", "-sample-every", "5", "-per-stream-recorders",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("omg-monitor failed: %v\n%s", err, out)
+	}
+	m := regexp.MustCompile(`violations recorded: (\d+)`).FindSubmatch(out)
+	if m == nil {
+		t.Fatalf("summary line missing from output:\n%s", out)
+	}
+	total, _ := strconv.Atoi(string(m[1]))
+	vs := readViolations(t, logPath)
+	if len(vs) == 0 || len(vs) >= total {
+		t.Fatalf("sampling should log fewer than the %d recorded violations, logged %d", total, len(vs))
+	}
+	if !regexp.MustCompile(`sink sampled out \d+ violations`).Match(out) {
+		t.Fatalf("sampled-out count missing from summary:\n%s", out)
+	}
+}

@@ -6,8 +6,10 @@
 // The "models" here are toy temperature estimators, one per sensor, whose
 // outputs occasionally spike; the assertions encode that readings stay in
 // a physical range and do not jump between consecutive samples of the
-// same sensor. Each sensor is its own stream, so windows never mix
-// sensors no matter how the pool interleaves work.
+// same sensor. Each sensor is its own stream with its own violation
+// recorder, and every violation fans out through a composed sink stack:
+// a queryable MemorySink beside a SamplingSink that rate-limits the
+// JSONL stream on stderr to 1 in 5 violations per assertion.
 package main
 
 import (
@@ -44,15 +46,23 @@ func main() {
 		return 0
 	}))
 
-	// 2. Build the sharded pool: violations from every stream land in one
-	// shared recorder, streamed asynchronously as JSONL to stderr.
-	rec := omg.NewRecorder(1000)
-	rec.StreamTo(os.Stderr)
+	// 2. Compose the violation backend: every violation lands in a
+	// queryable in-memory sink AND — sampled 1-in-5 per assertion — in the
+	// asynchronous JSONL stream on stderr. The pool owns the stack and
+	// closes it on pool.Close.
+	mem := omg.NewMemorySink(1000)
+	sampled := omg.NewSamplingSink(omg.NewJSONLSink(os.Stderr, 0), 5)
+	sink := omg.NewMultiSink(mem, sampled)
+
+	// 3. Build the sharded pool: each sensor gets its own recorder (no
+	// cross-stream contention on the violation log), all fanning into the
+	// one shared sink stack.
 	pool := omg.NewMonitorPool(reg.Suite(),
 		omg.WithShards(4),
 		omg.WithPoolWindowSize(8),
 		omg.WithQueueDepth(64),
-		omg.WithPoolRecorder(rec),
+		omg.WithPerStreamRecorders(200),
+		omg.WithPoolSink(sink),
 	)
 
 	// Corrective action: page the on-call when any sensor jumps hard.
@@ -60,7 +70,7 @@ func main() {
 	var pages atomic.Int64
 	pool.OnAssertion("temp-jump", 10, func(v omg.Violation) { pages.Add(1) })
 
-	// 3. Drive 16 sensors concurrently through the async ingestion path.
+	// 4. Drive 16 sensors concurrently through the async ingestion path.
 	// Enqueue blocks when a shard queue is full — backpressure, not loss.
 	const sensors, samples = 16, 500
 	var wg sync.WaitGroup
@@ -87,18 +97,22 @@ func main() {
 	}
 	wg.Wait()
 
-	// 4. Drain the pipeline and the JSONL sink, then read the dashboard.
+	// 5. Drain the pipeline and the sink stack, then read the dashboard
+	// from the pool's merged views and the memory backend.
 	if err := pool.Close(); err != nil {
-		panic(err)
-	}
-	if err := rec.Close(); err != nil {
 		panic(err)
 	}
 	fmt.Printf("observed %d samples from %d sensors on %d shards\n",
 		pool.Observed(), pool.NumStreams(), pool.NumShards())
-	fmt.Printf("violations: %d (pages sent: %d)\n", rec.TotalFired(), pages.Load())
-	for _, name := range rec.AssertionNames() {
-		st, _ := rec.Stats(name)
+	fmt.Printf("violations: %d (pages sent: %d)\n", pool.TotalFired(), pages.Load())
+	for _, name := range pool.AssertionNames() {
+		st, _ := pool.Stats(name)
 		fmt.Printf("  %-14s fired %3d times, max severity %.1f\n", name, st.Fired, st.MaxSev)
+	}
+	fmt.Printf("memory sink retains %d violations; %d sampled out of the JSONL stream\n",
+		mem.Len(), sampled.SampledOut())
+	// Per-stream drill-down: the noisiest sensor's own recorder.
+	if rec := pool.StreamRecorder("sensor-00"); rec != nil {
+		fmt.Printf("sensor-00 alone fired %d times\n", rec.TotalFired())
 	}
 }

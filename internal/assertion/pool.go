@@ -3,6 +3,7 @@ package assertion
 import (
 	"errors"
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -28,20 +29,28 @@ var ErrPoolClosed = errors.New("assertion: monitor pool is closed")
 //     producer (explicit backpressure, never silent loss); Flush waits for
 //     the pipeline and the recorder's JSONL sink to drain.
 //
-// All streams share one Recorder, whose statistics are lock-free and whose
-// JSONL sink is asynchronous, so the observe path stays allocation-lean
-// under multi-stream load.
+// By default all streams share one Recorder, whose statistics are
+// lock-free and whose sink is asynchronous, so the observe path stays
+// allocation-lean under multi-stream load. WithPerStreamRecorders gives
+// every stream its own recorder instead — removing the shared violation
+// ring as a cross-stream contention point — while the pool's Summary,
+// Violations, Stats, TotalFired and AssertionNames keep presenting the
+// merged view.
 type MonitorPool struct {
 	suite      *Suite
 	windowSize int
 
 	shards  []*poolShard
 	queues  []chan Sample
-	rec     *Recorder
+	rec     *Recorder     // shared recorder; nil when perStream
 	sem     chan struct{} // bounds concurrent evaluation; nil when unbounded
 	wg      sync.WaitGroup
 	pending *waiter
 	drained chan struct{} // closed once the workers have exited
+
+	perStream      bool
+	perStreamLimit int
+	sink           Sink // pool-owned shared backend; nil when none
 
 	// actMu serialises action registration against stream-monitor
 	// creation so every monitor sees every action exactly once.
@@ -60,11 +69,14 @@ type poolShard struct {
 }
 
 type poolConfig struct {
-	shards     int
-	workers    int
-	queueDepth int
-	windowSize int
-	recorder   *Recorder
+	shards         int
+	workers        int
+	queueDepth     int
+	windowSize     int
+	recorder       *Recorder
+	perStream      bool
+	perStreamLimit int
+	sink           Sink
 }
 
 // PoolOption configures a MonitorPool.
@@ -113,12 +125,37 @@ func WithPoolWindowSize(n int) PoolOption {
 }
 
 // WithPoolRecorder attaches a shared recorder; by default a fresh
-// unbounded in-memory recorder is created.
+// unbounded in-memory recorder is created. Ignored when
+// WithPerStreamRecorders is also set.
 func WithPoolRecorder(r *Recorder) PoolOption {
 	return func(c *poolConfig) {
 		if r != nil {
 			c.recorder = r
 		}
+	}
+}
+
+// WithPerStreamRecorders gives every stream its own Recorder (each
+// bounded to limit retained violations, 0 = unbounded) instead of one
+// recorder shared by all streams. Concurrent shard workers then never
+// contend on a shared violation ring; the pool's Summary, Violations,
+// Stats, TotalFired and AssertionNames merge across streams, and
+// StreamRecorder exposes each stream's own view. Overrides
+// WithPoolRecorder; Recorder() returns nil in this mode.
+func WithPerStreamRecorders(limit int) PoolOption {
+	return func(c *poolConfig) {
+		c.perStream = true
+		c.perStreamLimit = limit
+	}
+}
+
+// WithPoolSink attaches one violation backend shared by every recorder in
+// the pool — the shared recorder, or each per-stream recorder. The pool
+// owns the sink: Flush flushes it and Close closes it. With a shared
+// recorder this replaces any sink previously attached to it.
+func WithPoolSink(s Sink) PoolOption {
+	return func(c *poolConfig) {
+		c.sink = s
 	}
 }
 
@@ -135,15 +172,23 @@ func NewMonitorPool(suite *Suite, opts ...PoolOption) *MonitorPool {
 	if cfg.shards < 1 {
 		cfg.shards = 1
 	}
-	if cfg.recorder == nil {
+	if cfg.perStream {
+		cfg.recorder = nil
+	} else if cfg.recorder == nil {
 		cfg.recorder = NewRecorder(0)
 	}
 	p := &MonitorPool{
-		suite:      suite,
-		windowSize: cfg.windowSize,
-		rec:        cfg.recorder,
-		pending:    newWaiter(),
-		drained:    make(chan struct{}),
+		suite:          suite,
+		windowSize:     cfg.windowSize,
+		rec:            cfg.recorder,
+		pending:        newWaiter(),
+		drained:        make(chan struct{}),
+		perStream:      cfg.perStream,
+		perStreamLimit: cfg.perStreamLimit,
+		sink:           cfg.sink,
+	}
+	if p.rec != nil && p.sink != nil {
+		p.rec.ShareSink(p.sink)
 	}
 	// The semaphore exists only when it can actually bind: with one
 	// worker slot per shard it could never block, so the unbounded
@@ -224,7 +269,14 @@ func (p *MonitorPool) monitorFor(shard int, stream string) *Monitor {
 	}
 	sh.mu.Unlock()
 
-	mopts := []MonitorOption{WithRecorder(p.rec)}
+	rec := p.rec
+	if p.perStream {
+		rec = NewRecorder(p.perStreamLimit)
+		if p.sink != nil {
+			rec.ShareSink(p.sink)
+		}
+	}
+	mopts := []MonitorOption{WithRecorder(rec)}
 	if p.windowSize >= 1 {
 		mopts = append(mopts, WithWindowSize(p.windowSize))
 	}
@@ -296,19 +348,67 @@ func (p *MonitorPool) ObserveBatch(batch []Sample) error {
 	return nil
 }
 
-// Flush blocks until every queued sample has been evaluated and the
-// recorder's JSONL sink (if any) has drained, and returns the sink's
-// error, if any.
+// Flush blocks until every queued sample has been evaluated and every
+// recorder's sink (if any) has drained, and returns the first sink error,
+// if any.
 func (p *MonitorPool) Flush() error {
 	p.pending.wait()
-	return p.rec.Flush()
+	return p.flushRecorders()
 }
 
-// Close drains the pipeline, stops the worker goroutines and flushes the
-// recorder's sink, returning its error. The recorder itself is not closed
-// — callers that attached a JSONL sink should rec.Close() it when the
-// stream is final. Close is idempotent; Observe keeps working afterwards
-// but Enqueue returns ErrPoolClosed.
+// flushRecorders flushes every sink in the pool, returning the first
+// error. The pool-owned shared sink is flushed once — not once per
+// recorder streaming into it — while a sink a caller attached to an
+// individual recorder (replacing the shared one) still gets its own
+// flush.
+func (p *MonitorPool) flushRecorders() error {
+	var first error
+	note := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if p.sink != nil {
+		note(p.sink.Flush())
+	}
+	p.eachRecorder(func(r *Recorder) {
+		if p.sink != nil && r.currentSink() == p.sink {
+			note(r.Err()) // its sink is the pool sink, flushed above
+			return
+		}
+		note(r.Flush())
+	})
+	return first
+}
+
+// eachRecorder visits every recorder in the pool: the shared one, or each
+// stream's own when WithPerStreamRecorders is on. Recorders are collected
+// under the shard locks but visited outside them, so fn may block (e.g.
+// on a sink flush) without stalling the observe path.
+func (p *MonitorPool) eachRecorder(fn func(*Recorder)) {
+	if !p.perStream {
+		fn(p.rec)
+		return
+	}
+	var recs []*Recorder
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for _, m := range sh.streams {
+			recs = append(recs, m.Recorder())
+		}
+		sh.mu.Unlock()
+	}
+	for _, r := range recs {
+		fn(r)
+	}
+}
+
+// Close drains the pipeline, stops the worker goroutines, flushes every
+// recorder's sink and closes the pool-owned sink (WithPoolSink),
+// returning the first error. Recorders themselves are not closed —
+// callers that attached their own sink to a recorder should rec.Close()
+// it when the stream is final. Close is idempotent; Observe keeps working
+// afterwards but Enqueue returns ErrPoolClosed.
 func (p *MonitorPool) Close() error {
 	p.mu.Lock()
 	first := !p.closed
@@ -325,7 +425,13 @@ func (p *MonitorPool) Close() error {
 		// the pipeline has drained.
 		<-p.drained
 	}
-	return p.rec.Flush()
+	err := p.flushRecorders()
+	if p.sink != nil {
+		if cerr := p.sink.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // OnViolation registers an action on every stream monitor (current and
@@ -389,8 +495,119 @@ func (p *MonitorPool) NumStreams() int {
 	return n
 }
 
-// Recorder returns the pool's shared recorder.
+// Recorder returns the pool's shared recorder, or nil when
+// WithPerStreamRecorders is on — use the pool's merged views (Summary,
+// Violations, Stats, TotalFired, AssertionNames) or StreamRecorder then.
 func (p *MonitorPool) Recorder() *Recorder { return p.rec }
+
+// StreamRecorder returns the recorder observing the given stream: the
+// stream's own recorder under WithPerStreamRecorders (nil if the stream
+// has not been seen yet), the shared recorder otherwise.
+func (p *MonitorPool) StreamRecorder(stream string) *Recorder {
+	if !p.perStream {
+		return p.rec
+	}
+	sh := p.shards[p.shardFor(stream)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if m, ok := sh.streams[stream]; ok {
+		return m.Recorder()
+	}
+	return nil
+}
+
+// Summary returns per-assertion firing counts merged across every
+// recorder in the pool.
+func (p *MonitorPool) Summary() map[string]int {
+	out := make(map[string]int)
+	p.eachRecorder(func(r *Recorder) {
+		for name, n := range r.Summary() {
+			out[name] += n
+		}
+	})
+	return out
+}
+
+// TotalFired returns the total number of violations recorded across every
+// recorder in the pool.
+func (p *MonitorPool) TotalFired() int {
+	total := 0
+	p.eachRecorder(func(r *Recorder) { total += r.TotalFired() })
+	return total
+}
+
+// AssertionNames returns the names of assertions that have fired on any
+// stream, sorted.
+func (p *MonitorPool) AssertionNames() []string {
+	seen := make(map[string]bool)
+	p.eachRecorder(func(r *Recorder) {
+		for _, name := range r.AssertionNames() {
+			seen[name] = true
+		}
+	})
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns aggregate statistics for the named assertion merged
+// across every recorder in the pool: counts and severities are summed,
+// MaxSev is the maximum, and the sample range spans the earliest first to
+// the latest last.
+func (p *MonitorPool) Stats(name string) (Stats, bool) {
+	if !p.perStream {
+		return p.rec.Stats(name)
+	}
+	var out Stats
+	found := false
+	p.eachRecorder(func(r *Recorder) {
+		st, ok := r.Stats(name)
+		if !ok {
+			return
+		}
+		if !found {
+			out, found = st, true
+			return
+		}
+		out.Fired += st.Fired
+		out.TotalSev += st.TotalSev
+		if st.MaxSev > out.MaxSev {
+			out.MaxSev = st.MaxSev
+		}
+		if st.FirstSample < out.FirstSample {
+			out.FirstSample = st.FirstSample
+		}
+		if st.LastSample > out.LastSample {
+			out.LastSample = st.LastSample
+		}
+	})
+	return out, found
+}
+
+// Violations returns the retained violations of every recorder in the
+// pool. With the shared recorder this is its arrival order; with
+// per-stream recorders the merge is ordered by Time, then Stream, then
+// SampleIndex, since no global arrival order exists across recorders.
+func (p *MonitorPool) Violations() []Violation {
+	if !p.perStream {
+		return p.rec.Violations()
+	}
+	var out []Violation
+	p.eachRecorder(func(r *Recorder) { out = append(out, r.Violations()...) })
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		if out[i].Stream != out[j].Stream {
+			return out[i].Stream < out[j].Stream
+		}
+		return out[i].SampleIndex < out[j].SampleIndex
+	})
+	return out
+}
 
 // NumShards returns the number of shards.
 func (p *MonitorPool) NumShards() int { return len(p.shards) }

@@ -1,0 +1,190 @@
+package assertion
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// drive pushes perStream samples for each of n streams through the pool's
+// async path and flushes.
+func drive(t *testing.T, pool *MonitorPool, streams, perStream int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for g := 0; g < streams; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("cam-%d", g)
+			for i := 0; i < perStream; i++ {
+				if err := pool.Enqueue(Sample{Stream: key, Index: i, Time: float64(i)}); err != nil {
+					t.Errorf("Enqueue: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := pool.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+}
+
+func TestPoolPerStreamRecorders(t *testing.T) {
+	const streams, perStream = 5, 150
+
+	// Reference run on the default shared recorder.
+	shared := NewMonitorPool(poolSuite(), WithShards(4), WithPoolWindowSize(4))
+	defer shared.Close()
+	drive(t, shared, streams, perStream)
+
+	pool := NewMonitorPool(poolSuite(), WithShards(4), WithPoolWindowSize(4),
+		WithPerStreamRecorders(0))
+	defer pool.Close()
+	drive(t, pool, streams, perStream)
+
+	if pool.Recorder() != nil {
+		t.Fatal("Recorder() must be nil with per-stream recorders")
+	}
+	// Merged views must agree with the shared-recorder reference.
+	if got, want := pool.Summary(), shared.Recorder().Summary(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged Summary = %v, want %v", got, want)
+	}
+	if got, want := pool.TotalFired(), shared.Recorder().TotalFired(); got != want {
+		t.Fatalf("merged TotalFired = %d, want %d", got, want)
+	}
+	if got, want := pool.AssertionNames(), shared.Recorder().AssertionNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged AssertionNames = %v, want %v", got, want)
+	}
+	gotSt, ok := pool.Stats("every-third")
+	if !ok {
+		t.Fatal("merged Stats missing")
+	}
+	wantSt, _ := shared.Recorder().Stats("every-third")
+	if !reflect.DeepEqual(gotSt, wantSt) {
+		t.Fatalf("merged Stats = %+v, want %+v", gotSt, wantSt)
+	}
+	if got, want := len(pool.Violations()), shared.Recorder().TotalFired(); got != want {
+		t.Fatalf("merged Violations len = %d, want %d", got, want)
+	}
+
+	// Per-stream recorders see only their own stream, and identically to
+	// what the same stream produced under the shared recorder (divided by
+	// stream key).
+	perTotal := 0
+	for g := 0; g < streams; g++ {
+		key := fmt.Sprintf("cam-%d", g)
+		rec := pool.StreamRecorder(key)
+		if rec == nil {
+			t.Fatalf("StreamRecorder(%q) = nil", key)
+		}
+		for _, v := range rec.Violations() {
+			if v.Stream != key {
+				t.Fatalf("recorder for %q holds violation of %q", key, v.Stream)
+			}
+		}
+		perTotal += rec.TotalFired()
+	}
+	if perTotal != pool.TotalFired() {
+		t.Fatalf("per-stream totals %d != merged %d", perTotal, pool.TotalFired())
+	}
+	if rec := pool.StreamRecorder("never-seen"); rec != nil {
+		t.Fatalf("StreamRecorder for unseen stream = %v", rec)
+	}
+}
+
+func TestPoolPerStreamRecorderBound(t *testing.T) {
+	always := NewSuite(New("always", func([]Sample) float64 { return 1 }))
+	pool := NewMonitorPool(always, WithShards(2), WithPerStreamRecorders(10))
+	defer pool.Close()
+	drive(t, pool, 3, 50)
+	for g := 0; g < 3; g++ {
+		rec := pool.StreamRecorder(fmt.Sprintf("cam-%d", g))
+		if got := len(rec.Violations()); got != 10 {
+			t.Fatalf("per-stream ring retained %d, want 10", got)
+		}
+		if got := rec.Dropped(); got != 40 {
+			t.Fatalf("per-stream ring dropped %d, want 40", got)
+		}
+		if got := rec.TotalFired(); got != 50 {
+			t.Fatalf("per-stream stats fired %d, want 50", got)
+		}
+	}
+}
+
+func TestPoolSinkSharedAcrossPerStreamRecorders(t *testing.T) {
+	mem := NewMemorySink(0)
+	always := NewSuite(New("always", func([]Sample) float64 { return 1 }))
+	pool := NewMonitorPool(always, WithShards(3),
+		WithPerStreamRecorders(0), WithPoolSink(mem))
+	drive(t, pool, 4, 25)
+	if err := pool.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Every stream's violations must have landed in the one shared sink,
+	// and the pool-owned sink must be closed by pool.Close.
+	if got := mem.Len(); got != 4*25 {
+		t.Fatalf("shared sink has %d violations, want %d", got, 4*25)
+	}
+	if err := mem.Record(Violation{}); !errors.Is(err, ErrSinkClosed) {
+		t.Fatalf("pool-owned sink not closed: %v", err)
+	}
+	streams := make(map[string]int)
+	for _, v := range mem.Violations() {
+		streams[v.Stream]++
+	}
+	if len(streams) != 4 {
+		t.Fatalf("shared sink saw streams %v, want 4", streams)
+	}
+}
+
+func TestPoolSinkWithSharedRecorder(t *testing.T) {
+	mem := NewMemorySink(0)
+	always := NewSuite(New("always", func([]Sample) float64 { return 1 }))
+	pool := NewMonitorPool(always, WithShards(2), WithPoolSink(mem))
+	drive(t, pool, 2, 20)
+	if err := pool.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := mem.Len(); got != 40 {
+		t.Fatalf("sink has %d violations, want 40", got)
+	}
+	// The shared recorder still has the full log and stats.
+	if got := pool.Recorder().TotalFired(); got != 40 {
+		t.Fatalf("recorder fired %d, want 40", got)
+	}
+}
+
+func TestPoolPerStreamConcurrentViews(t *testing.T) {
+	// Run with -race: merged views must be safe against in-flight traffic.
+	pool := NewMonitorPool(poolSuite(), WithShards(4), WithPerStreamRecorders(100))
+	defer pool.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("s-%d", g)
+			for i := 0; i < 300; i++ {
+				pool.Observe(Sample{Stream: key, Index: i})
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = pool.Summary()
+			_ = pool.TotalFired()
+			_ = pool.Violations()
+			_, _ = pool.Stats("every-third")
+		}
+	}()
+	wg.Wait()
+	<-done
+	if err := pool.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+}

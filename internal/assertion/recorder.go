@@ -1,6 +1,8 @@
 package assertion
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"math"
 	"sort"
@@ -62,57 +64,102 @@ func atomicMaxFloat(a *atomic.Uint64, x float64) {
 	}
 }
 
-// Recorder stores assertion violations: an in-memory log (optionally
-// bounded, kept as a ring buffer so eviction is O(1)) plus lock-free
-// aggregate statistics, with optional asynchronous JSONL streaming to an
-// io.Writer. In a production deployment the JSONL stream is what populates
-// dashboards and the data-collection pipeline (paper §2.3). It is safe for
-// concurrent use.
-//
-// The observe path never encodes JSON: Record hands violations to a sink
-// worker goroutine over a bounded channel, and Flush/Close make the stream
-// durable. Call Flush (or Close) before reading the sink's output or its
-// error state.
-type Recorder struct {
-	limit int
-
-	mu      sync.Mutex // guards the violation ring only
-	ring    []Violation
+// violationRing is the bounded violation log shared by Recorder and
+// MemorySink: append-or-overwrite with O(1) eviction, arrival-order
+// reads. Callers provide their own locking.
+type violationRing struct {
+	limit   int
+	buf     []Violation
 	head    int // index of the oldest retained violation once the ring is full
 	dropped atomic.Int64
+}
+
+// add appends v, overwriting the oldest entry in place (constant-time
+// eviction) once the bound is hit.
+func (r *violationRing) add(v Violation) {
+	if r.limit > 0 && len(r.buf) == r.limit {
+		r.buf[r.head] = v
+		r.head++
+		if r.head == r.limit {
+			r.head = 0
+		}
+		r.dropped.Add(1)
+		return
+	}
+	r.buf = append(r.buf, v)
+}
+
+// snapshot copies the retained violations in arrival order.
+func (r *violationRing) snapshot() []Violation {
+	out := make([]Violation, 0, len(r.buf))
+	out = append(out, r.buf[r.head:]...)
+	out = append(out, r.buf[:r.head]...)
+	return out
+}
+
+// byAssertion copies retained violations of the named assertion in
+// arrival order.
+func (r *violationRing) byAssertion(name string) []Violation {
+	var out []Violation
+	n := len(r.buf)
+	for i := 0; i < n; i++ {
+		if v := r.buf[(r.head+i)%n]; v.Assertion == name {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (r *violationRing) clear() {
+	r.buf, r.head = nil, 0
+	r.dropped.Store(0)
+}
+
+// sinkBox pairs an attached Sink with its ownership: owned sinks are
+// closed when detached (swap or Recorder.Close), shared sinks — one
+// backend fed by several recorders — are only flushed.
+type sinkBox struct {
+	s     Sink
+	owned bool
+}
+
+// Recorder stores assertion violations: an in-memory log (optionally
+// bounded, kept as a ring buffer so eviction is O(1)) plus lock-free
+// aggregate statistics, with optional asynchronous streaming to a
+// pluggable Sink backend (JSONL by default). In a production deployment
+// the violation stream is what populates dashboards and the
+// data-collection pipeline (paper §2.3). It is safe for concurrent use.
+//
+// The observe path never encodes JSON: Record hands violations to the
+// sink (asynchronous backends queue them for a worker goroutine), and
+// Flush/Close drain the stream to the backend. Call Flush (or Close)
+// before reading the sink's output or its error state.
+type Recorder struct {
+	mu  sync.Mutex // guards the violation ring only
+	log violationRing
 
 	stats sync.Map // assertion name -> *statsCell
 
-	sink atomic.Pointer[jsonlSink]
+	sink atomic.Pointer[sinkBox]
 
-	// errMu/firstErr retain the first streaming error across sink swaps,
-	// so rotating logs with StreamTo cannot silently discard a failure.
-	errMu    sync.Mutex
-	firstErr error
+	// sinkDropped accumulates the drop counts of detached owned sinks so
+	// SinkDropped survives StreamTo swaps and Close.
+	sinkDropped atomic.Int64
+
+	// streamErr retains the first streaming error across sink swaps, so
+	// rotating logs with StreamTo cannot silently discard a failure.
+	streamErr firstErr
 }
 
-func (r *Recorder) saveErr(err error) {
-	if err == nil {
-		return
-	}
-	r.errMu.Lock()
-	if r.firstErr == nil {
-		r.firstErr = err
-	}
-	r.errMu.Unlock()
-}
+func (r *Recorder) saveErr(err error) { r.streamErr.set(err) }
 
-func (r *Recorder) storedErr() error {
-	r.errMu.Lock()
-	defer r.errMu.Unlock()
-	return r.firstErr
-}
+func (r *Recorder) storedErr() error { return r.streamErr.get() }
 
 // NewRecorder returns a recorder keeping at most limit violations in
 // memory (0 or negative = unbounded). Aggregate statistics are always
 // complete regardless of the memory bound.
 func NewRecorder(limit int) *Recorder {
-	return &Recorder{limit: limit}
+	return &Recorder{log: violationRing{limit: limit}}
 }
 
 // StreamTo attaches a buffered asynchronous JSONL sink: every subsequent
@@ -127,25 +174,93 @@ func (r *Recorder) StreamTo(w io.Writer) { r.StreamToBuffered(w, 0) }
 // default of 1024). When the queue is full, Record blocks until the sink
 // worker catches up — explicit backpressure rather than silent loss.
 func (r *Recorder) StreamToBuffered(w io.Writer, depth int) {
-	var s *jsonlSink
-	if w != nil {
-		s = newJSONLSink(w, depth)
+	if w == nil {
+		r.StreamToSink(nil)
+		return
 	}
-	if old := r.sink.Swap(s); old != nil {
-		r.saveErr(old.close())
+	r.StreamToSink(NewJSONLSink(w, depth))
+}
+
+// StreamToSink attaches a violation backend, taking ownership: a
+// previously attached sink is retired first, and Close (or a later swap)
+// closes this one. Passing nil detaches the current sink. Compose
+// backends — MultiSink, SamplingSink, RotatingFileSink — before attaching.
+func (r *Recorder) StreamToSink(s Sink) { r.attachSink(s, true) }
+
+// ShareSink attaches a violation backend without taking ownership: the
+// recorder flushes it on Flush, Close and swaps but never closes it. Use
+// it when one backend is fed by several recorders (e.g. per-stream
+// recorders fanning into one MultiSink); whoever created the sink closes
+// it.
+func (r *Recorder) ShareSink(s Sink) { r.attachSink(s, false) }
+
+func (r *Recorder) attachSink(s Sink, owned bool) {
+	var box *sinkBox
+	if s != nil {
+		box = &sinkBox{s: s, owned: owned}
+	}
+	if old := r.sink.Swap(box); old != nil {
+		r.retire(old)
+	}
+}
+
+// retire settles a detached sink: owned sinks are closed and their drop
+// count folded into SinkDropped; shared sinks are only flushed.
+func (r *Recorder) retire(box *sinkBox) {
+	if !box.owned {
+		r.saveErr(box.s.Flush())
+		return
+	}
+	r.saveErr(box.s.Close())
+	if dc, ok := box.s.(DropCounter); ok {
+		r.sinkDropped.Add(dc.Dropped())
 	}
 }
 
 // Err returns the first error encountered while streaming, if any —
-// including errors from sinks since replaced or closed. Because the sink
-// is asynchronous, call Flush first to observe errors from
-// already-recorded violations.
+// including errors from sinks since replaced or closed. Because sinks may
+// be asynchronous, call Flush first to observe errors from
+// already-recorded violations. When the sink has discarded violations
+// (see SinkDropped) the count is folded into the error message.
 func (r *Recorder) Err() error {
-	if err := r.storedErr(); err != nil {
-		return err
+	err := r.storedErr()
+	if err == nil {
+		if box := r.sink.Load(); box != nil {
+			err = box.s.Err()
+		}
 	}
-	if s := r.sink.Load(); s != nil {
-		return s.lastErr()
+	if err == nil {
+		return nil
+	}
+	if n := r.SinkDropped(); n > 0 {
+		return fmt.Errorf("%w (sink dropped %d violations)", err, n)
+	}
+	return err
+}
+
+// SinkDropped returns how many violations this recorder's streaming path
+// has lost — a sink's internal drops (write errors, bounded backends) for
+// owned sinks, including ones since replaced or closed, plus refusals
+// observed at Record time. A shared sink's internal count is NOT folded
+// in: one backend fed by many recorders cannot attribute its drops to any
+// one of them, so that total belongs to whoever owns the sink (query its
+// Dropped directly). Deliberate sampling skips are never counted (see
+// SamplingSink.SampledOut).
+func (r *Recorder) SinkDropped() int64 {
+	n := r.sinkDropped.Load()
+	if box := r.sink.Load(); box != nil && box.owned {
+		if dc, ok := box.s.(DropCounter); ok {
+			n += dc.Dropped()
+		}
+	}
+	return n
+}
+
+// currentSink returns the attached backend, if any — for callers (the
+// pool) that must not flush one shared sink once per recorder.
+func (r *Recorder) currentSink() Sink {
+	if box := r.sink.Load(); box != nil {
+		return box.s
 	}
 	return nil
 }
@@ -154,18 +269,21 @@ func (r *Recorder) Err() error {
 // and returns the first streaming error, if any. It is a no-op without an
 // attached sink.
 func (r *Recorder) Flush() error {
-	if s := r.sink.Load(); s != nil {
-		s.flush()
+	if box := r.sink.Load(); box != nil {
+		// Retained here too, in case a third-party sink returns a flush
+		// error that its own Err does not keep.
+		r.saveErr(box.s.Flush())
 	}
 	return r.Err()
 }
 
-// Close flushes and stops the sink worker, returning the first streaming
-// error. The recorder itself remains usable (and Err still reports the
-// sink's error); subsequent violations are no longer streamed.
+// Close detaches the sink — closing it if owned, flushing it if shared —
+// and returns the first streaming error. The recorder itself remains
+// usable (and Err still reports the sink's error); subsequent violations
+// are no longer streamed.
 func (r *Recorder) Close() error {
-	if s := r.sink.Load(); s != nil {
-		r.saveErr(s.close())
+	if box := r.sink.Swap(nil); box != nil {
+		r.retire(box)
 	}
 	return r.Err()
 }
@@ -186,29 +304,35 @@ func (r *Recorder) Record(v Violation) {
 	st.last.Store(int64(v.SampleIndex))
 
 	r.mu.Lock()
-	if r.limit > 0 && len(r.ring) == r.limit {
-		// Overwrite the oldest entry in place: constant-time eviction.
-		r.ring[r.head] = v
-		r.head++
-		if r.head == r.limit {
-			r.head = 0
-		}
-		r.dropped.Add(1)
-	} else {
-		r.ring = append(r.ring, v)
-	}
+	r.log.add(v)
 	r.mu.Unlock()
 
-	if s := r.sink.Load(); s != nil {
-		// A send can be refused when a concurrent StreamTo swap closed
-		// this sink between the Load and the send; retry on the
+	if box := r.sink.Load(); box != nil {
+		// A record can be refused when a concurrent StreamTo swap closed
+		// this sink between the Load and the call; retry on the
 		// replacement so the violation lands in exactly one stream.
-		for !s.send(v) {
-			next := r.sink.Load()
-			if next == nil || next == s {
-				break // detached, or closed for good via Close
+		for {
+			err := box.s.Record(v)
+			if err == nil {
+				break
 			}
-			s = next
+			if !errors.Is(err, ErrSinkClosed) {
+				// The sink refused the violation outright: retain the
+				// error and account for the loss.
+				r.saveErr(err)
+				r.sinkDropped.Add(1)
+				break
+			}
+			next := r.sink.Load()
+			if next == nil || next == box {
+				// A still-attached sink refused the violation and no
+				// replacement exists (it was closed elsewhere, e.g. a
+				// pool-owned backend after pool.Close): account for the
+				// loss instead of hiding it.
+				r.sinkDropped.Add(1)
+				break
+			}
+			box = next
 		}
 	}
 }
@@ -217,10 +341,7 @@ func (r *Recorder) Record(v Violation) {
 func (r *Recorder) Violations() []Violation {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Violation, 0, len(r.ring))
-	out = append(out, r.ring[r.head:]...)
-	out = append(out, r.ring[:r.head]...)
-	return out
+	return r.log.snapshot()
 }
 
 // ByAssertion returns retained violations of the named assertion in
@@ -228,15 +349,7 @@ func (r *Recorder) Violations() []Violation {
 func (r *Recorder) ByAssertion(name string) []Violation {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var out []Violation
-	n := len(r.ring)
-	for i := 0; i < n; i++ {
-		v := r.ring[(r.head+i)%n]
-		if v.Assertion == name {
-			out = append(out, v)
-		}
-	}
-	return out
+	return r.log.byAssertion(name)
 }
 
 // Stats returns aggregate statistics for the named assertion.
@@ -261,7 +374,7 @@ func (r *Recorder) TotalFired() int {
 
 // Dropped returns how many violations were evicted from the bounded
 // in-memory log.
-func (r *Recorder) Dropped() int { return int(r.dropped.Load()) }
+func (r *Recorder) Dropped() int { return int(r.log.dropped.Load()) }
 
 // AssertionNames returns the names of assertions that have fired, sorted.
 func (r *Recorder) AssertionNames() []string {
@@ -289,12 +402,10 @@ func (r *Recorder) Summary() map[string]int {
 // called concurrently with Record.
 func (r *Recorder) Clear() {
 	r.mu.Lock()
-	r.ring = nil
-	r.head = 0
+	r.log.clear()
 	r.mu.Unlock()
 	r.stats.Range(func(name, _ any) bool {
 		r.stats.Delete(name)
 		return true
 	})
-	r.dropped.Store(0)
 }

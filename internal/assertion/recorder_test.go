@@ -113,6 +113,136 @@ func TestRecorderStreamErrorRetained(t *testing.T) {
 	}
 }
 
+func TestRecorderSinkDroppedCountsPostErrorLoss(t *testing.T) {
+	r := NewRecorder(0)
+	r.StreamTo(failingWriter{})
+	const n = 25
+	for i := 0; i < n; i++ {
+		r.Record(Violation{Assertion: "a", SampleIndex: i, Severity: 1})
+	}
+	err := r.Flush()
+	if err == nil {
+		t.Fatal("Flush should surface the write error")
+	}
+	// The silent post-error drain must be accounted for: every violation
+	// that never reached the writer is counted, and Err says so.
+	if got := r.SinkDropped(); got != n {
+		t.Fatalf("SinkDropped = %d, want %d", got, n)
+	}
+	if !strings.Contains(err.Error(), "dropped") {
+		t.Fatalf("Err does not mention the dropped violations: %v", err)
+	}
+	// The count survives detaching the dead sink.
+	if err := r.Close(); err == nil {
+		t.Fatal("Close should keep reporting the error")
+	}
+	if got := r.SinkDropped(); got != n {
+		t.Fatalf("SinkDropped after Close = %d, want %d", got, n)
+	}
+}
+
+func TestRecorderSinkDroppedSurvivesSwap(t *testing.T) {
+	r := NewRecorder(0)
+	r.StreamTo(failingWriter{})
+	r.Record(Violation{Assertion: "a", Severity: 1})
+	var buf bytes.Buffer
+	r.StreamTo(&buf) // retires the dead sink, folding in its drops
+	if got := r.SinkDropped(); got != 1 {
+		t.Fatalf("SinkDropped after swap = %d, want 1", got)
+	}
+	r.Record(Violation{Assertion: "a", Severity: 1})
+	if err := r.Close(); err == nil {
+		t.Fatal("Close must keep the old sink's error")
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Fatalf("replacement sink lines = %d, want 1", got)
+	}
+}
+
+func TestRecorderStreamToSinkBackends(t *testing.T) {
+	mem := NewMemorySink(0)
+	r := NewRecorder(0)
+	r.StreamToSink(mem)
+	r.Record(Violation{Assertion: "a", SampleIndex: 1, Severity: 2})
+	if err := r.Flush(); err != nil {
+		t.Fatalf("Flush = %v", err)
+	}
+	if got := mem.Len(); got != 1 {
+		t.Fatalf("memory sink received %d violations", got)
+	}
+	// Owned sink: Recorder.Close closes it.
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	if err := mem.Record(Violation{}); !errors.Is(err, ErrSinkClosed) {
+		t.Fatalf("owned sink not closed by Recorder.Close: %v", err)
+	}
+}
+
+func TestRecorderShareSinkLeavesSinkOpen(t *testing.T) {
+	mem := NewMemorySink(0)
+	ra, rb := NewRecorder(0), NewRecorder(0)
+	ra.ShareSink(mem)
+	rb.ShareSink(mem)
+	ra.Record(Violation{Assertion: "a", Severity: 1})
+	rb.Record(Violation{Assertion: "b", Severity: 1})
+	if err := ra.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	// The shared sink must survive one recorder's Close so the other can
+	// keep streaming into it.
+	rb.Record(Violation{Assertion: "b", Severity: 1})
+	if err := rb.Flush(); err != nil {
+		t.Fatalf("Flush = %v", err)
+	}
+	if got := mem.Len(); got != 3 {
+		t.Fatalf("shared sink has %d violations, want 3", got)
+	}
+	if err := rb.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	if err := mem.Record(Violation{}); err != nil {
+		t.Fatalf("shared sink closed by a recorder: %v", err)
+	}
+}
+
+// refusingSink rejects every Record with a generic (non-closed) error.
+type refusingSink struct{ err error }
+
+func (s *refusingSink) Record(Violation) error { return s.err }
+func (s *refusingSink) Flush() error           { return nil }
+func (s *refusingSink) Close() error           { return nil }
+func (s *refusingSink) Err() error             { return nil }
+
+func TestRecorderCountsGenericRecordRefusal(t *testing.T) {
+	r := NewRecorder(0)
+	r.StreamToSink(&refusingSink{err: errors.New("queue full")})
+	r.Record(Violation{Assertion: "a", Severity: 1})
+	if got := r.SinkDropped(); got != 1 {
+		t.Fatalf("SinkDropped = %d, want 1", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("refusal error must be retained")
+	}
+}
+
+func TestRecorderCountsRefusalWhenSharedSinkClosed(t *testing.T) {
+	mem := NewMemorySink(0)
+	r := NewRecorder(0)
+	r.ShareSink(mem)
+	mem.Close() // closed elsewhere, e.g. pool.Close on a pool-owned sink
+	r.Record(Violation{Assertion: "a", Severity: 1})
+	// The attached sink refused the violation with no replacement: the
+	// loss must be visible, not silent.
+	if got := r.SinkDropped(); got != 1 {
+		t.Fatalf("SinkDropped = %d, want 1", got)
+	}
+	// Stats and the in-memory log are unaffected by the sink refusal.
+	if r.TotalFired() != 1 || len(r.Violations()) != 1 {
+		t.Fatal("refusal must not affect the in-memory log")
+	}
+}
+
 func TestRecorderClear(t *testing.T) {
 	r := NewRecorder(0)
 	r.Record(Violation{Assertion: "a", Severity: 1})

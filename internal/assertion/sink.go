@@ -3,8 +3,10 @@ package assertion
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 const (
@@ -13,6 +15,71 @@ const (
 	// into a single Write call.
 	sinkBatchMax = 256
 )
+
+// ErrSinkClosed is returned by a Sink's Record method after Close.
+var ErrSinkClosed = errors.New("assertion: violation sink is closed")
+
+// Sink is a pluggable violation backend: the destination of a Recorder's
+// streaming path. A production deployment composes backends — a
+// RotatingFileSink for durable JSONL, a MemorySink for tests, a
+// SamplingSink to tame high-volume assertions, a MultiSink to fan out to
+// several of them at once.
+//
+// Implementations must be safe for concurrent use. Record may be
+// asynchronous: a nil return means the violation was accepted, not that it
+// has been written out — call Flush before reading the backend's output.
+// Errors a sink encounters after accepting a violation are retained and
+// reported by Err (and by Flush and Close), never silently discarded.
+type Sink interface {
+	// Record accepts one violation. It returns ErrSinkClosed after Close;
+	// asynchronous backends report later write failures via Err, not here.
+	Record(v Violation) error
+	// Flush blocks until every accepted violation has been handed to the
+	// underlying backend (file sinks do not fsync) and returns the first
+	// error the sink has encountered, if any.
+	Flush() error
+	// Close flushes, releases resources and returns the first error. It is
+	// idempotent; Record returns ErrSinkClosed afterwards.
+	Close() error
+	// Err returns the first error the sink has encountered, if any,
+	// without blocking for in-flight violations.
+	Err() error
+}
+
+// DropCounter is implemented by sinks that can lose violations — after a
+// write error or to a bounded buffer — and count what they drop.
+// Recorder.SinkDropped aggregates it. Deliberate policy skips are not
+// drops (SamplingSink reports those via SampledOut), so the count stays
+// an actionable loss signal.
+type DropCounter interface {
+	// Dropped returns how many violations this sink has discarded instead
+	// of delivering.
+	Dropped() int64
+}
+
+// firstErr retains the first non-nil error it is handed — the package's
+// error-retention policy, shared by every sink backend and the Recorder.
+type firstErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (f *firstErr) set(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+func (f *firstErr) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
 
 // waiter is a counter that lets goroutines wait until in-flight work
 // drains to zero. Unlike sync.WaitGroup it permits add(1) concurrent with
@@ -46,31 +113,38 @@ func (w *waiter) wait() {
 	w.mu.Unlock()
 }
 
-// jsonlSink is the buffered asynchronous JSONL writer behind
+// JSONLSink is the buffered asynchronous JSONL backend behind
 // Recorder.StreamTo. Violations are handed to a single worker goroutine
 // over a bounded channel; the worker coalesces whatever is queued into one
 // Write so encoding and I/O never run on the observe path. After the first
 // write error the worker keeps draining (discarding output) so senders are
-// never blocked by a dead sink.
-type jsonlSink struct {
+// never blocked by a dead sink — every violation discarded that way is
+// counted by Dropped.
+type JSONLSink struct {
 	w io.Writer
 
-	mu     sync.RWMutex // send (read side) vs close (write side)
+	mu     sync.RWMutex // record (read side) vs close (write side)
 	closed bool
 	ch     chan Violation
 
 	pending *waiter
 	done    chan struct{}
 
-	errMu sync.Mutex
-	err   error
+	err  firstErr
+	dead atomic.Bool // a Write failed; the worker only drains from now on
+
+	dropped atomic.Int64
 }
 
-func newJSONLSink(w io.Writer, depth int) *jsonlSink {
+// NewJSONLSink returns a sink encoding violations as one JSON object per
+// line on w, with a queue of the given depth (<= 0 uses the default of
+// 1024). When the queue is full, Record blocks until the worker catches up
+// — explicit backpressure rather than silent loss.
+func NewJSONLSink(w io.Writer, depth int) *JSONLSink {
 	if depth <= 0 {
 		depth = defaultSinkDepth
 	}
-	s := &jsonlSink{
+	s := &JSONLSink{
 		w:       w,
 		ch:      make(chan Violation, depth),
 		pending: newWaiter(),
@@ -80,28 +154,27 @@ func newJSONLSink(w io.Writer, depth int) *jsonlSink {
 	return s
 }
 
-// send queues one violation, blocking when the buffer is full
-// (backpressure). It reports false when the sink has been closed so the
-// caller can retry against a replacement sink.
-func (s *jsonlSink) send(v Violation) bool {
+// Record queues one violation, blocking when the buffer is full
+// (backpressure). It returns ErrSinkClosed once the sink has been closed.
+func (s *JSONLSink) Record(v Violation) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
-		return false
+		return ErrSinkClosed
 	}
 	s.pending.add(1)
 	s.ch <- v
-	return true
+	return nil
 }
 
-// flush blocks until everything queued so far has been written.
-func (s *jsonlSink) flush() error {
+// Flush blocks until everything queued so far has been written.
+func (s *JSONLSink) Flush() error {
 	s.pending.wait()
-	return s.lastErr()
+	return s.Err()
 }
 
-// close drains the queue, stops the worker, and returns the first error.
-func (s *jsonlSink) close() error {
+// Close drains the queue, stops the worker, and returns the first error.
+func (s *JSONLSink) Close() error {
 	s.mu.Lock()
 	already := s.closed
 	s.closed = true
@@ -110,34 +183,33 @@ func (s *jsonlSink) close() error {
 		close(s.ch)
 	}
 	<-s.done
-	return s.lastErr()
+	return s.Err()
 }
 
-func (s *jsonlSink) lastErr() error {
-	s.errMu.Lock()
-	defer s.errMu.Unlock()
-	return s.err
-}
+// Err returns the first write or encoding error, if any.
+func (s *JSONLSink) Err() error { return s.err.get() }
 
-func (s *jsonlSink) setErr(err error) {
-	s.errMu.Lock()
-	if s.err == nil {
-		s.err = err
-	}
-	s.errMu.Unlock()
-}
+// Dropped returns how many violations were discarded instead of written:
+// everything accepted after the first write error, the unwritten lines of
+// the batch whose write failed, and any individually unmarshalable
+// violations. Written and dropped always sum to the recorded total.
+func (s *JSONLSink) Dropped() int64 { return s.dropped.Load() }
 
-func (s *jsonlSink) run() {
+func (s *JSONLSink) setErr(err error) { s.err.set(err) }
+
+func (s *JSONLSink) run() {
 	defer close(s.done)
 	var buf bytes.Buffer
 	for v := range s.ch {
 		// Once a write has failed the sink only drains, so a dead sink
 		// costs no encoding work for the recorder's remaining lifetime.
-		dead := s.lastErr() != nil
+		// Encoding failures do NOT latch: one unmarshalable violation is
+		// dropped (and counted) without killing the stream.
+		dead := s.dead.Load()
 		buf.Reset()
-		n := 1
+		n, encoded := 1, 0
 		if !dead {
-			s.encode(&buf, v)
+			encoded += s.encode(&buf, v)
 		}
 		// Coalesce whatever is already queued into this write.
 	drain:
@@ -148,28 +220,42 @@ func (s *jsonlSink) run() {
 					break drain
 				}
 				if !dead {
-					s.encode(&buf, more)
+					encoded += s.encode(&buf, more)
 				}
 				n++
 			default:
 				break drain
 			}
 		}
-		if !dead && buf.Len() > 0 {
-			if _, err := s.w.Write(buf.Bytes()); err != nil {
-				s.setErr(err)
+		if dead {
+			s.dropped.Add(int64(n))
+		} else {
+			s.dropped.Add(int64(n - encoded)) // violations json.Marshal refused
+			if buf.Len() > 0 {
+				if wn, err := s.w.Write(buf.Bytes()); err != nil {
+					s.setErr(err)
+					s.dead.Store(true)
+					// A partial write (e.g. a rotation failing mid-batch)
+					// still landed complete lines: count as dropped only
+					// the violations that did not make it out.
+					wrote := bytes.Count(buf.Bytes()[:wn], []byte{'\n'})
+					s.dropped.Add(int64(encoded - wrote))
+				}
 			}
 		}
 		s.pending.add(-n)
 	}
 }
 
-func (s *jsonlSink) encode(buf *bytes.Buffer, v Violation) {
+// encode appends v to buf, reporting 1 on success and 0 when the
+// violation could not be marshalled (the error is retained).
+func (s *JSONLSink) encode(buf *bytes.Buffer, v Violation) int {
 	data, err := json.Marshal(v)
 	if err != nil {
 		s.setErr(err)
-		return
+		return 0
 	}
 	buf.Write(data)
 	buf.WriteByte('\n')
+	return 1
 }

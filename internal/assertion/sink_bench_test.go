@@ -1,0 +1,85 @@
+package assertion
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+// benchSink measures the Record hot path of one backend, flushing once at
+// the end so queued work is attributed to the benchmark.
+func benchSink(b *testing.B, s Sink) {
+	b.Helper()
+	v := Violation{Assertion: "a", Severity: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.SampleIndex = i
+		if err := s.Record(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkJSONLSink(b *testing.B) {
+	benchSink(b, NewJSONLSink(io.Discard, 0))
+}
+
+func BenchmarkMemorySink(b *testing.B) {
+	benchSink(b, NewMemorySink(4096))
+}
+
+func BenchmarkMultiSink(b *testing.B) {
+	benchSink(b, NewMultiSink(NewMemorySink(4096), NewJSONLSink(io.Discard, 0)))
+}
+
+func BenchmarkSamplingSink(b *testing.B) {
+	benchSink(b, NewSamplingSink(NewMemorySink(4096), 10))
+}
+
+func BenchmarkRotatingFileSink(b *testing.B) {
+	s, err := NewRotatingFileSink(filepath.Join(b.TempDir(), "v.jsonl"), 1<<20, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSink(b, s)
+}
+
+// BenchmarkMonitorPoolRecorderModes contrasts the shared recorder (every
+// stream contends on one violation ring) with per-stream recorders (no
+// cross-stream lock contention) under parallel always-firing traffic:
+// each goroutine drives its own stream, so the per-stream variant's
+// Record path never crosses goroutines.
+func BenchmarkMonitorPoolRecorderModes(b *testing.B) {
+	suite := NewSuite(New("always", func(w []Sample) float64 { return 1 }))
+	for _, mode := range []string{"shared", "per-stream"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := []PoolOption{WithShards(8), WithPoolWindowSize(4)}
+			if mode == "per-stream" {
+				opts = append(opts, WithPerStreamRecorders(1024))
+			} else {
+				opts = append(opts, WithPoolRecorder(NewRecorder(1024)))
+			}
+			pool := NewMonitorPool(suite, opts...)
+			defer pool.Close()
+			var streamID atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				key := fmt.Sprintf("stream-%d", streamID.Add(1))
+				i := 0
+				for pb.Next() {
+					pool.Observe(Sample{Stream: key, Index: i})
+					i++
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,457 @@
+package assertion
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// MemorySink is a bounded, queryable violation backend: the testing and
+// debugging counterpart of the file-based sinks. It keeps the most recent
+// limit violations in a ring buffer (like Recorder's in-memory log) and
+// counts what the bound evicts. It is safe for concurrent use.
+type MemorySink struct {
+	mu     sync.Mutex
+	log    violationRing
+	closed bool
+}
+
+// NewMemorySink returns a sink retaining at most limit violations
+// (0 or negative = unbounded).
+func NewMemorySink(limit int) *MemorySink {
+	return &MemorySink{log: violationRing{limit: limit}}
+}
+
+// Record stores one violation, evicting the oldest when the bound is hit.
+func (s *MemorySink) Record(v Violation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSinkClosed
+	}
+	s.log.add(v)
+	return nil
+}
+
+// Flush is a no-op: MemorySink is synchronous.
+func (s *MemorySink) Flush() error { return nil }
+
+// Close stops accepting violations; the retained log stays queryable.
+func (s *MemorySink) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
+}
+
+// Err always returns nil: an in-memory store cannot fail.
+func (s *MemorySink) Err() error { return nil }
+
+// Dropped returns how many violations the memory bound evicted.
+func (s *MemorySink) Dropped() int64 { return s.log.dropped.Load() }
+
+// Len returns the number of retained violations.
+func (s *MemorySink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.log.buf)
+}
+
+// Violations returns a copy of the retained violations in arrival order.
+func (s *MemorySink) Violations() []Violation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.snapshot()
+}
+
+// ByAssertion returns retained violations of the named assertion in
+// arrival order.
+func (s *MemorySink) ByAssertion(name string) []Violation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.byAssertion(name)
+}
+
+// MultiSink fans every violation out to several backends with independent
+// error tracking: one failing backend never stops delivery to the healthy
+// ones, and Errs reports each backend's first error separately.
+type MultiSink struct {
+	sinks []Sink
+
+	mu     sync.RWMutex // record (read side) vs close (write side)
+	closed bool
+
+	dropped atomic.Int64 // violations a backend refused at Record time
+
+	errs []firstErr // first noted error per backend, index-aligned with sinks
+}
+
+// NewMultiSink returns a sink delivering every violation to each of the
+// given backends. A nil backend is replaced by a counting no-op sink, so
+// Errs stays index-aligned with the constructor's arguments. The
+// MultiSink owns its backends: Close closes every one.
+func NewMultiSink(sinks ...Sink) *MultiSink {
+	kept := make([]Sink, len(sinks))
+	for i, s := range sinks {
+		if s == nil {
+			s = &nopSink{}
+		}
+		kept[i] = s
+	}
+	return &MultiSink{sinks: kept, errs: make([]firstErr, len(kept))}
+}
+
+func (s *MultiSink) noteErr(i int, err error) { s.errs[i].set(err) }
+
+// Record delivers v to every backend. A backend's refusal (including its
+// own independent Close) is tracked against that backend only; Record
+// itself fails only after the MultiSink has been closed.
+func (s *MultiSink) Record(v Violation) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrSinkClosed
+	}
+	for i, child := range s.sinks {
+		if err := child.Record(v); err != nil {
+			s.noteErr(i, err)
+			s.dropped.Add(1)
+		}
+	}
+	return nil
+}
+
+// Flush flushes every backend and returns the first error across them.
+func (s *MultiSink) Flush() error {
+	for i, child := range s.sinks {
+		s.noteErr(i, child.Flush())
+	}
+	return s.Err()
+}
+
+// Close closes every backend — all of them, even when an early one fails —
+// and returns the first error across them.
+func (s *MultiSink) Close() error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		for i, child := range s.sinks {
+			s.noteErr(i, child.Close())
+		}
+	}
+	return s.Err()
+}
+
+// Err returns the first error any backend has reported, if any.
+func (s *MultiSink) Err() error {
+	for _, err := range s.Errs() {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Errs returns each backend's first error, index-aligned with the
+// constructor's arguments — the independent error tracking that lets a
+// caller tell a dead file sink from a healthy memory sink.
+func (s *MultiSink) Errs() []error {
+	out := make([]error, len(s.sinks))
+	for i, child := range s.sinks {
+		if out[i] = s.errs[i].get(); out[i] == nil {
+			out[i] = child.Err()
+		}
+	}
+	return out
+}
+
+// Dropped sums the drop counts of every backend that exposes one, plus
+// deliveries a backend refused outright at Record time. Counts are per
+// backend delivery: one violation refused by two backends counts twice,
+// so for a fan-out the total can exceed the number of violations
+// recorded.
+func (s *MultiSink) Dropped() int64 {
+	n := s.dropped.Load()
+	for _, child := range s.sinks {
+		if dc, ok := child.(DropCounter); ok {
+			n += dc.Dropped()
+		}
+	}
+	return n
+}
+
+// SamplingSink rate-limits per assertion: of every `every` violations of
+// one assertion it forwards the first to the wrapped backend and counts
+// the rest as sampled out. High-volume assertions (the paper's
+// continuously firing production monitors) stop drowning the backend
+// while rare ones still get through at full fidelity — each assertion is
+// sampled on its own counter. Deliberate sampling is reported by
+// SampledOut, not Dropped, so drop counts stay a pure loss signal.
+type SamplingSink struct {
+	next  Sink
+	every int64
+
+	counts sync.Map // assertion name -> *atomic.Int64
+
+	mu      sync.RWMutex
+	closed  bool
+	sampled atomic.Int64 // deliberately sampled out (policy, not loss)
+	dropped atomic.Int64 // forwards the wrapped backend refused (loss)
+
+	err firstErr // first forward failure; the wrapped sink refused a violation
+}
+
+// nopSink discards — and counts — everything; it stands in for nil
+// backends so a mis-wired composition surfaces as a drop count instead
+// of a panic on the observe path.
+type nopSink struct{ dropped atomic.Int64 }
+
+func (s *nopSink) Record(Violation) error { s.dropped.Add(1); return nil }
+func (s *nopSink) Flush() error           { return nil }
+func (s *nopSink) Close() error           { return nil }
+func (s *nopSink) Err() error             { return nil }
+func (s *nopSink) Dropped() int64         { return s.dropped.Load() }
+
+// NewSamplingSink returns a sink forwarding 1 of every `every` violations
+// per assertion to next (every <= 1 forwards everything; a nil next
+// discards the forwarded violations). The SamplingSink owns next: Close
+// closes it.
+func NewSamplingSink(next Sink, every int) *SamplingSink {
+	if every < 1 {
+		every = 1
+	}
+	if next == nil {
+		next = &nopSink{}
+	}
+	return &SamplingSink{next: next, every: int64(every)}
+}
+
+// Record forwards every `every`-th violation of v's assertion and drops
+// the rest, counting them. A refusal by the wrapped backend (e.g. it was
+// closed independently) is not this sink's closure: the violation is
+// counted as dropped and the failure retained for Err, so the loss is
+// never silent.
+func (s *SamplingSink) Record(v Violation) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrSinkClosed
+	}
+	cell, ok := s.counts.Load(v.Assertion)
+	if !ok {
+		cell, _ = s.counts.LoadOrStore(v.Assertion, &atomic.Int64{})
+	}
+	n := cell.(*atomic.Int64).Add(1)
+	if (n-1)%s.every != 0 {
+		s.sampled.Add(1)
+		return nil
+	}
+	if err := s.next.Record(v); err != nil {
+		s.dropped.Add(1)
+		s.err.set(fmt.Errorf("sampling sink: forward: %w", err))
+	}
+	return nil
+}
+
+// Flush flushes the wrapped backend, retaining its error even if the
+// backend itself does not.
+func (s *SamplingSink) Flush() error {
+	s.err.set(s.next.Flush())
+	return s.Err()
+}
+
+// Close closes the wrapped backend, retaining its close error for Err.
+func (s *SamplingSink) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.err.set(s.next.Close())
+	return s.Err()
+}
+
+// Err returns the first forward failure or the wrapped backend's first
+// error, if any.
+func (s *SamplingSink) Err() error {
+	if err := s.err.get(); err != nil {
+		return err
+	}
+	return s.next.Err()
+}
+
+// SampledOut returns how many violations the sampling policy skipped on
+// purpose. Policy skips are not loss, so they are excluded from Dropped.
+func (s *SamplingSink) SampledOut() int64 { return s.sampled.Load() }
+
+// Dropped returns the violations actually lost: forwards the wrapped
+// backend refused, plus whatever the backend itself dropped. Deliberate
+// sampling is reported by SampledOut instead.
+func (s *SamplingSink) Dropped() int64 {
+	n := s.dropped.Load()
+	if dc, ok := s.next.(DropCounter); ok {
+		n += dc.Dropped()
+	}
+	return n
+}
+
+// rotatingWriter is the io.Writer behind RotatingFileSink: it rotates
+// path -> path.1 -> path.2 ... once the current file would exceed
+// maxBytes, keeping at most keep rotated files. Only the sink's worker
+// goroutine writes, so the mutex is uncontended; it exists for Close.
+type rotatingWriter struct {
+	path     string
+	maxBytes int64
+	keep     int
+
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+// Write splits p — a batch of complete JSONL lines — at line boundaries
+// so every retained file respects maxBytes; only a single line larger
+// than maxBytes can push a file over the bound.
+func (w *rotatingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, ErrSinkClosed
+	}
+	written := 0
+	for {
+		if w.size+int64(len(p)) <= w.maxBytes {
+			break // the rest fits in the current file
+		}
+		// Emit the lines that still fit, then rotate. No newline within
+		// budget and an empty file means the first line alone exceeds
+		// maxBytes: emit it whole (lines are never split mid-line) and
+		// keep rotating through the rest of the batch.
+		cut := -1
+		if budget := w.maxBytes - w.size; budget > 0 {
+			cut = bytes.LastIndexByte(p[:budget], '\n')
+		}
+		if cut < 0 && w.size == 0 {
+			if cut = bytes.IndexByte(p, '\n'); cut < 0 {
+				break // unterminated tail: write it whole below
+			}
+		}
+		if cut >= 0 {
+			n, err := w.f.Write(p[:cut+1])
+			w.size += int64(n)
+			written += n
+			if err != nil {
+				return written, err
+			}
+			p = p[cut+1:]
+		}
+		if err := w.rotate(); err != nil {
+			return written, err
+		}
+		if len(p) == 0 {
+			return written, nil
+		}
+	}
+	n, err := w.f.Write(p)
+	w.size += int64(n)
+	return written + n, err
+}
+
+// rotate shifts the retained files by one suffix and reopens path fresh.
+// A failed shift aborts the rotation: overwriting a still-retained file
+// would silently destroy logged violations, so the error surfaces (and
+// latches the sink dead) instead. Called with mu held.
+func (w *rotatingWriter) rotate() error {
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.f = nil
+	os.Remove(fmt.Sprintf("%s.%d", w.path, w.keep)) // oldest; may not exist
+	for i := w.keep - 1; i >= 1; i-- {
+		src := fmt.Sprintf("%s.%d", w.path, i)
+		if _, err := os.Stat(src); err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue // nothing retained at this slot
+			}
+			return err // can't prove the slot is empty: don't risk clobbering it
+		}
+		if err := os.Rename(src, fmt.Sprintf("%s.%d", w.path, i+1)); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(w.path, w.path+".1"); err != nil {
+		return err
+	}
+	f, err := os.Create(w.path)
+	if err != nil {
+		return err
+	}
+	w.f, w.size = f, 0
+	return nil
+}
+
+func (w *rotatingWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// RotatingFileSink is a JSONLSink writing to a size-rotated file: once the
+// current file would exceed maxBytes the sink renames it to path.1
+// (shifting older rotations up) and starts fresh, so week-long monitoring
+// runs never grow one unbounded JSONL file. Coalesced writes are split at
+// line boundaries, so a retained file exceeds maxBytes only when a single
+// JSONL line does.
+type RotatingFileSink struct {
+	*JSONLSink
+	rw *rotatingWriter
+}
+
+// NewRotatingFileSink opens a rotating JSONL log at path that rotates
+// after maxBytes (<= 0 uses 64 MiB) and keeps at most `keep` rotated
+// files (minimum 1) beside the active one. An existing log at path is
+// appended to, never truncated, so a restarted deployment keeps the
+// previous run's violations (rotating them out once the bound is hit).
+func NewRotatingFileSink(path string, maxBytes int64, keep int) (*RotatingFileSink, error) {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	rw := &rotatingWriter{path: path, maxBytes: maxBytes, keep: keep, f: f}
+	if st, err := f.Stat(); err == nil {
+		rw.size = st.Size()
+	}
+	return &RotatingFileSink{JSONLSink: NewJSONLSink(rw, 0), rw: rw}, nil
+}
+
+// Path returns the active log file's path; rotated files sit beside it
+// with numeric suffixes (path.1 is the most recent).
+func (s *RotatingFileSink) Path() string { return s.rw.path }
+
+// Close drains the worker, closes the active file and returns the first
+// error. A file-close failure is retained, so Err keeps reporting it.
+func (s *RotatingFileSink) Close() error {
+	err := s.JSONLSink.Close()
+	if cerr := s.rw.Close(); cerr != nil {
+		s.setErr(cerr)
+		if err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

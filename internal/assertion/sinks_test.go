@@ -1,0 +1,553 @@
+package assertion
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// recordN pushes n violations of the named assertion into s.
+func recordN(t *testing.T, s Sink, name string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := s.Record(Violation{Assertion: name, SampleIndex: i, Severity: 1}); err != nil {
+			t.Fatalf("Record(%d) = %v", i, err)
+		}
+	}
+}
+
+func TestJSONLSinkCountsPostErrorDrops(t *testing.T) {
+	s := NewJSONLSink(failingWriter{}, 0)
+	const n = 700 // several coalesced batches
+	recordN(t, s, "a", n)
+	if err := s.Flush(); err == nil {
+		t.Fatal("Flush should surface the write error")
+	}
+	// Nothing reached the writer, so every accepted violation must be
+	// accounted for — the batch whose write failed included.
+	if got := s.Dropped(); got != n {
+		t.Fatalf("Dropped = %d, want %d", got, n)
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Close should surface the write error")
+	}
+}
+
+// partialWriter lands exactly one line, reports an error for that write,
+// and fails everything afterwards — a rotation dying mid-batch.
+type partialWriter struct{ failed bool }
+
+func (w *partialWriter) Write(p []byte) (int, error) {
+	if w.failed {
+		return 0, errors.New("dead")
+	}
+	w.failed = true
+	if i := bytes.IndexByte(p, '\n'); i >= 0 {
+		return i + 1, errors.New("failed after one line")
+	}
+	return 0, errors.New("failed")
+}
+
+func TestJSONLSinkPartialWriteNotOvercounted(t *testing.T) {
+	s := NewJSONLSink(&partialWriter{}, 0)
+	const n = 5
+	recordN(t, s, "a", n)
+	if err := s.Flush(); err == nil {
+		t.Fatal("Flush should surface the write error")
+	}
+	// Exactly one line reached the writer, however the worker batched:
+	// dropped + written must equal recorded, never overcount.
+	if got := s.Dropped(); got != n-1 {
+		t.Fatalf("Dropped = %d, want %d (one line was durably written)", got, n-1)
+	}
+	s.Close()
+}
+
+func TestJSONLSinkSurvivesUnmarshalableViolation(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf, 0)
+	// NaN severity cannot be marshalled; the violation is dropped and
+	// counted, but the stream must stay alive for the next violation.
+	if err := s.Record(Violation{Assertion: "bad", Severity: math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(Violation{Assertion: "good", SampleIndex: 1, Severity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err == nil {
+		t.Fatal("encode error must be retained")
+	}
+	if got := s.Dropped(); got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+	if !strings.Contains(buf.String(), `"good"`) {
+		t.Fatalf("healthy violation lost after encode error:\n%s", buf.String())
+	}
+	s.Close()
+}
+
+func TestJSONLSinkNoDropsOnHealthyWriter(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf, 0)
+	recordN(t, s, "a", 100)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	if got := s.Dropped(); got != 0 {
+		t.Fatalf("Dropped = %d on healthy writer", got)
+	}
+	if got := bytes.Count(buf.Bytes(), []byte("\n")); got != 100 {
+		t.Fatalf("lines = %d", got)
+	}
+}
+
+func TestMemorySink(t *testing.T) {
+	s := NewMemorySink(3)
+	recordN(t, s, "a", 2)
+	if err := s.Record(Violation{Assertion: "b", SampleIndex: 2, Severity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recordN(t, s, "a", 1) // evicts the oldest (a, index 0)
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush = %v", err)
+	}
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d", got)
+	}
+	if got := s.Dropped(); got != 1 {
+		t.Fatalf("Dropped = %d", got)
+	}
+	vs := s.Violations()
+	if len(vs) != 3 || vs[0].SampleIndex != 1 || vs[1].Assertion != "b" {
+		t.Fatalf("Violations = %v", vs)
+	}
+	if by := s.ByAssertion("b"); len(by) != 1 || by[0].SampleIndex != 2 {
+		t.Fatalf("ByAssertion(b) = %v", by)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	// The log stays queryable after Close, but stops accepting.
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len after Close = %d", got)
+	}
+	if err := s.Record(Violation{Assertion: "a"}); !errors.Is(err, ErrSinkClosed) {
+		t.Fatalf("Record after Close = %v, want ErrSinkClosed", err)
+	}
+}
+
+func TestMultiSinkKeepsHealthyBackendsAlive(t *testing.T) {
+	healthy := NewMemorySink(0)
+	dead := NewJSONLSink(failingWriter{}, 0)
+	s := NewMultiSink(dead, healthy)
+
+	recordN(t, s, "a", 50)
+	if err := s.Flush(); err == nil {
+		t.Fatal("Flush should report the dead backend's error")
+	}
+	// The healthy backend must have received every violation despite the
+	// dead sibling.
+	if got := healthy.Len(); got != 50 {
+		t.Fatalf("healthy backend received %d violations, want 50", got)
+	}
+	errs := s.Errs()
+	if len(errs) != 2 {
+		t.Fatalf("Errs len = %d", len(errs))
+	}
+	if errs[0] == nil {
+		t.Fatal("dead backend's error not tracked")
+	}
+	if errs[1] != nil {
+		t.Fatalf("healthy backend blamed: %v", errs[1])
+	}
+	if s.Dropped() != dead.Dropped() {
+		t.Fatalf("Dropped = %d, want the dead backend's %d", s.Dropped(), dead.Dropped())
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Close should report the dead backend's error")
+	}
+	// Close must have reached every child.
+	if err := healthy.Record(Violation{}); !errors.Is(err, ErrSinkClosed) {
+		t.Fatalf("healthy child not closed: %v", err)
+	}
+	if err := s.Record(Violation{}); !errors.Is(err, ErrSinkClosed) {
+		t.Fatalf("Record after Close = %v, want ErrSinkClosed", err)
+	}
+}
+
+func TestMultiSinkFanOut(t *testing.T) {
+	a, b := NewMemorySink(0), NewMemorySink(0)
+	s := NewMultiSink(a, b)
+	recordN(t, s, "x", 7)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	if a.Len() != 7 || b.Len() != 7 {
+		t.Fatalf("fan-out incomplete: %d / %d", a.Len(), b.Len())
+	}
+}
+
+func TestSamplingSinkPerAssertionRate(t *testing.T) {
+	mem := NewMemorySink(0)
+	s := NewSamplingSink(mem, 3)
+	recordN(t, s, "hot", 10) // forwards indices 0, 3, 6, 9
+	recordN(t, s, "rare", 4) // forwards indices 0, 3
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush = %v", err)
+	}
+	hot, rare := mem.ByAssertion("hot"), mem.ByAssertion("rare")
+	if len(hot) != 4 || len(rare) != 2 {
+		t.Fatalf("forwarded hot=%d rare=%d, want 4/2 — sampling must be per-assertion", len(hot), len(rare))
+	}
+	for i, want := range []int{0, 3, 6, 9} {
+		if hot[i].SampleIndex != want {
+			t.Fatalf("hot[%d].SampleIndex = %d, want %d", i, hot[i].SampleIndex, want)
+		}
+	}
+	if got := s.SampledOut(); got != 8 {
+		t.Fatalf("SampledOut = %d, want 8", got)
+	}
+	// Policy skips are not loss: the drop counter must stay clean.
+	if got := s.Dropped(); got != 0 {
+		t.Fatalf("Dropped = %d, want 0 (sampling is not loss)", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	// Close must propagate to the wrapped backend.
+	if err := mem.Record(Violation{}); !errors.Is(err, ErrSinkClosed) {
+		t.Fatalf("wrapped backend not closed: %v", err)
+	}
+	if err := s.Record(Violation{}); !errors.Is(err, ErrSinkClosed) {
+		t.Fatalf("Record after Close = %v, want ErrSinkClosed", err)
+	}
+}
+
+func TestSamplingSinkWrappedBackendClosedIsNotSilentLoss(t *testing.T) {
+	mem := NewMemorySink(0)
+	s := NewSamplingSink(mem, 1)
+	mem.Close() // the wrapped backend dies independently of the wrapper
+	// The wrapper is still open, so its Record must not claim closure —
+	// otherwise a Recorder would drop the violation with no trace.
+	if err := s.Record(Violation{Assertion: "a"}); err != nil {
+		t.Fatalf("Record = %v, want nil (wrapper is open)", err)
+	}
+	if got := s.Dropped(); got != 1 {
+		t.Fatalf("refused forward not counted: Dropped = %d, want 1", got)
+	}
+	if s.Err() == nil {
+		t.Fatal("refused forward not retained in Err")
+	}
+	// End to end: the recorder surfaces the loss instead of hiding it.
+	r := NewRecorder(0)
+	r.StreamToSink(NewSamplingSink(func() Sink { m := NewMemorySink(0); m.Close(); return m }(), 1))
+	r.Record(Violation{Assertion: "a", Severity: 1})
+	if err := r.Flush(); err == nil {
+		t.Fatal("recorder hid the wrapped backend's refusal")
+	}
+	if got := r.SinkDropped(); got != 1 {
+		t.Fatalf("SinkDropped = %d, want 1", got)
+	}
+}
+
+func TestRotatingWriterSplitsBatchAroundOversizedLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &rotatingWriter{path: path, maxBytes: 64, keep: 5, f: f}
+	big := strings.Repeat("b", 100) + "\n" // one line larger than maxBytes
+	batch := big + "s1\ns2\n"
+	n, err := w.Write([]byte(batch))
+	if err != nil || n != len(batch) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The oversized line goes into its own rotated file; the trailing
+	// small lines must NOT ride along with it past the bound.
+	rotated, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rotated) != big {
+		t.Fatalf("rotated file holds %d bytes, want the oversized line alone (%d)", len(rotated), len(big))
+	}
+	active, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(active) != "s1\ns2\n" {
+		t.Fatalf("active file = %q, want the small lines", active)
+	}
+}
+
+// closeFailSink accepts everything but fails its final Close — the
+// deferred-write failure mode of networked filesystems.
+type closeFailSink struct{ closeErr error }
+
+func (s *closeFailSink) Record(Violation) error { return nil }
+func (s *closeFailSink) Flush() error           { return nil }
+func (s *closeFailSink) Close() error           { return s.closeErr }
+func (s *closeFailSink) Err() error             { return nil }
+
+func TestSamplingSinkRetainsWrappedCloseError(t *testing.T) {
+	s := NewSamplingSink(&closeFailSink{closeErr: errors.New("deferred write failed")}, 2)
+	if err := s.Close(); err == nil {
+		t.Fatal("Close must surface the wrapped backend's close error")
+	}
+	if s.Err() == nil {
+		t.Fatal("close error must stay retained in Err")
+	}
+}
+
+func TestNilBackendsDoNotPanic(t *testing.T) {
+	// Mis-wired compositions must degrade gracefully, not crash a shard
+	// worker on the observe path.
+	s := NewSamplingSink(nil, 2)
+	recordN(t, s, "a", 4)
+	if got := s.SampledOut(); got != 2 {
+		t.Fatalf("SampledOut = %d, want 2", got)
+	}
+	// The forwarded half went to the nil stand-in: lost, but counted.
+	if got := s.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2 (nil backend must count its losses)", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemorySink(0)
+	m := NewMultiSink(nil, mem, nil)
+	recordN(t, m, "a", 3)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Len() != 3 {
+		t.Fatalf("real backend got %d violations, want 3", mem.Len())
+	}
+}
+
+func TestSamplingSinkPassThrough(t *testing.T) {
+	mem := NewMemorySink(0)
+	s := NewSamplingSink(mem, 1)
+	recordN(t, s, "a", 5)
+	if mem.Len() != 5 || s.Dropped() != 0 || s.SampledOut() != 0 {
+		t.Fatalf("every=1 must pass everything through: len=%d dropped=%d sampled=%d",
+			mem.Len(), s.Dropped(), s.SampledOut())
+	}
+	s.Close()
+}
+
+// readJSONLFiles parses every retained rotating-log file and returns the
+// total violation count.
+func readJSONLFiles(t *testing.T, paths ...string) int {
+	t.Helper()
+	total := 0
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			continue
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			var v Violation
+			if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+				t.Fatalf("%s: bad JSONL line %q: %v", p, sc.Text(), err)
+			}
+			total++
+		}
+		f.Close()
+	}
+	return total
+}
+
+func TestRotatingFileSinkRotates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "violations.jsonl")
+	s, err := NewRotatingFileSink(path, 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := s.Record(Violation{Assertion: "a", SampleIndex: i, Severity: 1}); err != nil {
+			t.Fatal(err)
+		}
+		// Flush per record so each write is one line and rotation points
+		// are deterministic relative to maxBytes.
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	for _, p := range []string{path, path + ".1", path + ".2"} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("expected rotated file %s: %v", p, err)
+		}
+		if p != path && st.Size() > 256+128 {
+			t.Fatalf("%s grew to %d bytes, rotation bound ignored", p, st.Size())
+		}
+	}
+	if _, err := os.Stat(path + ".3"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("keep=2 must prune path.3: %v", err)
+	}
+	// Every retained line must still be valid JSONL; with keep=2 some of
+	// the oldest lines have been pruned, never more than were written.
+	got := readJSONLFiles(t, path, path+".1", path+".2")
+	if got == 0 || got > n {
+		t.Fatalf("retained lines = %d, want (0, %d]", got, n)
+	}
+	if err := s.Record(Violation{}); !errors.Is(err, ErrSinkClosed) {
+		t.Fatalf("Record after Close = %v, want ErrSinkClosed", err)
+	}
+}
+
+func TestRotatingWriterNeverClobbersRetainedFileOnShiftFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &rotatingWriter{path: path, maxBytes: 8, keep: 2, f: f}
+	for _, line := range []string{"aaaa\n", "bbbb\n"} { // second write rotates
+		if _, err := w.Write([]byte(line)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Block the next shift: path.1 can no longer be renamed to path.2.
+	if err := os.MkdirAll(filepath.Join(path+".2", "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("cccc\n")); err == nil {
+		t.Fatal("rotation with a blocked shift must fail, not clobber")
+	}
+	// The retained rotated file must be untouched.
+	data, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "aaaa\n" {
+		t.Fatalf("retained rotated file clobbered: %q", data)
+	}
+}
+
+func TestRotatingFileSinkAppendsToExistingLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.jsonl")
+	// A previous run left violations in the active log; reopening the
+	// sink must preserve them, not truncate.
+	prev := `{"assertion":"old","sample_index":0,"time":0,"severity":1}` + "\n"
+	if err := os.WriteFile(path, []byte(prev), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewRotatingFileSink(path, 1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordN(t, s, "new", 3)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), prev) {
+		t.Fatalf("previous run's log truncated:\n%s", data)
+	}
+	if got := bytes.Count(data, []byte("\n")); got != 4 {
+		t.Fatalf("lines = %d, want 4 (1 old + 3 new)", got)
+	}
+}
+
+func TestRotatingFileSinkUnwritablePath(t *testing.T) {
+	if _, err := NewRotatingFileSink(filepath.Join(t.TempDir(), "no-such-dir", "v.jsonl"), 0, 1); err == nil {
+		t.Fatal("expected error for unwritable path")
+	}
+}
+
+// TestSinkFlushCloseSemantics locks down the shared Sink contract across
+// every backend: Record concurrent with Flush is race-free (-race),
+// Flush-then-read is consistent, Close is idempotent, and Record after
+// Close returns ErrSinkClosed.
+func TestSinkFlushCloseSemantics(t *testing.T) {
+	backends := map[string]func(t *testing.T) Sink{
+		"jsonl": func(t *testing.T) Sink { return NewJSONLSink(&bytes.Buffer{}, 8) },
+		"memory": func(t *testing.T) Sink {
+			return NewMemorySink(64)
+		},
+		"multi": func(t *testing.T) Sink {
+			return NewMultiSink(NewMemorySink(0), NewJSONLSink(&bytes.Buffer{}, 8))
+		},
+		"sampling": func(t *testing.T) Sink {
+			return NewSamplingSink(NewMemorySink(0), 4)
+		},
+		"rotating": func(t *testing.T) Sink {
+			s, err := NewRotatingFileSink(filepath.Join(t.TempDir(), "v.jsonl"), 4096, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	}
+	for name, mk := range backends {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 200; i++ {
+						if err := s.Record(Violation{
+							Assertion:   fmt.Sprintf("a-%d", g),
+							SampleIndex: i,
+							Severity:    1,
+						}); err != nil {
+							t.Errorf("Record: %v", err)
+							return
+						}
+					}
+				}(g)
+			}
+			for g := 0; g < 2; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						if err := s.Flush(); err != nil {
+							t.Errorf("Flush: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if err := s.Flush(); err != nil {
+				t.Fatalf("final Flush = %v", err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("Close = %v", err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("second Close = %v", err)
+			}
+			if err := s.Record(Violation{Assertion: "late"}); !errors.Is(err, ErrSinkClosed) {
+				t.Fatalf("Record after Close = %v, want ErrSinkClosed", err)
+			}
+		})
+	}
+}

@@ -23,6 +23,8 @@
 package omg
 
 import (
+	"io"
+
 	"omg/internal/assertion"
 	"omg/internal/bandit"
 	"omg/internal/consistency"
@@ -57,9 +59,53 @@ type (
 	Violation = assertion.Violation
 	// Recorder stores violations and aggregate statistics.
 	Recorder = assertion.Recorder
+	// Stats summarises the firings of one assertion.
+	Stats = assertion.Stats
 	// Action is a corrective callback for violations.
 	Action = assertion.Action
+
+	// Sink is a pluggable violation backend fed by a Recorder.
+	Sink = assertion.Sink
+	// DropCounter is implemented by sinks that count discarded violations.
+	DropCounter = assertion.DropCounter
+	// JSONLSink is the buffered asynchronous JSONL backend.
+	JSONLSink = assertion.JSONLSink
+	// MemorySink is the bounded, queryable in-memory backend for tests.
+	MemorySink = assertion.MemorySink
+	// MultiSink fans violations out to several backends with independent
+	// error tracking.
+	MultiSink = assertion.MultiSink
+	// SamplingSink forwards 1 in N violations per assertion.
+	SamplingSink = assertion.SamplingSink
+	// RotatingFileSink writes size-rotated JSONL files.
+	RotatingFileSink = assertion.RotatingFileSink
 )
+
+// ErrSinkClosed is returned by a Sink's Record method after Close.
+var ErrSinkClosed = assertion.ErrSinkClosed
+
+// NewJSONLSink returns an asynchronous JSONL sink over w with the given
+// queue depth (<= 0 uses the default of 1024).
+func NewJSONLSink(w io.Writer, depth int) *JSONLSink { return assertion.NewJSONLSink(w, depth) }
+
+// NewMemorySink returns a queryable sink retaining at most limit
+// violations (0 = unbounded).
+func NewMemorySink(limit int) *MemorySink { return assertion.NewMemorySink(limit) }
+
+// NewMultiSink returns a sink fanning out to every given backend.
+func NewMultiSink(sinks ...Sink) *MultiSink { return assertion.NewMultiSink(sinks...) }
+
+// NewSamplingSink returns a sink forwarding 1 of every `every` violations
+// per assertion to next.
+func NewSamplingSink(next Sink, every int) *SamplingSink {
+	return assertion.NewSamplingSink(next, every)
+}
+
+// NewRotatingFileSink opens a JSONL log at path rotating after maxBytes,
+// keeping at most `keep` rotated files beside the active one.
+func NewRotatingFileSink(path string, maxBytes int64, keep int) (*RotatingFileSink, error) {
+	return assertion.NewRotatingFileSink(path, maxBytes, keep)
+}
 
 // NewAssertion adapts a severity function into an Assertion, the analogue
 // of OMG's AddAssertion(func) for arbitrary callables.
@@ -118,6 +164,14 @@ func WithPoolWindowSize(n int) PoolOption { return assertion.WithPoolWindowSize(
 
 // WithPoolRecorder attaches a shared recorder to a pool.
 func WithPoolRecorder(r *Recorder) PoolOption { return assertion.WithPoolRecorder(r) }
+
+// WithPerStreamRecorders gives every stream its own bounded recorder; the
+// pool's Summary/Violations/Stats views merge across streams.
+func WithPerStreamRecorders(limit int) PoolOption { return assertion.WithPerStreamRecorders(limit) }
+
+// WithPoolSink attaches one pool-owned violation backend shared by every
+// recorder in the pool.
+func WithPoolSink(s Sink) PoolOption { return assertion.WithPoolSink(s) }
 
 // Consistency-assertion API (paper §4).
 type (
