@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"omg/internal/assertion"
+	"omg/internal/export"
+)
+
+// renderSinkBench measures the violation export path beside the local
+// baseline so the network hop shows up in the perf trajectory: the same
+// violation stream is pushed through a JSONLSink writing to io.Discard
+// and through an HTTPSink delivering to a loopback Collector, and both
+// are timed end-to-end (Record through Flush). The collector's ingested
+// count is checked against the sent count, so the benchmark doubles as a
+// delivery smoke test.
+func renderSinkBench(quick bool) (string, error) {
+	n := 200000
+	if quick {
+		n = 20000
+	}
+	violations := make([]assertion.Violation, n)
+	for i := range violations {
+		violations[i] = assertion.Violation{
+			Assertion:   "bench-assert",
+			Stream:      fmt.Sprintf("cam-%02d", i%8),
+			SampleIndex: i,
+			Time:        float64(i) / 30,
+			Severity:    1 + float64(i%5),
+		}
+	}
+
+	drive := func(s assertion.Sink) (time.Duration, error) {
+		start := time.Now()
+		for _, v := range violations {
+			if err := s.Record(v); err != nil {
+				return 0, err
+			}
+		}
+		if err := s.Flush(); err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start)
+		return elapsed, s.Close()
+	}
+
+	jsonlTime, err := drive(assertion.NewJSONLSink(io.Discard, 4096))
+	if err != nil {
+		return "", fmt.Errorf("jsonl sink: %w", err)
+	}
+
+	collector := export.NewCollector(0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: collector.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	httpSink, err := export.NewHTTPSink(export.HTTPSinkConfig{
+		BaseURL:    "http://" + ln.Addr().String(),
+		QueueDepth: 4096,
+		BatchMax:   512,
+	})
+	if err != nil {
+		return "", err
+	}
+	httpTime, err := drive(httpSink)
+	if err != nil {
+		return "", fmt.Errorf("http sink: %w", err)
+	}
+	if got := collector.Recorder().TotalFired(); got != n {
+		return "", fmt.Errorf("collector ingested %d of %d violations", got, n)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sink throughput, %d violations (single producer):\n", n)
+	fmt.Fprintf(&b, "  %-22s %10s %14s\n", "backend", "wall", "violations/s")
+	row := func(name string, d time.Duration) {
+		fmt.Fprintf(&b, "  %-22s %10s %14.0f\n", name, d.Round(time.Millisecond), float64(n)/d.Seconds())
+	}
+	row("jsonl (io.Discard)", jsonlTime)
+	row("http (loopback)", httpTime)
+	fmt.Fprintf(&b, "  http path: %d batches, %d retries, %d dropped, %.1fx jsonl wall time\n",
+		httpSink.Batches(), httpSink.Retries(), httpSink.Dropped(),
+		float64(httpTime)/float64(jsonlTime))
+	return b.String(), nil
+}

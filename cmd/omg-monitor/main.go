@@ -8,15 +8,22 @@
 // With -streams N > 1 it drives N concurrent camera feeds (each with its
 // own seed and stream key) through the pool's asynchronous ingestion path,
 // exercising the multi-stream hot path. -sink selects the violation
-// backend (plain JSONL, size-rotated files, or per-assertion sampling)
-// and -per-stream-recorders gives each camera its own violation recorder.
+// backend (plain JSONL, size/time-rotated files, per-assertion sampling,
+// or HTTP batch export to an omg-server collector) and
+// -per-stream-recorders gives each camera its own violation recorder.
+//
+// With -sink=http, -log is optional and tees a local JSONL copy beside
+// the export.
 //
 // Usage:
 //
 //	omg-monitor [-frames N] [-seed S] [-log violations.jsonl]
 //	            [-streams N] [-workers N]
-//	            [-sink jsonl|rotate|sample] [-rotate-bytes N] [-rotate-keep N]
+//	            [-sink jsonl|rotate|sample|http]
+//	            [-rotate-bytes N] [-rotate-keep N] [-rotate-interval D]
 //	            [-sample-every N] [-per-stream-recorders]
+//	            [-export-url http://collector:9077] [-export-batch N]
+//	            [-export-retries N]
 package main
 
 import (
@@ -24,11 +31,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"sync"
 
 	"omg/internal/assertion"
 	"omg/internal/consistency"
 	"omg/internal/domains/nightstreet"
+	"omg/internal/export"
 )
 
 func main() {
@@ -37,22 +46,29 @@ func main() {
 	logPath := flag.String("log", "", "JSONL violation log path (default: stdout summary only)")
 	streams := flag.Int("streams", 1, "number of concurrent camera streams")
 	workers := flag.Int("workers", 0, "max shards evaluating concurrently (0 = one per shard)")
-	sinkKind := flag.String("sink", "jsonl", "violation sink backend with -log: jsonl, rotate or sample")
+	sinkKind := flag.String("sink", "jsonl", "violation sink backend: jsonl, rotate or sample (with -log), or http (with -export-url)")
 	rotateBytes := flag.Int64("rotate-bytes", 1<<20, "rotate the log after this many bytes (-sink=rotate)")
 	rotateKeep := flag.Int("rotate-keep", 3, "rotated log files to keep (-sink=rotate)")
+	rotateInterval := flag.Duration("rotate-interval", 0, "also rotate the log after this long, whichever of size/age trips first (-sink=rotate; 0 = size only)")
 	sampleEvery := flag.Int("sample-every", 10, "keep 1 in N violations per assertion (-sink=sample)")
 	perStream := flag.Bool("per-stream-recorders", false, "give each stream its own violation recorder")
+	exportURL := flag.String("export-url", "", "collector base URL, e.g. http://collector:9077 (-sink=http)")
+	exportBatch := flag.Int("export-batch", 256, "violations coalesced per exported batch (-sink=http)")
+	exportRetries := flag.Int("export-retries", 3, "retries per failed batch before its violations count as dropped (-sink=http)")
 	flag.Parse()
 	if *streams < 1 {
 		log.Fatalf("-streams must be >= 1")
 	}
 	switch *sinkKind {
-	case "jsonl", "rotate", "sample":
+	case "jsonl", "rotate", "sample", "http":
 	default:
-		log.Fatalf("unknown -sink %q (want jsonl, rotate or sample)", *sinkKind)
+		log.Fatalf("unknown -sink %q (want jsonl, rotate, sample or http)", *sinkKind)
 	}
-	if *logPath == "" && *sinkKind != "jsonl" {
+	if *logPath == "" && (*sinkKind == "rotate" || *sinkKind == "sample") {
 		log.Fatalf("-sink=%s requires -log", *sinkKind)
+	}
+	if *sinkKind == "http" && *exportURL == "" {
+		log.Fatalf("-sink=http requires -export-url")
 	}
 	if *rotateBytes <= 0 {
 		log.Fatalf("-rotate-bytes must be > 0")
@@ -60,16 +76,50 @@ func main() {
 	if *rotateKeep < 1 {
 		log.Fatalf("-rotate-keep must be >= 1")
 	}
+	if *rotateInterval < 0 {
+		log.Fatalf("-rotate-interval must be >= 0")
+	}
 	if *sampleEvery < 1 {
 		log.Fatalf("-sample-every must be >= 1")
 	}
+	if *exportBatch < 1 {
+		log.Fatalf("-export-batch must be >= 1")
+	}
+	if *exportRetries < 0 {
+		log.Fatalf("-export-retries must be >= 0")
+	}
 
-	// A full disk or a bad path must not silently truncate the violation
-	// log: every sink error path below exits non-zero.
+	// A full disk, a bad path or an unreachable collector must not
+	// silently truncate the violation stream: every sink error path below
+	// exits non-zero.
 	var sink assertion.Sink
 	var sampler *assertion.SamplingSink
+	var httpSink *export.HTTPSink
 	var logFile *os.File
-	if *logPath != "" {
+	switch {
+	case *sinkKind == "http":
+		// Built through the assertion sink registry (the seam third-party
+		// backends use) rather than the export package's constructor.
+		s, err := assertion.NewSinkFromFactory("http", map[string]string{
+			"url":     *exportURL,
+			"batch":   strconv.Itoa(*exportBatch),
+			"retries": strconv.Itoa(*exportRetries),
+		})
+		if err != nil {
+			log.Fatalf("build http sink: %v", err)
+		}
+		httpSink = s.(*export.HTTPSink)
+		sink = httpSink
+		if *logPath != "" {
+			// -log beside -sink=http: tee into a local JSONL file too.
+			f, err := os.Create(*logPath)
+			if err != nil {
+				log.Fatalf("create log: %v", err)
+			}
+			logFile = f
+			sink = assertion.NewMultiSink(httpSink, assertion.NewJSONLSink(f, 0))
+		}
+	case *logPath != "":
 		switch *sinkKind {
 		case "jsonl", "sample":
 			f, err := os.Create(*logPath)
@@ -83,7 +133,9 @@ func main() {
 				sink = sampler
 			}
 		case "rotate":
-			s, err := assertion.NewRotatingFileSink(*logPath, *rotateBytes, *rotateKeep)
+			s, err := assertion.NewRotatingFileSinkConfig(*logPath, assertion.RotateConfig{
+				MaxBytes: *rotateBytes, MaxAge: *rotateInterval, Keep: *rotateKeep,
+			})
 			if err != nil {
 				log.Fatalf("open rotating log: %v", err)
 			}
@@ -151,8 +203,14 @@ func main() {
 	}
 	wg.Wait()
 	// Close drains the pipeline, flushes every recorder and closes the
-	// pool-owned sink; any sink error surfaces here.
+	// pool-owned sink; any sink error surfaces here. When the sink counts
+	// its losses (e.g. the HTTP exporter with the collector down), report
+	// them — drops must never be silent.
 	if err := pool.Close(); err != nil {
+		if dc, ok := sink.(assertion.DropCounter); ok && dc.Dropped() > 0 {
+			log.Fatalf("drain monitor pool: %v (sink dropped %d of %d violations)",
+				err, dc.Dropped(), pool.TotalFired())
+		}
 		log.Fatalf("drain monitor pool: %v", err)
 	}
 
@@ -172,7 +230,11 @@ func main() {
 			log.Fatalf("close log: %v", err)
 		}
 	}
-	if sink != nil {
+	if httpSink != nil {
+		fmt.Printf("exported %d violations in %d batches to %s (%d retries, %d dropped)\n",
+			httpSink.Delivered(), httpSink.Batches(), *exportURL, httpSink.Retries(), httpSink.Dropped())
+	}
+	if sink != nil && *logPath != "" {
 		fmt.Printf("JSONL violation log written to %s\n", *logPath)
 	}
 }

@@ -1,0 +1,126 @@
+// Command omg-server is the collector side of networked monitoring: it
+// ingests violation batches exported by edge monitors (omg-monitor
+// -sink=http, or any client speaking the internal/export wire format)
+// into one recorder and serves aggregate and per-violation queries — the
+// central dashboard feed of the paper's deployment story (§2.3).
+//
+// Endpoints:
+//
+//	POST /v1/violations        ingest one wire batch (exactly-once per source+seq)
+//	GET  /v1/summary           per-assertion firing counts + totals
+//	GET  /v1/violations/query  retained violations, ?assertion= ?stream= ?limit=
+//	GET  /healthz              liveness
+//	GET  /metrics              Prometheus text format
+//
+// With -snapshot PATH the server loads its state from PATH at startup (if
+// the file exists) and persists it there on SIGTERM/SIGINT, so a restart
+// neither loses counts nor re-applies batches retried across it. -log
+// additionally streams ingested violations to a local JSONL file,
+// size-rotated at 64 MiB with 3 rotated files retained (the durable log
+// is bounded, like the in-memory one; older violations rotate away).
+//
+// Usage:
+//
+//	omg-server [-addr :9077] [-retain N] [-snapshot state.json]
+//	           [-log violations.jsonl]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"omg/internal/assertion"
+	"omg/internal/export"
+)
+
+func main() {
+	addr := flag.String("addr", ":9077", "listen address (host:port; port 0 picks a free port)")
+	retain := flag.Int("retain", 100000, "violations to retain in memory for queries (0 = unbounded)")
+	snapshot := flag.String("snapshot", "", "state snapshot path: loaded at startup, written on SIGTERM/SIGINT")
+	logPath := flag.String("log", "", "also stream ingested violations to this JSONL file (size-rotated at 64 MiB, 3 rotations kept)")
+	flag.Parse()
+	if *retain < 0 {
+		log.Fatalf("-retain must be >= 0")
+	}
+
+	c := export.NewCollector(*retain)
+	if *snapshot != "" {
+		s, err := export.ReadSnapshotFile(*snapshot)
+		switch {
+		case err == nil:
+			c.Restore(s)
+			log.Printf("restored snapshot %s: %d violations across %d sources",
+				*snapshot, s.Recorder.TotalFired(), len(s.LastSeq))
+		case errors.Is(err, fs.ErrNotExist):
+			log.Printf("no snapshot at %s yet; starting fresh", *snapshot)
+		default:
+			// A corrupt or version-mismatched snapshot must not be
+			// silently discarded (and later overwritten) — refuse to start.
+			log.Fatalf("load snapshot: %v", err)
+		}
+	}
+	var fileSink *assertion.RotatingFileSink
+	if *logPath != "" {
+		s, err := assertion.NewRotatingFileSink(*logPath, 0, 3)
+		if err != nil {
+			log.Fatalf("open violation log: %v", err)
+		}
+		fileSink = s
+		c.Recorder().StreamToSink(s)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	srv := &http.Server{Handler: c.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	// The resolved address line is the startup handshake: scripts (and the
+	// e2e tests) scrape it to learn the port when -addr ends in :0.
+	fmt.Printf("omg-server listening on %s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-stop:
+		log.Printf("received %s; shutting down", sig)
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	exitCode := 0
+	if fileSink != nil {
+		// Detach before closing so late ingests cannot race the close.
+		c.Recorder().Close()
+		if err := c.Recorder().Err(); err != nil {
+			log.Printf("violation log: %v", err)
+			exitCode = 1
+		}
+	}
+	if *snapshot != "" {
+		if err := export.WriteSnapshotFile(*snapshot, c.Snapshot()); err != nil {
+			log.Printf("write snapshot: %v", err)
+			exitCode = 1
+		} else {
+			log.Printf("snapshot persisted to %s", *snapshot)
+		}
+	}
+	os.Exit(exitCode)
+}

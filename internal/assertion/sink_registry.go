@@ -1,0 +1,69 @@
+package assertion
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SinkFactory builds a Sink from string parameters — the registration hook
+// that lets backends living outside this package (e.g. the HTTP export
+// sink in internal/export) plug into flag-driven tools by name. Factories
+// must validate their parameters and return a descriptive error rather
+// than a half-configured sink.
+type SinkFactory func(params map[string]string) (Sink, error)
+
+var (
+	sinkFactoryMu sync.RWMutex
+	sinkFactories = map[string]SinkFactory{}
+)
+
+// RegisterSinkFactory registers a named sink backend. It returns an error
+// for an empty kind, a nil factory, or a kind registered twice — duplicate
+// registration is a wiring bug, not a runtime condition to tolerate.
+func RegisterSinkFactory(kind string, f SinkFactory) error {
+	if kind == "" {
+		return fmt.Errorf("assertion: sink factory kind must be non-empty")
+	}
+	if f == nil {
+		return fmt.Errorf("assertion: sink factory %q is nil", kind)
+	}
+	sinkFactoryMu.Lock()
+	defer sinkFactoryMu.Unlock()
+	if _, exists := sinkFactories[kind]; exists {
+		return fmt.Errorf("assertion: sink factory %q already registered", kind)
+	}
+	sinkFactories[kind] = f
+	return nil
+}
+
+// MustRegisterSinkFactory is RegisterSinkFactory that panics on error, for
+// registration from a package init.
+func MustRegisterSinkFactory(kind string, f SinkFactory) {
+	if err := RegisterSinkFactory(kind, f); err != nil {
+		panic(err)
+	}
+}
+
+// NewSinkFromFactory builds a sink through the named registered factory.
+func NewSinkFromFactory(kind string, params map[string]string) (Sink, error) {
+	sinkFactoryMu.RLock()
+	f, ok := sinkFactories[kind]
+	sinkFactoryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("assertion: no sink factory registered for %q (have %v)", kind, SinkFactoryKinds())
+	}
+	return f(params)
+}
+
+// SinkFactoryKinds returns the registered backend names, sorted.
+func SinkFactoryKinds() []string {
+	sinkFactoryMu.RLock()
+	defer sinkFactoryMu.RUnlock()
+	out := make([]string, 0, len(sinkFactories))
+	for kind := range sinkFactories {
+		out = append(out, kind)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,49 @@
+package assertion
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSinkFactoryRegistry(t *testing.T) {
+	const kind = "test-memory"
+	err := RegisterSinkFactory(kind, func(params map[string]string) (Sink, error) {
+		return NewMemorySink(10), nil
+	})
+	if err != nil {
+		t.Fatalf("RegisterSinkFactory: %v", err)
+	}
+	if err := RegisterSinkFactory(kind, func(map[string]string) (Sink, error) { return nil, nil }); err == nil {
+		t.Fatal("duplicate registration must be rejected")
+	}
+	if err := RegisterSinkFactory("", func(map[string]string) (Sink, error) { return nil, nil }); err == nil {
+		t.Fatal("empty kind must be rejected")
+	}
+	if err := RegisterSinkFactory("nil-factory", nil); err == nil {
+		t.Fatal("nil factory must be rejected")
+	}
+
+	s, err := NewSinkFromFactory(kind, nil)
+	if err != nil {
+		t.Fatalf("NewSinkFromFactory: %v", err)
+	}
+	if _, ok := s.(*MemorySink); !ok {
+		t.Fatalf("factory built %T, want *MemorySink", s)
+	}
+
+	if _, err := NewSinkFromFactory("no-such-backend", nil); err == nil {
+		t.Fatal("unknown kind must be an error")
+	} else if !strings.Contains(err.Error(), "no-such-backend") {
+		t.Fatalf("error should name the missing kind: %v", err)
+	}
+
+	found := false
+	for _, k := range SinkFactoryKinds() {
+		if k == kind {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("SinkFactoryKinds() = %v, missing %q", SinkFactoryKinds(), kind)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // MemorySink is a bounded, queryable violation backend: the testing and
@@ -301,26 +302,37 @@ func (s *SamplingSink) Dropped() int64 {
 
 // rotatingWriter is the io.Writer behind RotatingFileSink: it rotates
 // path -> path.1 -> path.2 ... once the current file would exceed
-// maxBytes, keeping at most keep rotated files. Only the sink's worker
-// goroutine writes, so the mutex is uncontended; it exists for Close.
+// maxBytes or has been open longer than maxAge, keeping at most keep
+// rotated files. Only the sink's worker goroutine writes, so the mutex is
+// uncontended; it exists for Close.
 type rotatingWriter struct {
 	path     string
 	maxBytes int64
 	keep     int
+	maxAge   time.Duration    // 0 disables age-based rotation
+	now      func() time.Time // clock hook for tests
 
-	mu   sync.Mutex
-	f    *os.File
-	size int64
+	mu       sync.Mutex
+	f        *os.File
+	size     int64
+	openedAt time.Time // when the active file started accumulating
 }
 
 // Write splits p — a batch of complete JSONL lines — at line boundaries
 // so every retained file respects maxBytes; only a single line larger
-// than maxBytes can push a file over the bound.
+// than maxBytes can push a file over the bound. A non-empty file older
+// than maxAge is rotated out first, so whichever of the size or age bound
+// trips first wins.
 func (w *rotatingWriter) Write(p []byte) (int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return 0, ErrSinkClosed
+	}
+	if w.maxAge > 0 && w.size > 0 && w.clock().Sub(w.openedAt) >= w.maxAge {
+		if err := w.rotate(); err != nil {
+			return 0, err
+		}
 	}
 	written := 0
 	for {
@@ -390,8 +402,17 @@ func (w *rotatingWriter) rotate() error {
 	if err != nil {
 		return err
 	}
-	w.f, w.size = f, 0
+	w.f, w.size, w.openedAt = f, 0, w.clock()
 	return nil
+}
+
+// clock returns the writer's clock, defaulting to the wall clock so
+// directly-constructed writers (tests) need no setup.
+func (w *rotatingWriter) clock() time.Time {
+	if w.now == nil {
+		return time.Now()
+	}
+	return w.now()
 }
 
 func (w *rotatingWriter) Close() error {
@@ -405,36 +426,70 @@ func (w *rotatingWriter) Close() error {
 	return err
 }
 
-// RotatingFileSink is a JSONLSink writing to a size-rotated file: once the
-// current file would exceed maxBytes the sink renames it to path.1
-// (shifting older rotations up) and starts fresh, so week-long monitoring
-// runs never grow one unbounded JSONL file. Coalesced writes are split at
-// line boundaries, so a retained file exceeds maxBytes only when a single
-// JSONL line does.
+// RotatingFileSink is a JSONLSink writing to a rotated file: once the
+// current file would exceed the size bound — or, with a RotateConfig
+// MaxAge, has been accumulating longer than the age bound — the sink
+// renames it to path.1 (shifting older rotations up) and starts fresh, so
+// week-long monitoring runs never grow one unbounded JSONL file.
+// Coalesced writes are split at line boundaries, so a retained file
+// exceeds the size bound only when a single JSONL line does.
 type RotatingFileSink struct {
 	*JSONLSink
 	rw *rotatingWriter
 }
 
+// RotateConfig configures a RotatingFileSink's rotation policy.
+type RotateConfig struct {
+	// MaxBytes rotates the active file before a write would push it past
+	// this size (<= 0 uses 64 MiB).
+	MaxBytes int64
+	// MaxAge rotates a non-empty active file once it has been
+	// accumulating for this long, checked when the next batch arrives
+	// (0 disables age-based rotation). Whichever of size or age trips
+	// first wins.
+	MaxAge time.Duration
+	// Keep is how many rotated files to retain beside the active one
+	// (minimum 1; path.1 is the most recent).
+	Keep int
+}
+
 // NewRotatingFileSink opens a rotating JSONL log at path that rotates
 // after maxBytes (<= 0 uses 64 MiB) and keeps at most `keep` rotated
-// files (minimum 1) beside the active one. An existing log at path is
-// appended to, never truncated, so a restarted deployment keeps the
-// previous run's violations (rotating them out once the bound is hit).
+// files (minimum 1) beside the active one. Use NewRotatingFileSinkConfig
+// for time-based rotation as well.
 func NewRotatingFileSink(path string, maxBytes int64, keep int) (*RotatingFileSink, error) {
-	if maxBytes <= 0 {
-		maxBytes = 64 << 20
+	return NewRotatingFileSinkConfig(path, RotateConfig{MaxBytes: maxBytes, Keep: keep})
+}
+
+// NewRotatingFileSinkConfig opens a rotating JSONL log at path with the
+// given size/age policy. An existing log at path is appended to, never
+// truncated, so a restarted deployment keeps the previous run's
+// violations (rotating them out once a bound is hit); its age is taken
+// from the file's modification time, so the age bound spans restarts.
+func NewRotatingFileSinkConfig(path string, cfg RotateConfig) (*RotatingFileSink, error) {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 64 << 20
 	}
-	if keep < 1 {
-		keep = 1
+	if cfg.Keep < 1 {
+		cfg.Keep = 1
+	}
+	if cfg.MaxAge < 0 {
+		cfg.MaxAge = 0
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	rw := &rotatingWriter{path: path, maxBytes: maxBytes, keep: keep, f: f}
+	rw := &rotatingWriter{
+		path: path, maxBytes: cfg.MaxBytes, keep: cfg.Keep,
+		maxAge: cfg.MaxAge, now: time.Now, f: f,
+	}
+	rw.openedAt = rw.now()
 	if st, err := f.Stat(); err == nil {
 		rw.size = st.Size()
+		if rw.size > 0 {
+			rw.openedAt = st.ModTime()
+		}
 	}
 	return &RotatingFileSink{JSONLSink: NewJSONLSink(rw, 0), rw: rw}, nil
 }

@@ -1,0 +1,113 @@
+package assertion
+
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countLines returns the number of newline-terminated lines in the file.
+func countLines(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	n := 0
+	for _, b := range data {
+		if b == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRotatingFileSinkAgeRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.jsonl")
+	s, err := NewRotatingFileSinkConfig(path, RotateConfig{
+		MaxBytes: 1 << 20, // size bound never trips in this test
+		MaxAge:   time.Minute,
+		Keep:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject a deterministic clock before the first Record: the worker
+	// only reads it during writes, which Flush brackets.
+	var clock atomic.Int64 // seconds
+	s.rw.now = func() time.Time { return time.Unix(clock.Load(), 0) }
+	s.rw.openedAt = time.Unix(0, 0)
+
+	recordN(t, s, "a", 3)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Store(30) // half the age bound: no rotation yet
+	recordN(t, s, "a", 1)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".1"); err == nil {
+		t.Fatal("rotated before MaxAge elapsed")
+	}
+
+	clock.Store(61) // past the bound: next batch rotates first
+	recordN(t, s, "a", 2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := countLines(t, path+".1"); got != 4 {
+		t.Fatalf("rotated file holds %d lines, want the 4 pre-rotation ones", got)
+	}
+	if got := countLines(t, path); got != 2 {
+		t.Fatalf("active file holds %d lines, want the 2 post-rotation ones", got)
+	}
+}
+
+func TestRotatingFileSinkAgeSpansRestart(t *testing.T) {
+	// A restarted deployment appends to the previous run's log; its age
+	// is the file's mtime, so a stale log rotates out on the first write.
+	path := filepath.Join(t.TempDir(), "v.jsonl")
+	if err := os.WriteFile(path, []byte("{\"assertion\":\"old\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(path, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewRotatingFileSinkConfig(path, RotateConfig{MaxAge: time.Minute, Keep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordN(t, s, "a", 1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := countLines(t, path+".1"); got != 1 {
+		t.Fatalf("previous run's log should have rotated out, %s.1 holds %d lines", path, got)
+	}
+	if got := countLines(t, path); got != 1 {
+		t.Fatalf("active file holds %d lines, want 1", got)
+	}
+}
+
+func TestRotatingFileSinkSizeTripsBeforeAge(t *testing.T) {
+	// Whichever bound trips first wins: with a huge MaxAge the size bound
+	// must still rotate.
+	path := filepath.Join(t.TempDir(), "v.jsonl")
+	s, err := NewRotatingFileSinkConfig(path, RotateConfig{
+		MaxBytes: 256, MaxAge: 24 * time.Hour, Keep: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordN(t, s, "size-before-age", 50)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("size bound should have rotated regardless of age: %v", err)
+	}
+}

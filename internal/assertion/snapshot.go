@@ -1,0 +1,74 @@
+package assertion
+
+import "math"
+
+// RecorderSnapshot is a point-in-time, JSON-serialisable copy of a
+// Recorder's state: per-assertion aggregate statistics plus the retained
+// violation log. It is the recorder half of the export wire format
+// (internal/export), letting a collector persist its state across restarts
+// and a deployment ship a recorder's view over the network.
+type RecorderSnapshot struct {
+	// Stats holds each fired assertion's aggregate statistics.
+	Stats map[string]Stats `json:"stats,omitempty"`
+	// Violations is the retained violation log in arrival order. When the
+	// recorder's in-memory bound has evicted violations the log is
+	// partial; LogDropped counts those evictions, and Stats stays
+	// complete regardless.
+	Violations []Violation `json:"violations,omitempty"`
+	// LogDropped is how many violations the bounded in-memory log had
+	// evicted when the snapshot was taken.
+	LogDropped int64 `json:"log_dropped,omitempty"`
+}
+
+// TotalFired returns the total violation count across the snapshot's
+// statistics — the restored value of Recorder.TotalFired.
+func (s RecorderSnapshot) TotalFired() int {
+	total := 0
+	for _, st := range s.Stats {
+		total += st.Fired
+	}
+	return total
+}
+
+// Snapshot captures the recorder's statistics and retained violations. It
+// is safe to call concurrently with Record; violations recorded while the
+// snapshot is being taken may appear in the statistics, the log, both or
+// neither, but each assertion's Stats entry is internally consistent.
+func (r *Recorder) Snapshot() RecorderSnapshot {
+	snap := RecorderSnapshot{Stats: make(map[string]Stats)}
+	r.stats.Range(func(name, cell any) bool {
+		snap.Stats[name.(string)] = cell.(*statsCell).snapshot()
+		return true
+	})
+	r.mu.Lock()
+	snap.Violations = r.log.snapshot()
+	snap.LogDropped = r.log.dropped.Load()
+	r.mu.Unlock()
+	return snap
+}
+
+// RestoreSnapshot replaces the recorder's statistics and retained log with
+// the snapshot's — the inverse of Snapshot, used by a collector reloading
+// persisted state. The attached sink (if any) is left untouched: restored
+// violations are not replayed into it. When this recorder's in-memory
+// bound is tighter than the snapshotting recorder's, the oldest restored
+// violations are evicted and counted in Dropped as usual. It must not be
+// called concurrently with Record.
+func (r *Recorder) RestoreSnapshot(snap RecorderSnapshot) {
+	r.Clear()
+	for name, st := range snap.Stats {
+		cell := &statsCell{}
+		cell.fired.Store(int64(st.Fired))
+		cell.totalSev.Store(math.Float64bits(st.TotalSev))
+		cell.maxSev.Store(math.Float64bits(st.MaxSev))
+		cell.first.Store(int64(st.FirstSample))
+		cell.last.Store(int64(st.LastSample))
+		r.stats.Store(name, cell)
+	}
+	r.mu.Lock()
+	r.log.dropped.Store(snap.LogDropped)
+	for _, v := range snap.Violations {
+		r.log.add(v)
+	}
+	r.mu.Unlock()
+}

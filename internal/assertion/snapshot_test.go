@@ -1,0 +1,97 @@
+package assertion
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestRecorderSnapshotRoundTrip(t *testing.T) {
+	src := NewRecorder(0)
+	src.Record(Violation{Assertion: "a", Stream: "cam-0", SampleIndex: 3, Time: 0.1, Severity: 2})
+	src.Record(Violation{Assertion: "a", Stream: "cam-1", SampleIndex: 7, Time: 0.2, Severity: 5})
+	src.Record(Violation{Assertion: "b", Stream: "cam-0", SampleIndex: 9, Time: 0.3, Severity: 1})
+
+	snap := src.Snapshot()
+	if got := snap.TotalFired(); got != 3 {
+		t.Fatalf("snapshot TotalFired = %d, want 3", got)
+	}
+
+	// Through JSON, as the export wire format ships it.
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded RecorderSnapshot
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewRecorder(0)
+	dst.Record(Violation{Assertion: "stale", Severity: 9}) // must be wiped by the restore
+	dst.RestoreSnapshot(decoded)
+
+	if got, want := dst.Summary(), src.Summary(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored Summary = %v, want %v", got, want)
+	}
+	if got, want := dst.Violations(), src.Violations(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored Violations = %v, want %v", got, want)
+	}
+	for _, name := range src.AssertionNames() {
+		want, _ := src.Stats(name)
+		got, ok := dst.Stats(name)
+		if !ok || got != want {
+			t.Fatalf("restored Stats(%s) = %+v ok=%v, want %+v", name, got, ok, want)
+		}
+	}
+	if _, ok := dst.Stats("stale"); ok {
+		t.Fatal("restore must replace pre-existing statistics")
+	}
+	if got := dst.TotalFired(); got != 3 {
+		t.Fatalf("restored TotalFired = %d, want 3", got)
+	}
+}
+
+func TestRecorderSnapshotCarriesLogDropped(t *testing.T) {
+	src := NewRecorder(2) // bounded: the first violation is evicted
+	for i := 0; i < 3; i++ {
+		src.Record(Violation{Assertion: "a", SampleIndex: i, Severity: 1})
+	}
+	snap := src.Snapshot()
+	if snap.LogDropped != 1 || len(snap.Violations) != 2 {
+		t.Fatalf("snapshot = %d violations with LogDropped %d, want 2 and 1", len(snap.Violations), snap.LogDropped)
+	}
+	// Stats stay complete even though the log is partial.
+	if got := snap.TotalFired(); got != 3 {
+		t.Fatalf("snapshot TotalFired = %d, want 3", got)
+	}
+
+	dst := NewRecorder(0)
+	dst.RestoreSnapshot(snap)
+	if got := dst.Dropped(); got != 1 {
+		t.Fatalf("restored Dropped = %d, want 1", got)
+	}
+	if got := len(dst.Violations()); got != 2 {
+		t.Fatalf("restored log holds %d violations, want 2", got)
+	}
+}
+
+func TestRecorderRestoreIntoTighterBoundEvicts(t *testing.T) {
+	src := NewRecorder(0)
+	for i := 0; i < 5; i++ {
+		src.Record(Violation{Assertion: "a", SampleIndex: i, Severity: 1})
+	}
+	dst := NewRecorder(2)
+	dst.RestoreSnapshot(src.Snapshot())
+	vs := dst.Violations()
+	if len(vs) != 2 || vs[0].SampleIndex != 3 || vs[1].SampleIndex != 4 {
+		t.Fatalf("tighter bound should keep the newest violations, got %v", vs)
+	}
+	if got := dst.Dropped(); got != 3 {
+		t.Fatalf("restore evictions must be counted: Dropped = %d, want 3", got)
+	}
+	// The complete statistics survive the partial log.
+	if got := dst.TotalFired(); got != 5 {
+		t.Fatalf("restored TotalFired = %d, want 5", got)
+	}
+}

@@ -1,0 +1,54 @@
+package export
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"omg/internal/assertion"
+)
+
+// BenchmarkHTTPSinkLoopback measures the full export path — Record,
+// coalesce, JSON encode, loopback POST, collector ingest — per violation.
+// Compare with the assertion package's BenchmarkJSONLSink to see what the
+// network hop costs.
+func BenchmarkHTTPSinkLoopback(b *testing.B) {
+	c := NewCollector(0)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	s, err := NewHTTPSink(HTTPSinkConfig{BaseURL: srv.URL, QueueDepth: 4096, BatchMax: 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := assertion.Violation{Assertion: "bench", Stream: "cam-0", Severity: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.SampleIndex = i
+		if err := s.Record(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if got := c.Recorder().TotalFired(); got != b.N {
+		b.Fatalf("collector ingested %d of %d", got, b.N)
+	}
+}
+
+// BenchmarkCollectorIngest measures the server side alone: applying an
+// already-decoded batch to the backing recorder.
+func BenchmarkCollectorIngest(b *testing.B) {
+	c := NewCollector(100000)
+	batch := Batch{Version: WireVersion, Source: "bench", Violations: make([]assertion.Violation, 256)}
+	for i := range batch.Violations {
+		batch.Violations[i] = assertion.Violation{Assertion: "bench", Stream: "cam-0", SampleIndex: i, Severity: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Seq = uint64(i + 1)
+		c.Ingest(batch)
+	}
+	b.ReportMetric(float64(b.N*256), "violations")
+}

@@ -1,0 +1,287 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"omg/internal/assertion"
+)
+
+// Collector is the ingest side of networked monitoring: it applies wire
+// batches from any number of edge monitors to one Recorder and serves
+// aggregate and per-violation queries over HTTP. It deduplicates retried
+// batches by (source, seq) — the receiver half of the exactly-once
+// contract HTTPSink's sequence numbers set up — and its whole state
+// (recorder + dedup marks) snapshots to disk and back, so a restarted
+// collector resumes where it stopped. It is safe for concurrent use.
+type Collector struct {
+	rec *assertion.Recorder
+
+	mu      sync.Mutex
+	sources map[string]*sourceState
+
+	batches    atomic.Int64
+	duplicates atomic.Int64
+	ingested   atomic.Int64
+	rejected   atomic.Int64 // malformed or version-mismatched requests
+}
+
+// sourceState serialises one sender's batches. Its mutex is held across
+// the whole apply, so the high-water mark only ever covers fully recorded
+// batches: a retry arriving while the original is still being applied
+// (the sender timed out mid-apply) blocks here and is acknowledged as a
+// duplicate only after the original's violations have all landed.
+type sourceState struct {
+	mu      sync.Mutex
+	lastSeq uint64 // high-water mark of fully applied batches
+}
+
+// NewCollector returns a collector retaining at most limit violations in
+// memory (0 = unbounded); aggregate statistics are complete regardless of
+// the bound.
+func NewCollector(limit int) *Collector {
+	return &Collector{
+		rec:     assertion.NewRecorder(limit),
+		sources: make(map[string]*sourceState),
+	}
+}
+
+func (c *Collector) sourceState(source string) *sourceState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.sources[source]
+	if !ok {
+		st = &sourceState{}
+		c.sources[source] = st
+	}
+	return st
+}
+
+// Recorder returns the collector's backing recorder, e.g. to attach a
+// durable sink so ingested violations also land in a local JSONL log.
+func (c *Collector) Recorder() *assertion.Recorder { return c.rec }
+
+// Ingest applies one batch. A batch whose (source, seq) is at or below
+// the source's applied high-water mark is a retry of something already
+// applied: it is counted and skipped, keeping ingestion exactly-once.
+// Batches from one source apply serially (each sender has a single
+// shipper anyway), and the mark advances only after the batch has fully
+// landed, so a duplicate acknowledgement never races the apply it
+// duplicates. Batches without a source or seq (hand-rolled clients) are
+// applied unconditionally. It returns how many violations were applied
+// and whether the batch was a duplicate.
+func (c *Collector) Ingest(b Batch) (accepted int, duplicate bool) {
+	if b.Source == "" || b.Seq == 0 {
+		return c.apply(b), false
+	}
+	st := c.sourceState(b.Source)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if b.Seq <= st.lastSeq {
+		c.duplicates.Add(1)
+		return 0, true
+	}
+	accepted = c.apply(b)
+	st.lastSeq = b.Seq
+	return accepted, false
+}
+
+// apply records a batch's violations and updates the counters.
+func (c *Collector) apply(b Batch) int {
+	for _, v := range b.Violations {
+		c.rec.Record(v)
+	}
+	c.batches.Add(1)
+	c.ingested.Add(int64(len(b.Violations)))
+	return len(b.Violations)
+}
+
+// Snapshot captures the collector's state — recorder plus dedup marks and
+// batch counters — in wire form.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	states := make(map[string]*sourceState, len(c.sources))
+	for src, st := range c.sources {
+		states[src] = st
+	}
+	c.mu.Unlock()
+	lastSeq := make(map[string]uint64, len(states))
+	for src, st := range states {
+		st.mu.Lock() // an in-flight apply finishes before its mark is read
+		lastSeq[src] = st.lastSeq
+		st.mu.Unlock()
+	}
+	return Snapshot{
+		Version:    WireVersion,
+		Recorder:   c.rec.Snapshot(),
+		LastSeq:    lastSeq,
+		Batches:    c.batches.Load(),
+		Duplicates: c.duplicates.Load(),
+	}
+}
+
+// Restore replaces the collector's state with a snapshot's. It must not
+// be called concurrently with Ingest.
+func (c *Collector) Restore(s Snapshot) {
+	c.rec.RestoreSnapshot(s.Recorder)
+	c.mu.Lock()
+	c.sources = make(map[string]*sourceState, len(s.LastSeq))
+	for src, seq := range s.LastSeq {
+		c.sources[src] = &sourceState{lastSeq: seq}
+	}
+	c.mu.Unlock()
+	c.batches.Store(s.Batches)
+	c.duplicates.Store(s.Duplicates)
+	c.ingested.Store(int64(s.Recorder.TotalFired()))
+}
+
+// SummaryResponse is the JSON body of GET /v1/summary.
+type SummaryResponse struct {
+	Version          int            `json:"version"`
+	TotalFired       int            `json:"total_fired"`
+	Assertions       map[string]int `json:"assertions"`
+	Batches          int64          `json:"batches"`
+	DuplicateBatches int64          `json:"duplicate_batches"`
+	Rejected         int64          `json:"rejected"`
+	Sources          int            `json:"sources"`
+	LogDropped       int            `json:"log_dropped"`
+}
+
+// IngestResponse is the JSON body of POST /v1/violations.
+type IngestResponse struct {
+	Accepted  int  `json:"accepted"`
+	Duplicate bool `json:"duplicate"`
+}
+
+// QueryResponse is the JSON body of GET /v1/violations/query.
+type QueryResponse struct {
+	Count      int                   `json:"count"`
+	Violations []assertion.Violation `json:"violations"`
+}
+
+// Handler returns the collector's HTTP API:
+//
+//	POST /v1/violations        ingest one wire batch
+//	GET  /v1/summary           per-assertion firing counts + totals
+//	GET  /v1/violations/query  retained violations, ?assertion= ?stream= ?limit=
+//	GET  /healthz              liveness
+//	GET  /metrics              Prometheus text format
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+IngestPath, c.handleIngest)
+	mux.HandleFunc("GET /v1/summary", c.handleSummary)
+	mux.HandleFunc("GET /v1/violations/query", c.handleQuery)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
+	b, err := DecodeBatch(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err != nil {
+		c.rejected.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	accepted, duplicate := c.Ingest(b)
+	writeJSON(w, IngestResponse{Accepted: accepted, Duplicate: duplicate})
+}
+
+func (c *Collector) handleSummary(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	sources := len(c.sources)
+	c.mu.Unlock()
+	writeJSON(w, SummaryResponse{
+		Version:          WireVersion,
+		TotalFired:       c.rec.TotalFired(),
+		Assertions:       c.rec.Summary(),
+		Batches:          c.batches.Load(),
+		DuplicateBatches: c.duplicates.Load(),
+		Rejected:         c.rejected.Load(),
+		Sources:          sources,
+		LogDropped:       c.rec.Dropped(),
+	})
+}
+
+func (c *Collector) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("bad limit %q", raw), http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	var vs []assertion.Violation
+	if name := q.Get("assertion"); name != "" {
+		vs = c.rec.ByAssertion(name)
+	} else {
+		vs = c.rec.Violations()
+	}
+	if stream := q.Get("stream"); stream != "" {
+		kept := vs[:0]
+		for _, v := range vs {
+			if v.Stream == stream {
+				kept = append(kept, v)
+			}
+		}
+		vs = kept
+	}
+	if limit > 0 && len(vs) > limit {
+		vs = vs[len(vs)-limit:] // the most recent ones
+	}
+	if vs == nil {
+		vs = []assertion.Violation{}
+	}
+	writeJSON(w, QueryResponse{Count: len(vs), Violations: vs})
+}
+
+// handleMetrics renders the collector's counters in the Prometheus text
+// exposition format, hand-rolled so the repository stays dependency-free.
+func (c *Collector) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	counter := func(name, help string, value int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, value)
+	}
+	counter("omg_collector_violations_total", "Violations ingested.", c.ingested.Load())
+	counter("omg_collector_batches_total", "Batches applied.", c.batches.Load())
+	counter("omg_collector_duplicate_batches_total", "Retried batches deduplicated.", c.duplicates.Load())
+	counter("omg_collector_rejected_requests_total", "Malformed or version-mismatched ingest requests.", c.rejected.Load())
+
+	summary := c.rec.Summary()
+	names := make([]string, 0, len(summary))
+	for name := range summary {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "# HELP omg_collector_assertion_fired_total Violations ingested per assertion.\n")
+	fmt.Fprintf(&b, "# TYPE omg_collector_assertion_fired_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "omg_collector_assertion_fired_total{assertion=\"%s\"} %d\n", escapeLabel(name), summary[name])
+	}
+	fmt.Fprint(w, b.String())
+}
+
+// escapeLabel escapes a Prometheus label value per the exposition format
+// (backslash, quote and newline).
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

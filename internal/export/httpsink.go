@@ -1,0 +1,405 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"omg/internal/assertion"
+)
+
+const (
+	defaultQueueDepth  = 1024
+	defaultBatchMax    = 256
+	defaultMaxRetries  = 3
+	defaultBaseBackoff = 50 * time.Millisecond
+	defaultMaxBackoff  = 2 * time.Second
+	defaultTimeout     = 5 * time.Second
+)
+
+// HTTPSinkConfig configures an HTTPSink. The zero value of every field
+// but BaseURL is usable; BaseURL is required.
+type HTTPSinkConfig struct {
+	// BaseURL is the collector's base URL (e.g. http://collector:9077);
+	// the sink posts batches to BaseURL + IngestPath.
+	BaseURL string
+	// Source identifies this sender on the wire; the collector
+	// deduplicates retried batches per source, so it must be unique per
+	// process lifetime. Empty generates host-pid-nonce.
+	Source string
+	// QueueDepth bounds the record queue (default 1024). When it is full,
+	// Record blocks until the shipper catches up — explicit backpressure
+	// rather than silent loss.
+	QueueDepth int
+	// BatchMax caps how many violations are coalesced into one POST
+	// (default 256).
+	BatchMax int
+	// MaxRetries is how many times a failed batch is retried before its
+	// violations are counted as dropped (0 uses the default of 3;
+	// negative disables retries, i.e. a single attempt per batch).
+	// Responses in the 4xx range other than 429 are never retried: the
+	// payload itself was rejected.
+	MaxRetries int
+	// BaseBackoff is the first retry delay (default 50ms); each further
+	// retry doubles it, capped at MaxBackoff (default 2s), with jitter in
+	// [50%, 100%] of the capped value.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Timeout bounds each HTTP request (default 5s). Ignored when Client
+	// is set.
+	Timeout time.Duration
+	// Client overrides the HTTP client (e.g. for tests or custom
+	// transports).
+	Client *http.Client
+}
+
+func (c *HTTPSinkConfig) fill() {
+	if c.Source == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "omg"
+		}
+		c.Source = fmt.Sprintf("%s-%d-%08x", host, os.Getpid(), rand.Uint32())
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = defaultQueueDepth
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = defaultBatchMax
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = defaultMaxRetries
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = defaultBaseBackoff
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = defaultMaxBackoff
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = defaultTimeout
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: c.Timeout}
+	}
+}
+
+// HTTPSink ships a recorder's violation stream to a collector over HTTP:
+// the network backend of the Sink seam. Violations are handed to a single
+// shipper goroutine over a bounded queue; the shipper coalesces whatever
+// is queued into one wire Batch per POST and retries failed deliveries
+// with exponential backoff and jitter. A batch that exhausts its retry
+// budget is dropped and counted (Dropped), never silently lost, and the
+// failure is retained for Err — but the sink does not latch dead: later
+// batches get their own retry budget, so a collector outage only costs
+// the batches shipped while it lasted.
+//
+// Exactly-once: each batch carries a (Source, Seq) pair reused across its
+// retries, and the collector ignores sequence numbers it has already
+// applied, so a retry after a lost response cannot double-count.
+type HTTPSink struct {
+	cfg HTTPSinkConfig
+	url string
+
+	mu     sync.RWMutex // record (read side) vs close (write side)
+	closed bool
+	ch     chan assertion.Violation
+
+	pendingMu   sync.Mutex
+	pendingCond *sync.Cond
+	pendingN    int
+
+	done chan struct{}
+
+	errMu sync.Mutex
+	err   error // first delivery failure, retained
+
+	seq       atomic.Uint64
+	delivered atomic.Int64
+	batches   atomic.Int64
+	retries   atomic.Int64
+	dropped   atomic.Int64
+}
+
+// NewHTTPSink returns a sink exporting violation batches to the collector
+// at cfg.BaseURL. The shipper goroutine starts immediately; Close stops
+// it after draining the queue.
+func NewHTTPSink(cfg HTTPSinkConfig) (*HTTPSink, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("export: HTTPSink requires a BaseURL")
+	}
+	if !strings.HasPrefix(cfg.BaseURL, "http://") && !strings.HasPrefix(cfg.BaseURL, "https://") {
+		return nil, fmt.Errorf("export: HTTPSink BaseURL %q must start with http:// or https://", cfg.BaseURL)
+	}
+	cfg.fill()
+	s := &HTTPSink{
+		cfg:  cfg,
+		url:  strings.TrimSuffix(cfg.BaseURL, "/") + IngestPath,
+		ch:   make(chan assertion.Violation, cfg.QueueDepth),
+		done: make(chan struct{}),
+	}
+	s.pendingCond = sync.NewCond(&s.pendingMu)
+	go s.run()
+	return s, nil
+}
+
+// Source returns the sender identity stamped on this sink's batches.
+func (s *HTTPSink) Source() string { return s.cfg.Source }
+
+// Record queues one violation for export, blocking when the queue is full
+// (backpressure). It returns ErrSinkClosed once the sink has been closed.
+func (s *HTTPSink) Record(v assertion.Violation) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return assertion.ErrSinkClosed
+	}
+	s.addPending(1)
+	s.ch <- v
+	return nil
+}
+
+// Flush blocks until every accepted violation has been delivered to the
+// collector or dropped after exhausting its retries, and returns the
+// first delivery error, if any.
+func (s *HTTPSink) Flush() error {
+	s.pendingMu.Lock()
+	for s.pendingN > 0 {
+		s.pendingCond.Wait()
+	}
+	s.pendingMu.Unlock()
+	return s.Err()
+}
+
+// Close drains the queue (delivering or counting every queued violation),
+// stops the shipper and returns the first delivery error. It is
+// idempotent; Record returns ErrSinkClosed afterwards.
+func (s *HTTPSink) Close() error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.ch)
+	}
+	<-s.done
+	return s.Err()
+}
+
+// Err returns the first delivery failure, if any, without blocking for
+// in-flight batches.
+func (s *HTTPSink) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// Dropped returns how many violations were discarded after their batch
+// exhausted its retry budget or was rejected outright — actual loss, per
+// the DropCounter contract. Delivered() + Dropped() equals the violations
+// accepted by Record once Flush returns.
+func (s *HTTPSink) Dropped() int64 { return s.dropped.Load() }
+
+// Delivered returns how many violations the collector has acknowledged.
+func (s *HTTPSink) Delivered() int64 { return s.delivered.Load() }
+
+// Batches returns how many batches have been acknowledged.
+func (s *HTTPSink) Batches() int64 { return s.batches.Load() }
+
+// Retries returns how many delivery attempts were retries.
+func (s *HTTPSink) Retries() int64 { return s.retries.Load() }
+
+func (s *HTTPSink) setErr(err error) {
+	if err == nil {
+		return
+	}
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+func (s *HTTPSink) addPending(delta int) {
+	s.pendingMu.Lock()
+	s.pendingN += delta
+	if s.pendingN <= 0 {
+		s.pendingCond.Broadcast()
+	}
+	s.pendingMu.Unlock()
+}
+
+func (s *HTTPSink) run() {
+	defer close(s.done)
+	batch := make([]assertion.Violation, 0, s.cfg.BatchMax)
+	for v := range s.ch {
+		batch = append(batch[:0], v)
+	drain:
+		for len(batch) < s.cfg.BatchMax {
+			select {
+			case more, ok := <-s.ch:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		s.ship(batch)
+		s.addPending(-len(batch))
+	}
+}
+
+// ship delivers one batch, retrying transient failures with exponential
+// backoff and jitter. On giving up the batch's violations are counted as
+// dropped and the last failure is retained.
+func (s *HTTPSink) ship(violations []assertion.Violation) {
+	body, err := json.Marshal(Batch{
+		Version:    WireVersion,
+		Source:     s.cfg.Source,
+		Seq:        s.seq.Add(1),
+		Violations: violations,
+	})
+	if err != nil {
+		s.setErr(fmt.Errorf("export: encode batch: %w", err))
+		s.dropped.Add(int64(len(violations)))
+		return
+	}
+	for attempt := 0; ; attempt++ {
+		err = s.post(body)
+		if err == nil {
+			s.delivered.Add(int64(len(violations)))
+			s.batches.Add(1)
+			return
+		}
+		var perm *permanentError
+		if attempt >= s.cfg.MaxRetries || errors.As(err, &perm) {
+			break
+		}
+		s.retries.Add(1)
+		time.Sleep(s.backoff(attempt))
+	}
+	s.setErr(fmt.Errorf("export: deliver batch to %s: %w", s.url, err))
+	s.dropped.Add(int64(len(violations)))
+}
+
+func (s *HTTPSink) post(body []byte) error {
+	req, err := http.NewRequest(http.MethodPost, s.url, bytes.NewReader(body))
+	if err != nil {
+		return &permanentError{err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	// Drain before closing or the transport cannot return the connection
+	// to its keep-alive pool, and every batch would pay a new handshake.
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+	if resp.StatusCode/100 == 2 {
+		return nil
+	}
+	err = fmt.Errorf("collector returned %s", resp.Status)
+	if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
+		// The collector understood the request and rejected the payload:
+		// retrying the same bytes cannot succeed.
+		return &permanentError{err}
+	}
+	return err
+}
+
+// backoff returns the delay before retry number attempt+1: BaseBackoff
+// doubled per attempt, capped at MaxBackoff, jittered into [50%, 100%] so
+// a fleet of senders recovering from a collector outage does not thunder
+// back in lockstep.
+func (s *HTTPSink) backoff(attempt int) time.Duration {
+	d := s.cfg.BaseBackoff << uint(attempt)
+	if d > s.cfg.MaxBackoff || d <= 0 {
+		d = s.cfg.MaxBackoff
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// permanentError marks a delivery failure retrying cannot fix.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// init plugs the HTTP backend into the assertion package's sink registry,
+// so flag-driven tools can build it by name without importing this
+// package's types. Recognised params: url (required), source, batch,
+// retries, depth, timeout (Go duration), backoff (Go duration).
+func init() {
+	assertion.MustRegisterSinkFactory("http", func(params map[string]string) (assertion.Sink, error) {
+		cfg := HTTPSinkConfig{BaseURL: params["url"], Source: params["source"]}
+		var err error
+		if cfg.QueueDepth, err = atoiParam(params, "depth"); err != nil {
+			return nil, err
+		}
+		if cfg.BatchMax, err = atoiParam(params, "batch"); err != nil {
+			return nil, err
+		}
+		if v, ok := params["retries"]; ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("export: http sink param retries=%q: %w", v, err)
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("export: http sink param retries must be >= 0")
+			}
+			// The param is literal: retries=0 means a single attempt,
+			// which the config spells as a negative count.
+			if n == 0 {
+				cfg.MaxRetries = -1
+			} else {
+				cfg.MaxRetries = n
+			}
+		}
+		if cfg.Timeout, err = durationParam(params, "timeout"); err != nil {
+			return nil, err
+		}
+		if cfg.BaseBackoff, err = durationParam(params, "backoff"); err != nil {
+			return nil, err
+		}
+		return NewHTTPSink(cfg)
+	})
+}
+
+func atoiParam(params map[string]string, key string) (int, error) {
+	v, ok := params[key]
+	if !ok {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("export: http sink param %s=%q: %w", key, v, err)
+	}
+	return n, nil
+}
+
+func durationParam(params map[string]string, key string) (time.Duration, error) {
+	v, ok := params[key]
+	if !ok {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("export: http sink param %s=%q: %w", key, v, err)
+	}
+	return d, nil
+}

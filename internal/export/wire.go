@@ -1,0 +1,132 @@
+// Package export moves violations across the network — the layer that
+// turns the single-process monitoring library into the deployed-pipeline
+// topology of the paper (§2.3), where the model and the monitor rarely
+// share a process: models run at the edge, violations accumulate at a
+// central collector.
+//
+// It has three parts: a versioned JSON wire format for violation batches
+// and recorder snapshots; HTTPSink, an assertion.Sink that batches,
+// retries and ships a recorder's violation stream to a collector over
+// HTTP; and Collector, the ingest/aggregate/query service behind
+// cmd/omg-server.
+package export
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"omg/internal/assertion"
+)
+
+// WireVersion is the version stamped on every batch and snapshot. A
+// receiver rejects payloads from a different version instead of guessing
+// at their shape.
+const WireVersion = 1
+
+// IngestPath is the collector endpoint HTTPSink posts batches to.
+const IngestPath = "/v1/violations"
+
+// ErrWireVersion reports a payload whose version field does not match
+// WireVersion.
+var ErrWireVersion = errors.New("export: wire version mismatch")
+
+// Batch is one wire shipment of violations from a sender to a collector.
+//
+// Source and Seq implement exactly-once ingestion under retries: the
+// sender assigns each batch the next sequence number and reuses it for
+// every retry of that batch, and the collector ignores a (source, seq) at
+// or below the highest it has applied for that source. A sender must
+// therefore pick a Source unique per process lifetime (HTTPSink generates
+// host-pid-nonce by default).
+type Batch struct {
+	Version int    `json:"version"`
+	Source  string `json:"source,omitempty"`
+	Seq     uint64 `json:"seq,omitempty"`
+
+	Violations []assertion.Violation `json:"violations"`
+}
+
+// Snapshot is the wire form of a collector's persisted state: the
+// recorder snapshot plus the per-source dedup high-water marks, so a
+// restarted collector neither loses counts nor re-applies a batch retried
+// across the restart.
+type Snapshot struct {
+	Version     int   `json:"version"`
+	SavedAtUnix int64 `json:"saved_at_unix,omitempty"`
+
+	Recorder assertion.RecorderSnapshot `json:"recorder"`
+
+	LastSeq    map[string]uint64 `json:"last_seq,omitempty"`
+	Batches    int64             `json:"batches,omitempty"`
+	Duplicates int64             `json:"duplicate_batches,omitempty"`
+}
+
+// EncodeBatch writes b as JSON on w, stamping the current wire version.
+func EncodeBatch(w io.Writer, b Batch) error {
+	b.Version = WireVersion
+	return json.NewEncoder(w).Encode(b)
+}
+
+// DecodeBatch reads one JSON batch from r and validates its version.
+func DecodeBatch(r io.Reader) (Batch, error) {
+	var b Batch
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return Batch{}, fmt.Errorf("export: decode batch: %w", err)
+	}
+	if b.Version != WireVersion {
+		return Batch{}, fmt.Errorf("%w: batch has version %d, want %d", ErrWireVersion, b.Version, WireVersion)
+	}
+	return b, nil
+}
+
+// WriteSnapshotFile persists s at path atomically (write to a temp file in
+// the same directory, then rename), stamping the wire version and save
+// time, so a crash mid-write never leaves a truncated snapshot behind.
+func WriteSnapshotFile(path string, s Snapshot) error {
+	s.Version = WireVersion
+	if s.SavedAtUnix == 0 {
+		s.SavedAtUnix = time.Now().Unix()
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("export: write snapshot: %w", err)
+	}
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err == nil {
+		err = tmp.Close()
+		if err == nil {
+			if err = os.Rename(tmp.Name(), path); err == nil {
+				return nil
+			}
+		}
+	} else {
+		tmp.Close()
+		err = fmt.Errorf("export: encode snapshot: %w", err)
+	}
+	os.Remove(tmp.Name())
+	return err
+}
+
+// ReadSnapshotFile loads a snapshot written by WriteSnapshotFile and
+// validates its version.
+func ReadSnapshotFile(path string) (Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	defer f.Close()
+	var s Snapshot
+	if err := json.NewDecoder(f).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("export: decode snapshot %s: %w", path, err)
+	}
+	if s.Version != WireVersion {
+		return Snapshot{}, fmt.Errorf("%w: snapshot %s has version %d, want %d", ErrWireVersion, path, s.Version, WireVersion)
+	}
+	return s, nil
+}

@@ -1,0 +1,93 @@
+package export
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"omg/internal/assertion"
+)
+
+func TestBatchEncodeDecodeRoundTrip(t *testing.T) {
+	in := Batch{
+		Source: "edge-01",
+		Seq:    7,
+		Violations: []assertion.Violation{
+			{Assertion: "a", Stream: "cam-0", SampleIndex: 3, Time: 0.1, Severity: 2},
+			{Assertion: "b", SampleIndex: 4, Severity: 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := EncodeBatch(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeBatch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != WireVersion {
+		t.Fatalf("decoded version %d, want %d", out.Version, WireVersion)
+	}
+	if out.Source != in.Source || out.Seq != in.Seq || !reflect.DeepEqual(out.Violations, in.Violations) {
+		t.Fatalf("round trip mangled the batch: %+v", out)
+	}
+}
+
+func TestDecodeBatchRejectsWrongVersion(t *testing.T) {
+	_, err := DecodeBatch(strings.NewReader(`{"version":99,"violations":[]}`))
+	if !errors.Is(err, ErrWireVersion) {
+		t.Fatalf("version 99 should fail with ErrWireVersion, got %v", err)
+	}
+	if _, err := DecodeBatch(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("malformed JSON must be an error")
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	rec := assertion.NewRecorder(0)
+	rec.Record(assertion.Violation{Assertion: "a", SampleIndex: 1, Severity: 3})
+	in := Snapshot{
+		Recorder: rec.Snapshot(),
+		LastSeq:  map[string]uint64{"edge-01": 12, "edge-02": 4},
+		Batches:  16,
+	}
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := WriteSnapshotFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != WireVersion || out.SavedAtUnix == 0 {
+		t.Fatalf("snapshot must be stamped with version and save time: %+v", out)
+	}
+	if !reflect.DeepEqual(out.LastSeq, in.LastSeq) || out.Batches != in.Batches {
+		t.Fatalf("round trip mangled the snapshot: %+v", out)
+	}
+	if got := out.Recorder.TotalFired(); got != 1 {
+		t.Fatalf("recorder snapshot TotalFired = %d, want 1", got)
+	}
+	// No temp files left beside the snapshot.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("atomic write left debris: %v", entries)
+	}
+}
+
+func TestReadSnapshotFileRejectsWrongVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := os.WriteFile(path, []byte(`{"version":2,"recorder":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshotFile(path); !errors.Is(err, ErrWireVersion) {
+		t.Fatalf("want ErrWireVersion, got %v", err)
+	}
+}

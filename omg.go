@@ -28,6 +28,7 @@ import (
 	"omg/internal/assertion"
 	"omg/internal/bandit"
 	"omg/internal/consistency"
+	"omg/internal/export"
 )
 
 // Core assertion types.
@@ -77,9 +78,32 @@ type (
 	MultiSink = assertion.MultiSink
 	// SamplingSink forwards 1 in N violations per assertion.
 	SamplingSink = assertion.SamplingSink
-	// RotatingFileSink writes size-rotated JSONL files.
+	// RotatingFileSink writes size- and age-rotated JSONL files.
 	RotatingFileSink = assertion.RotatingFileSink
+	// RotateConfig is a RotatingFileSink's size/age/retention policy.
+	RotateConfig = assertion.RotateConfig
+	// SinkFactory builds a Sink from string parameters; backends register
+	// themselves by name via RegisterSinkFactory.
+	SinkFactory = assertion.SinkFactory
+	// RecorderSnapshot is a JSON-serialisable copy of a Recorder's state.
+	RecorderSnapshot = assertion.RecorderSnapshot
+
+	// HTTPSink exports violation batches to an omg-server collector over
+	// HTTP with bounded queueing, coalescing, retries and drop counting.
+	HTTPSink = export.HTTPSink
+	// HTTPSinkConfig configures an HTTPSink.
+	HTTPSinkConfig = export.HTTPSinkConfig
+	// Collector ingests exported violation batches and serves queries; it
+	// is the engine behind cmd/omg-server.
+	Collector = export.Collector
+	// ViolationBatch is the wire form of one exported violation batch.
+	ViolationBatch = export.Batch
+	// CollectorSnapshot is the wire form of a collector's persisted state.
+	CollectorSnapshot = export.Snapshot
 )
+
+// WireVersion is the version stamped on every exported batch and snapshot.
+const WireVersion = export.WireVersion
 
 // ErrSinkClosed is returned by a Sink's Record method after Close.
 var ErrSinkClosed = assertion.ErrSinkClosed
@@ -106,6 +130,36 @@ func NewSamplingSink(next Sink, every int) *SamplingSink {
 func NewRotatingFileSink(path string, maxBytes int64, keep int) (*RotatingFileSink, error) {
 	return assertion.NewRotatingFileSink(path, maxBytes, keep)
 }
+
+// NewRotatingFileSinkConfig opens a rotating JSONL log at path with an
+// explicit size/age/retention policy.
+func NewRotatingFileSinkConfig(path string, cfg RotateConfig) (*RotatingFileSink, error) {
+	return assertion.NewRotatingFileSinkConfig(path, cfg)
+}
+
+// RegisterSinkFactory registers a named sink backend for
+// NewSinkFromFactory; duplicate registration is an error.
+func RegisterSinkFactory(kind string, f SinkFactory) error {
+	return assertion.RegisterSinkFactory(kind, f)
+}
+
+// NewSinkFromFactory builds a sink through a registered backend factory
+// ("http" is registered by the export subsystem).
+func NewSinkFromFactory(kind string, params map[string]string) (Sink, error) {
+	return assertion.NewSinkFromFactory(kind, params)
+}
+
+// SinkFactoryKinds returns the registered sink backend names, sorted.
+func SinkFactoryKinds() []string { return assertion.SinkFactoryKinds() }
+
+// NewHTTPSink returns a sink exporting violation batches to the collector
+// at cfg.BaseURL.
+func NewHTTPSink(cfg HTTPSinkConfig) (*HTTPSink, error) { return export.NewHTTPSink(cfg) }
+
+// NewCollector returns a violation collector retaining at most limit
+// violations in memory (0 = unbounded); serve its Handler over HTTP to
+// accept exported batches.
+func NewCollector(limit int) *Collector { return export.NewCollector(limit) }
 
 // NewAssertion adapts a severity function into an Assertion, the analogue
 // of OMG's AddAssertion(func) for arbitrary callables.
