@@ -7,7 +7,8 @@
 //	omg-bench                 # run everything
 //	omg-bench -only table4    # one experiment: table1..4, table6,
 //	                          # figure3, figure4a, figure4b, figure5,
-//	                          # sinkbench (JSONL vs loopback HTTP export)
+//	                          # sinkbench (JSONL vs loopback HTTP export),
+//	                          # fanin (sharded vs single-recorder collector)
 //	omg-bench -quick          # reduced sizes (CI smoke run)
 //	omg-bench -root DIR       # repository root for Table 2 (default .)
 package main
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1..table4, table6, figure3, figure4a, figure4b, figure5, sinkbench)")
+	only := flag.String("only", "", "run a single experiment (table1..table4, table6, figure3, figure4a, figure4b, figure5, sinkbench, fanin)")
 	quick := flag.Bool("quick", false, "use reduced experiment sizes")
 	root := flag.String("root", ".", "repository root (for Table 2 LOC measurement)")
 	flag.Parse()
@@ -53,6 +54,7 @@ func main() {
 		{"table4", func() (string, error) { return experiments.RenderTable4(scale), nil }},
 		{"table6", func() (string, error) { return experiments.RenderTable6(scale), nil }},
 		{"sinkbench", func() (string, error) { return renderSinkBench(*quick) }},
+		{"fanin", func() (string, error) { return renderFanInBench(*quick) }},
 	}
 
 	matched := false

@@ -5,7 +5,9 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"omg/internal/assertion"
@@ -75,7 +77,7 @@ func renderSinkBench(quick bool) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("http sink: %w", err)
 	}
-	if got := collector.Recorder().TotalFired(); got != n {
+	if got := collector.TotalFired(); got != n {
 		return "", fmt.Errorf("collector ingested %d of %d violations", got, n)
 	}
 
@@ -90,5 +92,77 @@ func renderSinkBench(quick bool) (string, error) {
 	fmt.Fprintf(&b, "  http path: %d batches, %d retries, %d dropped, %.1fx jsonl wall time\n",
 		httpSink.Batches(), httpSink.Retries(), httpSink.Dropped(),
 		float64(httpTime)/float64(jsonlTime))
+	return b.String(), nil
+}
+
+// renderFanInBench measures collector-side fan-in: many concurrent edge
+// sources pushing decoded batches straight into Ingest, against a
+// single-recorder collector and a sharded one. It is the contention the
+// -shards flag of omg-server exists to remove — every source funnelling
+// into one ring mutex versus sources spread across per-shard recorders —
+// so the two rows quantify what sharding buys on this host. Ingested
+// counts are verified, so the benchmark doubles as a correctness check.
+func renderFanInBench(quick bool) (string, error) {
+	batchesPerSource := 2000
+	if quick {
+		batchesPerSource = 200
+	}
+	const sources, perBatch = 8, 64
+	total := sources * batchesPerSource * perBatch
+
+	drive := func(shards int) (time.Duration, error) {
+		c := export.NewCollectorConfig(export.CollectorConfig{Shards: shards})
+		defer c.Close()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for s := 0; s < sources; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				source := fmt.Sprintf("edge-%02d", s)
+				batch := export.Batch{Version: export.WireVersion, Source: source,
+					Violations: make([]assertion.Violation, perBatch)}
+				for i := range batch.Violations {
+					batch.Violations[i] = assertion.Violation{
+						Assertion: "bench-assert", Stream: source, SampleIndex: i, Severity: 1,
+					}
+				}
+				for bi := 0; bi < batchesPerSource; bi++ {
+					batch.Seq = uint64(bi + 1)
+					c.Ingest(batch)
+				}
+			}(s)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if got := c.TotalFired(); got != total {
+			return 0, fmt.Errorf("%d-shard collector ingested %d of %d violations", shards, got, total)
+		}
+		return elapsed, nil
+	}
+
+	singleTime, err := drive(1)
+	if err != nil {
+		return "", err
+	}
+	shards := runtime.GOMAXPROCS(0)
+	if shards < 8 {
+		shards = 8
+	}
+	shardedTime, err := drive(shards)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Collector fan-in, %d violations from %d concurrent sources:\n", total, sources)
+	fmt.Fprintf(&b, "  %-22s %10s %14s\n", "collector", "wall", "violations/s")
+	row := func(name string, d time.Duration) {
+		fmt.Fprintf(&b, "  %-22s %10s %14.0f\n", name, d.Round(time.Millisecond), float64(total)/d.Seconds())
+	}
+	row("1 shard", singleTime)
+	row(fmt.Sprintf("%d shards", shards), shardedTime)
+	fmt.Fprintf(&b, "  sharded ingest: %.2fx the single-recorder throughput\n",
+		float64(singleTime)/float64(shardedTime))
 	return b.String(), nil
 }

@@ -1,27 +1,37 @@
 // Command omg-server is the collector side of networked monitoring: it
 // ingests violation batches exported by edge monitors (omg-monitor
 // -sink=http, or any client speaking the internal/export wire format)
-// into one recorder and serves aggregate and per-violation queries — the
-// central dashboard feed of the paper's deployment story (§2.3).
+// into a sharded set of recorders and serves aggregate and per-violation
+// queries — the central dashboard feed of the paper's deployment story
+// (§2.3).
 //
 // Endpoints:
 //
 //	POST /v1/violations        ingest one wire batch (exactly-once per source+seq)
 //	GET  /v1/summary           per-assertion firing counts + totals
 //	GET  /v1/violations/query  retained violations, ?assertion= ?stream= ?limit=
+//	GET  /v1/violations/tail   SSE live tail, ?assertion= ?stream=
 //	GET  /healthz              liveness
 //	GET  /metrics              Prometheus text format
 //
+// Ingest fan-in scales with -shards: batches route by source, so
+// concurrent senders append to independent recorders. -retain-age and
+// -retain-per-assertion age out the queryable log (evictions are counted
+// in /metrics; aggregate counts stay complete), compacted every
+// -compact-every.
+//
 // With -snapshot PATH the server loads its state from PATH at startup (if
-// the file exists) and persists it there on SIGTERM/SIGINT, so a restart
-// neither loses counts nor re-applies batches retried across it. -log
-// additionally streams ingested violations to a local JSONL file,
-// size-rotated at 64 MiB with 3 rotated files retained (the durable log
-// is bounded, like the in-memory one; older violations rotate away).
+// the file exists) and persists it there on shutdown — SIGTERM/SIGINT or
+// a serve error, either way through the same persist sequence — and
+// additionally every -snapshot-every when set, so a crash loses at most
+// one period. -log streams ingested violations to a local JSONL file,
+// size-rotated at 64 MiB with 3 rotated files retained.
 //
 // Usage:
 //
-//	omg-server [-addr :9077] [-retain N] [-snapshot state.json]
+//	omg-server [-addr :9077] [-retain N] [-shards N]
+//	           [-retain-age DUR] [-retain-per-assertion N] [-compact-every DUR]
+//	           [-snapshot state.json] [-snapshot-every DUR]
 //	           [-log violations.jsonl]
 package main
 
@@ -36,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -45,22 +56,39 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":9077", "listen address (host:port; port 0 picks a free port)")
-	retain := flag.Int("retain", 100000, "violations to retain in memory for queries (0 = unbounded)")
-	snapshot := flag.String("snapshot", "", "state snapshot path: loaded at startup, written on SIGTERM/SIGINT")
+	retain := flag.Int("retain", 100000, "violations to retain in memory for queries, across all shards (0 = unbounded)")
+	shards := flag.Int("shards", 1, "ingest shards; batches route by source so concurrent senders do not contend on one recorder")
+	retainAge := flag.Duration("retain-age", 0, "evict retained violations older than this, by ingest time (0 = no age bound)")
+	retainPer := flag.Int("retain-per-assertion", 0, "keep only the newest N retained violations per assertion (0 = no cap)")
+	compactEvery := flag.Duration("compact-every", 30*time.Second, "retention compaction period (with -retain-age or -retain-per-assertion)")
+	snapshot := flag.String("snapshot", "", "state snapshot path: loaded at startup, written on shutdown")
+	snapshotEvery := flag.Duration("snapshot-every", 0, "also persist -snapshot on this period (0 = only on shutdown)")
 	logPath := flag.String("log", "", "also stream ingested violations to this JSONL file (size-rotated at 64 MiB, 3 rotations kept)")
 	flag.Parse()
 	if *retain < 0 {
 		log.Fatalf("-retain must be >= 0")
 	}
+	if *shards < 1 {
+		log.Fatalf("-shards must be >= 1")
+	}
+	if *retainAge < 0 || *retainPer < 0 || *compactEvery <= 0 || *snapshotEvery < 0 {
+		log.Fatalf("retention and snapshot periods must not be negative")
+	}
 
-	c := export.NewCollector(*retain)
+	c := export.NewCollectorConfig(export.CollectorConfig{
+		Retain:             *retain,
+		Shards:             *shards,
+		RetainAge:          *retainAge,
+		RetainPerAssertion: *retainPer,
+		CompactEvery:       *compactEvery,
+	})
 	if *snapshot != "" {
 		s, err := export.ReadSnapshotFile(*snapshot)
 		switch {
 		case err == nil:
 			c.Restore(s)
 			log.Printf("restored snapshot %s: %d violations across %d sources",
-				*snapshot, s.Recorder.TotalFired(), len(s.LastSeq))
+				*snapshot, c.TotalFired(), len(s.LastSeq))
 		case errors.Is(err, fs.ErrNotExist):
 			log.Printf("no snapshot at %s yet; starting fresh", *snapshot)
 		default:
@@ -69,14 +97,41 @@ func main() {
 			log.Fatalf("load snapshot: %v", err)
 		}
 	}
-	var fileSink *assertion.RotatingFileSink
 	if *logPath != "" {
 		s, err := assertion.NewRotatingFileSink(*logPath, 0, 3)
 		if err != nil {
 			log.Fatalf("open violation log: %v", err)
 		}
-		fileSink = s
-		c.Recorder().StreamToSink(s)
+		c.AttachSink(s)
+	}
+
+	// writeSnap serialises snapshot writes: the periodic snapshotter and
+	// the final shutdown write must never interleave on the same path.
+	var snapMu sync.Mutex
+	writeSnap := func() error {
+		snapMu.Lock()
+		defer snapMu.Unlock()
+		return export.WriteSnapshotFile(*snapshot, c.Snapshot())
+	}
+	snapStop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	if *snapshot != "" && *snapshotEvery > 0 {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			t := time.NewTicker(*snapshotEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-snapStop:
+					return
+				case <-t.C:
+					if err := writeSnap(); err != nil {
+						log.Printf("periodic snapshot: %v", err)
+					}
+				}
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -93,29 +148,36 @@ func main() {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	exitCode := 0
 	select {
 	case sig := <-stop:
 		log.Printf("received %s; shutting down", sig)
 	case err := <-errCh:
-		log.Fatalf("serve: %v", err)
+		// A serve failure must exit through the same persist sequence as
+		// SIGTERM: everything ingested so far (and the dedup marks) still
+		// reaches the snapshot and the violation log.
+		log.Printf("serve: %v; shutting down", err)
+		exitCode = 1
 	}
 
+	close(snapStop)
+	snapWG.Wait()
+	// Quiesce before Shutdown (tail streams never end on their own, so
+	// Shutdown would wait out its whole deadline on them), but keep the
+	// -log sink attached until the drain finishes: ingests still in
+	// flight during Shutdown must reach the durable log too.
+	c.Quiesce()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
-	exitCode := 0
-	if fileSink != nil {
-		// Detach before closing so late ingests cannot race the close.
-		c.Recorder().Close()
-		if err := c.Recorder().Err(); err != nil {
-			log.Printf("violation log: %v", err)
-			exitCode = 1
-		}
+	if err := c.Close(); err != nil {
+		log.Printf("violation log: %v", err)
+		exitCode = 1
 	}
 	if *snapshot != "" {
-		if err := export.WriteSnapshotFile(*snapshot, c.Snapshot()); err != nil {
+		if err := writeSnap(); err != nil {
 			log.Printf("write snapshot: %v", err)
 			exitCode = 1
 		} else {

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -15,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"omg/internal/assertion"
 	"omg/internal/export"
 )
 
@@ -202,6 +205,20 @@ func TestEndToEndHTTPExportDeliversExactlyOnce(t *testing.T) {
 			sum.TotalFired, sum.Sources, want)
 	}
 
+	// A malformed ingest is rejected and counted; the counter must
+	// survive the restart below (it persists in the snapshot).
+	resp, err := http.Post(baseURL+"/v1/violations", "application/json", strings.NewReader(`{"version":42}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-version ingest = %s, want 400", resp.Status)
+	}
+	if sum = getSummary(t, baseURL); sum.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", sum.Rejected)
+	}
+
 	// SIGTERM persists a snapshot; a restarted server resumes from it.
 	stopServer(t, server)
 	if _, err := os.Stat(snapPath); err != nil {
@@ -212,6 +229,172 @@ func TestEndToEndHTTPExportDeliversExactlyOnce(t *testing.T) {
 	if sum = getSummary(t, baseURL2); sum.TotalFired != want || sum.Sources != 2 {
 		t.Fatalf("restarted collector reports %d violations from %d sources, want %d from 2",
 			sum.TotalFired, sum.Sources, want)
+	}
+	if sum.Rejected != 1 {
+		t.Fatalf("rejected counter reset across restart: %d, want 1", sum.Rejected)
+	}
+	// The Prometheus view agrees: metric continuity across restarts.
+	metrics := getMetrics(t, baseURL2)
+	if !strings.Contains(metrics, "omg_collector_rejected_requests_total 1") {
+		t.Fatalf("metrics lost the rejected counter across restart:\n%s", metrics)
+	}
+}
+
+func getMetrics(t *testing.T, baseURL string) string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func violation(name, stream string, i int) assertion.Violation {
+	return assertion.Violation{Assertion: name, Stream: stream, SampleIndex: i, Severity: 1}
+}
+
+// postWireBatch ships one hand-rolled wire batch to a running server.
+func postWireBatch(t *testing.T, baseURL string, b export.Batch) {
+	t.Helper()
+	body, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/violations", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest returned %s", resp.Status)
+	}
+}
+
+func TestEndToEndShardedTailAndRetention(t *testing.T) {
+	needBinaries(t)
+	baseURL, server := startServer(t,
+		"-shards", "4", "-retain-per-assertion", "8", "-compact-every", "50ms")
+	defer stopServer(t, server)
+
+	// Subscribe to the live tail before anything ingests.
+	req, err := http.NewRequest(http.MethodGet, baseURL+"/v1/violations/tail?assertion=tail-me", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("tail Content-Type = %q", ct)
+	}
+	// Wait for the subscription to register before publishing.
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(getMetrics(t, baseURL), "omg_collector_tail_clients 1") {
+		if time.Now().After(deadline) {
+			t.Fatal("tail client never registered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Ingest from several sources: 30 violations of one noisy assertion
+	// (which retention will cut down to <= 8) and one tail-me violation
+	// the SSE subscriber must see live.
+	for src := 0; src < 3; src++ {
+		b := export.Batch{Version: export.WireVersion, Source: fmt.Sprintf("edge-%02d", src), Seq: 1}
+		for i := 0; i < 10; i++ {
+			b.Violations = append(b.Violations, violation("noisy", "cam", i))
+		}
+		postWireBatch(t, baseURL, b)
+	}
+	postWireBatch(t, baseURL, export.Batch{
+		Version: export.WireVersion, Source: "edge-99", Seq: 1,
+		Violations: []assertion.Violation{violation("tail-me", "cam-9", 0)},
+	})
+
+	// The tail delivers the matching violation as an SSE event.
+	sc := bufio.NewScanner(resp.Body)
+	gotEvent := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "data: ") && strings.Contains(line, "tail-me") {
+				gotEvent <- line
+				return
+			}
+		}
+	}()
+	select {
+	case line := <-gotEvent:
+		if !strings.Contains(line, `"assertion":"tail-me"`) {
+			t.Fatalf("unexpected tail event %q", line)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("tail never delivered the violation")
+	}
+
+	// Retention compacts the noisy assertion down and counts evictions.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		metrics := getMetrics(t, baseURL)
+		m := regexp.MustCompile(`omg_collector_retention_evictions_total (\d+)`).FindStringSubmatch(metrics)
+		if m != nil {
+			if n, _ := strconv.Atoi(m[1]); n > 0 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retention never evicted; metrics:\n%s", metrics)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	sum := getSummary(t, baseURL)
+	if sum.Shards != 4 {
+		t.Fatalf("summary shards = %d, want 4", sum.Shards)
+	}
+	if sum.TotalFired != 31 {
+		t.Fatalf("TotalFired = %d, want 31 (stats survive retention)", sum.TotalFired)
+	}
+	if sum.RetentionEvicted == 0 {
+		t.Fatal("summary reports no retention evictions")
+	}
+}
+
+func TestEndToEndPeriodicSnapshotSurvivesKill(t *testing.T) {
+	needBinaries(t)
+	snapPath := filepath.Join(t.TempDir(), "state.json")
+	baseURL, server := startServer(t, "-snapshot", snapPath, "-snapshot-every", "50ms")
+
+	postWireBatch(t, baseURL, export.Batch{
+		Version: export.WireVersion, Source: "edge-01", Seq: 1,
+		Violations: []assertion.Violation{violation("a", "cam-0", 0), violation("a", "cam-0", 1)},
+	})
+	// The periodic snapshotter must persist without any shutdown signal.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s, err := export.ReadSnapshotFile(snapPath); err == nil && s.Recorder.TotalFired() == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic snapshot never captured the ingested state")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// SIGKILL: no shutdown hook runs, yet a restart resumes from the
+	// periodic snapshot — including the dedup mark for edge-01 seq 1.
+	server.Process.Kill()
+	server.Wait()
+	baseURL2, server2 := startServer(t, "-snapshot", snapPath)
+	defer stopServer(t, server2)
+	if sum := getSummary(t, baseURL2); sum.TotalFired != 2 {
+		t.Fatalf("restart after kill reports %d violations, want 2", sum.TotalFired)
 	}
 }
 

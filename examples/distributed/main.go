@@ -4,24 +4,37 @@
 // an independent MonitorPool whose violations ship over loopback HTTP
 // through an HTTPSink (batched, retried, exactly-once); the collector is
 // the same engine behind cmd/omg-server, served in-process here so the
-// example is self-contained.
+// example is self-contained. Ingest is sharded by source, a retention
+// policy caps what the queryable log keeps per assertion, and a live-tail
+// subscriber watches violations stream in over SSE as the fleet runs.
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 
 	"omg"
 )
 
 func main() {
-	// 1. The collector: one Recorder-backed ingest/query service for the
-	// whole fleet, listening on a loopback port.
-	collector := omg.NewCollector(10000)
+	// 1. The collector: a sharded ingest/query service for the whole
+	// fleet, listening on a loopback port. Batches route by source to one
+	// of 4 recorders (no fan-in contention), and the queryable log keeps
+	// only the newest 500 violations per assertion — the aggregate counts
+	// stay complete regardless.
+	collector := omg.NewCollectorConfig(omg.CollectorConfig{
+		Retain:             10000,
+		Shards:             4,
+		RetainPerAssertion: 500,
+	})
+	defer collector.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		panic(err)
@@ -29,7 +42,15 @@ func main() {
 	srv := &http.Server{Handler: collector.Handler()}
 	go srv.Serve(ln)
 	baseURL := "http://" + ln.Addr().String()
-	fmt.Printf("collector listening on %s\n", baseURL)
+	fmt.Printf("collector listening on %s (%d ingest shards)\n", baseURL, collector.NumShards())
+
+	// A live-tail subscriber: the ops view, watching hard temperature
+	// jumps stream in over SSE while the fleet is still running.
+	tailCtx, stopTail := context.WithCancel(context.Background())
+	tailDone := make(chan int)
+	go func() {
+		tailDone <- tailJumps(tailCtx, baseURL)
+	}()
 
 	// 2. The shared assertion suite: the same checks every edge runs.
 	reg := omg.NewRegistry()
@@ -102,16 +123,24 @@ func main() {
 	}
 	wg.Wait()
 
-	// 4. The fleet-wide dashboard, read back over the query API.
+	// 4. The live tail has seen the fleet's jumps in real time; stop it
+	// before reading the dashboard.
+	stopTail()
+	if n := <-tailDone; n > 0 {
+		fmt.Printf("live tail streamed %d temp-jump violations while the fleet ran\n", n)
+	}
+
+	// 5. The fleet-wide dashboard, read back over the query API.
 	var summary struct {
 		TotalFired int            `json:"total_fired"`
 		Assertions map[string]int `json:"assertions"`
 		Batches    int64          `json:"batches"`
 		Sources    int            `json:"sources"`
+		Shards     int            `json:"shards"`
 	}
 	getJSON(baseURL+"/v1/summary", &summary)
-	fmt.Printf("collector: %d violations from %d sources in %d batches\n",
-		summary.TotalFired, summary.Sources, summary.Batches)
+	fmt.Printf("collector: %d violations from %d sources in %d batches across %d shards\n",
+		summary.TotalFired, summary.Sources, summary.Batches, summary.Shards)
 	for name, n := range summary.Assertions {
 		fmt.Printf("  %-14s fired %4d times fleet-wide\n", name, n)
 	}
@@ -128,6 +157,31 @@ func main() {
 	}
 
 	srv.Close()
+}
+
+// tailJumps subscribes to the collector's SSE live tail, filtered to the
+// temp-jump assertion, and counts events until ctx is cancelled. Slow
+// subscribers never stall ingest: the collector drops (and counts) what a
+// laggard's bounded buffer cannot hold.
+func tailJumps(ctx context.Context, baseURL string) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		baseURL+omg.TailPath+"?assertion=temp-jump", nil)
+	if err != nil {
+		panic(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	n := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() { // ends when ctx cancels the request
+		if strings.HasPrefix(sc.Text(), "event: violation") {
+			n++
+		}
+	}
+	return n
 }
 
 func getJSON(url string, into any) {

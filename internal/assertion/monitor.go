@@ -17,6 +17,11 @@ type Violation struct {
 	Time float64 `json:"time"`
 	// Severity is the assertion's returned score (> 0).
 	Severity float64 `json:"severity"`
+	// IngestUnix is the wall-clock second a collector ingested this
+	// violation, stamped on the ingest path (zero for violations recorded
+	// in-process). Retention's max-age policy keys on it; violations
+	// without a stamp are exempt from age eviction.
+	IngestUnix int64 `json:"ingest_unix,omitempty"`
 }
 
 // Action is a corrective callback invoked when an assertion fires at or

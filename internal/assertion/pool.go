@@ -228,21 +228,9 @@ func (p *MonitorPool) observeOn(shard int, s Sample) Vector {
 	return p.monitorFor(shard, s.Stream).Observe(s)
 }
 
-// shardFor routes a stream key to its shard with FNV-1a.
+// shardFor routes a stream key to its shard with the shared FNV-1a seam.
 func (p *MonitorPool) shardFor(stream string) int {
-	if len(p.shards) == 1 {
-		return 0
-	}
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
-	for i := 0; i < len(stream); i++ {
-		h ^= uint32(stream[i])
-		h *= prime32
-	}
-	return int(h % uint32(len(p.shards)))
+	return ShardFor(stream, len(p.shards))
 }
 
 // monitorFor returns the stream's monitor, creating it on first use with
@@ -572,17 +560,7 @@ func (p *MonitorPool) Stats(name string) (Stats, bool) {
 			out, found = st, true
 			return
 		}
-		out.Fired += st.Fired
-		out.TotalSev += st.TotalSev
-		if st.MaxSev > out.MaxSev {
-			out.MaxSev = st.MaxSev
-		}
-		if st.FirstSample < out.FirstSample {
-			out.FirstSample = st.FirstSample
-		}
-		if st.LastSample > out.LastSample {
-			out.LastSample = st.LastSample
-		}
+		out = MergeStats(out, st)
 	})
 	return out, found
 }
@@ -597,15 +575,7 @@ func (p *MonitorPool) Violations() []Violation {
 	}
 	var out []Violation
 	p.eachRecorder(func(r *Recorder) { out = append(out, r.Violations()...) })
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Time != out[j].Time {
-			return out[i].Time < out[j].Time
-		}
-		if out[i].Stream != out[j].Stream {
-			return out[i].Stream < out[j].Stream
-		}
-		return out[i].SampleIndex < out[j].SampleIndex
-	})
+	SortViolations(out)
 	return out
 }
 

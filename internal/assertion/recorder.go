@@ -22,6 +22,11 @@ type Stats struct {
 // statsCell is the internal lock-free accumulator behind Stats. Floats are
 // stored as IEEE-754 bit patterns and updated with CAS loops so concurrent
 // recorders never contend on a lock for the aggregate counters.
+//
+// maxSev is seeded with -Inf (see newStatsCell), not the zero bits (+0.0):
+// an assertion whose severities are all negative must report its true
+// maximum, and a +0.0 seed would absorb every negative update. The
+// sentinel never escapes: snapshot normalises a still-at-seed maxSev to 0.
 type statsCell struct {
 	fired    atomic.Int64
 	totalSev atomic.Uint64 // float64 bits
@@ -30,11 +35,24 @@ type statsCell struct {
 	last     atomic.Int64
 }
 
+// negInfBits is the maxSev seed: below every real severity.
+var negInfBits = math.Float64bits(math.Inf(-1))
+
+func newStatsCell() *statsCell {
+	c := &statsCell{}
+	c.maxSev.Store(negInfBits)
+	return c
+}
+
 func (c *statsCell) snapshot() Stats {
+	maxSev := math.Float64frombits(c.maxSev.Load())
+	if math.IsInf(maxSev, -1) {
+		maxSev = 0 // nothing fired yet; don't leak the seed
+	}
 	return Stats{
 		Fired:       int(c.fired.Load()),
 		TotalSev:    math.Float64frombits(c.totalSev.Load()),
-		MaxSev:      math.Float64frombits(c.maxSev.Load()),
+		MaxSev:      maxSev,
 		LastSample:  int(c.last.Load()),
 		FirstSample: int(c.first.Load()),
 	}
@@ -145,6 +163,11 @@ type Recorder struct {
 	// sinkDropped accumulates the drop counts of detached owned sinks so
 	// SinkDropped survives StreamTo swaps and Close.
 	sinkDropped atomic.Int64
+
+	// compacted counts violations evicted from the log by Compact — a
+	// deliberate retention policy, kept separate from the ring's own
+	// overflow evictions (Dropped).
+	compacted atomic.Int64
 
 	// streamErr retains the first streaming error across sink swaps, so
 	// rotating logs with StreamTo cannot silently discard a failure.
@@ -293,7 +316,7 @@ func (r *Recorder) Close() error {
 func (r *Recorder) Record(v Violation) {
 	cell, ok := r.stats.Load(v.Assertion)
 	if !ok {
-		fresh := &statsCell{}
+		fresh := newStatsCell()
 		fresh.first.Store(int64(v.SampleIndex))
 		cell, _ = r.stats.LoadOrStore(v.Assertion, fresh)
 	}
@@ -376,6 +399,83 @@ func (r *Recorder) TotalFired() int {
 // in-memory log.
 func (r *Recorder) Dropped() int { return int(r.log.dropped.Load()) }
 
+// Compact applies a retention policy to the retained log and returns how
+// many violations it evicted: violations whose IngestUnix is older than
+// minIngestUnix are dropped (0 disables the age bound; violations without
+// an ingest stamp are exempt), and at most maxPerAssertion of the newest
+// violations are kept per assertion (<= 0 disables the cap). Aggregate
+// statistics are untouched — like the ring's own bound, compaction ages
+// out the queryable log, not the counts. Evictions accumulate in
+// Compacted, separately from Dropped.
+func (r *Recorder) Compact(minIngestUnix int64, maxPerAssertion int) int {
+	if minIngestUnix <= 0 && maxPerAssertion <= 0 {
+		return 0
+	}
+	return r.compact(minIngestUnix, func(string) (int, bool) {
+		return maxPerAssertion, maxPerAssertion > 0
+	})
+}
+
+// CompactBudgets evicts all but the newest budgets[name] violations of
+// each assertion named in budgets (assertions absent from the map are
+// untouched). It is the per-shard half of a sharded store's global
+// per-assertion cap: the coordinator decides how many of an assertion's
+// globally-newest violations live on each shard and hands every shard
+// its budget. Evictions are counted like Compact's.
+func (r *Recorder) CompactBudgets(budgets map[string]int) int {
+	if len(budgets) == 0 {
+		return 0
+	}
+	return r.compact(0, func(name string) (int, bool) {
+		n, ok := budgets[name]
+		return n, ok
+	})
+}
+
+// compact rewrites the retained log, keeping a violation when it is not
+// older than minIngestUnix (0 disables; unstamped violations are exempt)
+// and its assertion's budget, when one exists, is not yet spent. The
+// newest-to-oldest walk makes budgets keep the newest.
+func (r *Recorder) compact(minIngestUnix int64, budget func(name string) (int, bool)) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vs := r.log.snapshot() // oldest -> newest
+	kept := make([]bool, len(vs))
+	perAssertion := make(map[string]int)
+	n := 0
+	for i := len(vs) - 1; i >= 0; i-- {
+		v := vs[i]
+		if minIngestUnix > 0 && v.IngestUnix > 0 && v.IngestUnix < minIngestUnix {
+			continue
+		}
+		if max, ok := budget(v.Assertion); ok {
+			if perAssertion[v.Assertion] >= max {
+				continue
+			}
+			perAssertion[v.Assertion]++
+		}
+		kept[i] = true
+		n++
+	}
+	evicted := len(vs) - n
+	if evicted == 0 {
+		return 0
+	}
+	keep := make([]Violation, 0, n)
+	for i, ok := range kept {
+		if ok {
+			keep = append(keep, vs[i])
+		}
+	}
+	r.log.buf, r.log.head = keep, 0
+	r.compacted.Add(int64(evicted))
+	return evicted
+}
+
+// Compacted returns how many violations Compact has evicted from the
+// retained log over the recorder's lifetime.
+func (r *Recorder) Compacted() int64 { return r.compacted.Load() }
+
 // AssertionNames returns the names of assertions that have fired, sorted.
 func (r *Recorder) AssertionNames() []string {
 	var out []string
@@ -404,6 +504,7 @@ func (r *Recorder) Clear() {
 	r.mu.Lock()
 	r.log.clear()
 	r.mu.Unlock()
+	r.compacted.Store(0)
 	r.stats.Range(func(name, _ any) bool {
 		r.stats.Delete(name)
 		return true

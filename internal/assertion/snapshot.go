@@ -18,6 +18,10 @@ type RecorderSnapshot struct {
 	// LogDropped is how many violations the bounded in-memory log had
 	// evicted when the snapshot was taken.
 	LogDropped int64 `json:"log_dropped,omitempty"`
+	// Compacted is how many violations retention compaction (Compact) had
+	// evicted when the snapshot was taken, so eviction metrics stay
+	// monotone across restarts.
+	Compacted int64 `json:"compacted,omitempty"`
 }
 
 // TotalFired returns the total violation count across the snapshot's
@@ -44,6 +48,7 @@ func (r *Recorder) Snapshot() RecorderSnapshot {
 	snap.Violations = r.log.snapshot()
 	snap.LogDropped = r.log.dropped.Load()
 	r.mu.Unlock()
+	snap.Compacted = r.compacted.Load()
 	return snap
 }
 
@@ -57,10 +62,14 @@ func (r *Recorder) Snapshot() RecorderSnapshot {
 func (r *Recorder) RestoreSnapshot(snap RecorderSnapshot) {
 	r.Clear()
 	for name, st := range snap.Stats {
-		cell := &statsCell{}
+		cell := newStatsCell()
 		cell.fired.Store(int64(st.Fired))
 		cell.totalSev.Store(math.Float64bits(st.TotalSev))
-		cell.maxSev.Store(math.Float64bits(st.MaxSev))
+		if st.Fired > 0 {
+			// A cell that has never fired keeps the -Inf seed, so the first
+			// recorded severity — even a negative one — becomes the maximum.
+			cell.maxSev.Store(math.Float64bits(st.MaxSev))
+		}
 		cell.first.Store(int64(st.FirstSample))
 		cell.last.Store(int64(st.LastSample))
 		r.stats.Store(name, cell)
@@ -71,4 +80,5 @@ func (r *Recorder) RestoreSnapshot(snap RecorderSnapshot) {
 		r.log.add(v)
 	}
 	r.mu.Unlock()
+	r.compacted.Store(snap.Compacted)
 }

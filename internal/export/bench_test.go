@@ -1,7 +1,9 @@
 package export
 
 import (
+	"fmt"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"omg/internal/assertion"
@@ -32,7 +34,7 @@ func BenchmarkHTTPSinkLoopback(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.StopTimer()
-	if got := c.Recorder().TotalFired(); got != b.N {
+	if got := c.TotalFired(); got != b.N {
 		b.Fatalf("collector ingested %d of %d", got, b.N)
 	}
 }
@@ -51,4 +53,33 @@ func BenchmarkCollectorIngest(b *testing.B) {
 		c.Ingest(batch)
 	}
 	b.ReportMetric(float64(b.N*256), "violations")
+}
+
+// BenchmarkCollectorFanIn measures concurrent multi-source ingest — the
+// collector's fan-in hot path — against the shard count. Each parallel
+// worker plays an independent edge source shipping 64-violation batches;
+// with one shard every source contends on one recorder ring, with many
+// shards sources spread across independent recorders.
+func BenchmarkCollectorFanIn(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := NewCollectorConfig(CollectorConfig{Retain: 100000, Shards: shards})
+			defer c.Close()
+			var sources atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				source := fmt.Sprintf("edge-%02d", sources.Add(1))
+				batch := Batch{Version: WireVersion, Source: source, Violations: make([]assertion.Violation, 64)}
+				for i := range batch.Violations {
+					batch.Violations[i] = assertion.Violation{Assertion: "bench", Stream: source, SampleIndex: i, Severity: 1}
+				}
+				var seq uint64
+				for pb.Next() {
+					seq++
+					batch.Seq = seq
+					c.Ingest(batch)
+				}
+			})
+			b.ReportMetric(float64(b.N)*64/b.Elapsed().Seconds(), "violations/s")
+		})
+	}
 }

@@ -2,6 +2,7 @@ package export
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -9,27 +10,83 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"omg/internal/assertion"
 )
 
+// maxIngestBytes bounds one ingest request body; larger bodies are
+// answered with 413 and counted as rejected.
+const maxIngestBytes = 32 << 20
+
+// CollectorConfig shapes a Collector. The zero value is a single-shard,
+// unbounded, no-retention collector — the PR-3 behaviour.
+type CollectorConfig struct {
+	// Retain bounds how many violations are kept in memory for queries
+	// across all shards (0 = unbounded). With N shards each shard keeps
+	// ceil(Retain/N), so the global bound is approximate when sources
+	// are skewed. Aggregate statistics are complete regardless.
+	Retain int
+	// Shards is the number of independent ingest shards. Batches route
+	// by Source over the same FNV-1a seam MonitorPool uses for streams
+	// (assertion.ShardFor), so concurrent senders land on different
+	// recorders instead of contending on one ring mutex. 0 or 1 keeps
+	// the single-recorder layout.
+	Shards int
+	// RetainAge evicts retained violations older than this — measured
+	// from collector ingest time — at each compaction (0 = no age
+	// bound).
+	RetainAge time.Duration
+	// RetainPerAssertion keeps only the newest N retained violations
+	// per assertion (0 = no cap). The cap is global: compaction ranks an
+	// assertion's violations across shards and keeps the newest N
+	// wherever they live, so source skew cannot under-retain.
+	RetainPerAssertion int
+	// CompactEvery is the retention janitor's period (default 30s).
+	// The janitor only runs when RetainAge or RetainPerAssertion is
+	// set; CompactNow applies the policy on demand regardless.
+	CompactEvery time.Duration
+	// TailBuffer bounds each live-tail client's event buffer (default
+	// 256). A slow client overflows its own buffer and the overflow is
+	// dropped and counted — ingest never stalls on a tail consumer.
+	TailBuffer int
+}
+
 // Collector is the ingest side of networked monitoring: it applies wire
-// batches from any number of edge monitors to one Recorder and serves
-// aggregate and per-violation queries over HTTP. It deduplicates retried
-// batches by (source, seq) — the receiver half of the exactly-once
-// contract HTTPSink's sequence numbers set up — and its whole state
-// (recorder + dedup marks) snapshots to disk and back, so a restarted
-// collector resumes where it stopped. It is safe for concurrent use.
+// batches from any number of edge monitors and serves aggregate and
+// per-violation queries over HTTP. Ingest is sharded by batch source
+// (CollectorConfig.Shards), so concurrent senders append to independent
+// recorders; every read path — Summary, Violations, the query endpoint,
+// snapshots — presents the merged view. It deduplicates retried batches
+// by (source, seq) — the receiver half of the exactly-once contract
+// HTTPSink's sequence numbers set up — and its whole state (recorders +
+// dedup marks + counters) snapshots to disk and back, so a restarted
+// collector resumes where it stopped. A retention policy (RetainAge,
+// RetainPerAssertion) ages out the queryable log without touching the
+// aggregate counts, and a live-tail hub streams ingested violations to
+// SSE subscribers. It is safe for concurrent use; Close stops the
+// retention janitor, ends tail streams and settles the attached sink.
 type Collector struct {
-	rec *assertion.Recorder
+	cfg  CollectorConfig
+	recs []*assertion.Recorder // one per shard, routed by batch source
 
 	mu      sync.Mutex
 	sources map[string]*sourceState
 
+	tail *tailHub
+
 	batches    atomic.Int64
 	duplicates atomic.Int64
 	ingested   atomic.Int64
-	rejected   atomic.Int64 // malformed or version-mismatched requests
+	rejected   atomic.Int64 // malformed, oversized or version-mismatched requests
+
+	sinkMu sync.Mutex
+	sink   assertion.Sink
+
+	quiesceOnce sync.Once
+	closeOnce   sync.Once
+	stop        chan struct{}
+	janitor     sync.WaitGroup
 }
 
 // sourceState serialises one sender's batches. Its mutex is held across
@@ -42,14 +99,52 @@ type sourceState struct {
 	lastSeq uint64 // high-water mark of fully applied batches
 }
 
-// NewCollector returns a collector retaining at most limit violations in
-// memory (0 = unbounded); aggregate statistics are complete regardless of
-// the bound.
+// NewCollector returns a single-shard collector retaining at most limit
+// violations in memory (0 = unbounded) — shorthand for
+// NewCollectorConfig(CollectorConfig{Retain: limit}).
 func NewCollector(limit int) *Collector {
-	return &Collector{
-		rec:     assertion.NewRecorder(limit),
-		sources: make(map[string]*sourceState),
+	return NewCollectorConfig(CollectorConfig{Retain: limit})
+}
+
+// NewCollectorConfig returns a collector shaped by cfg, starting the
+// retention janitor when a retention bound is set. Call Close when done.
+func NewCollectorConfig(cfg CollectorConfig) *Collector {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
 	}
+	if cfg.Retain < 0 {
+		cfg.Retain = 0
+	}
+	if cfg.TailBuffer <= 0 {
+		cfg.TailBuffer = 256
+	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = 30 * time.Second
+	}
+	c := &Collector{
+		cfg:     cfg,
+		sources: make(map[string]*sourceState),
+		tail:    newTailHub(cfg.TailBuffer),
+		stop:    make(chan struct{}),
+	}
+	per := perShard(cfg.Retain, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		c.recs = append(c.recs, assertion.NewRecorder(per))
+	}
+	if cfg.RetainAge > 0 || cfg.RetainPerAssertion > 0 {
+		c.janitor.Add(1)
+		go c.runJanitor()
+	}
+	return c
+}
+
+// perShard splits a global bound across shards, rounding up so the
+// per-shard bounds never sum below the global one. 0 stays unbounded.
+func perShard(n, shards int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + shards - 1) / shards
 }
 
 func (c *Collector) sourceState(source string) *sourceState {
@@ -63,9 +158,68 @@ func (c *Collector) sourceState(source string) *sourceState {
 	return st
 }
 
-// Recorder returns the collector's backing recorder, e.g. to attach a
-// durable sink so ingested violations also land in a local JSONL log.
-func (c *Collector) Recorder() *assertion.Recorder { return c.rec }
+// recFor routes a batch source to its shard's recorder.
+func (c *Collector) recFor(source string) *assertion.Recorder {
+	return c.recs[assertion.ShardFor(source, len(c.recs))]
+}
+
+// NumShards returns the number of ingest shards.
+func (c *Collector) NumShards() int { return len(c.recs) }
+
+// AttachSink tees every ingested violation into s — e.g. a durable JSONL
+// log beside the queryable in-memory state. Every shard's recorder shares
+// the one backend, and the collector takes ownership: Close flushes and
+// closes it.
+func (c *Collector) AttachSink(s assertion.Sink) {
+	c.sinkMu.Lock()
+	c.sink = s
+	c.sinkMu.Unlock()
+	for _, r := range c.recs {
+		r.ShareSink(s)
+	}
+}
+
+// Quiesce stops the retention janitor and ends live-tail streams, but
+// leaves the attached sink in place. It is the shutdown half that must
+// run before http.Server.Shutdown — tail streams never end on their own,
+// so Shutdown would otherwise wait out its whole deadline on them —
+// while the sink stays attached so ingests still in flight during the
+// drain keep reaching the durable log. Idempotent; Close calls it.
+func (c *Collector) Quiesce() {
+	c.quiesceOnce.Do(func() {
+		close(c.stop)
+		c.janitor.Wait()
+		c.tail.close()
+	})
+}
+
+// Close quiesces the collector (janitor, tail streams) and detaches and
+// closes the attached sink (if any), returning the first sink error. The
+// collector itself remains usable for ingest and queries — only the
+// background machinery stops. Close is idempotent.
+func (c *Collector) Close() error {
+	c.Quiesce()
+	var err error
+	c.closeOnce.Do(func() {
+		c.sinkMu.Lock()
+		s := c.sink
+		c.sink = nil
+		c.sinkMu.Unlock()
+		if s == nil {
+			return
+		}
+		for _, r := range c.recs {
+			r.ShareSink(nil) // detach (and flush) before the close below
+			if e := r.Err(); err == nil {
+				err = e
+			}
+		}
+		if e := s.Close(); err == nil {
+			err = e
+		}
+	})
+	return err
+}
 
 // Ingest applies one batch. A batch whose (source, seq) is at or below
 // the source's applied high-water mark is a retry of something already
@@ -92,18 +246,187 @@ func (c *Collector) Ingest(b Batch) (accepted int, duplicate bool) {
 	return accepted, false
 }
 
-// apply records a batch's violations and updates the counters.
+// apply records a batch's violations on its source's shard, stamps their
+// ingest time (the retention clock), publishes them to tail subscribers
+// and updates the counters.
 func (c *Collector) apply(b Batch) int {
+	rec := c.recFor(b.Source)
+	now := time.Now().Unix()
 	for _, v := range b.Violations {
-		c.rec.Record(v)
+		v.IngestUnix = now
+		rec.Record(v)
+		c.tail.publish(v)
 	}
 	c.batches.Add(1)
 	c.ingested.Add(int64(len(b.Violations)))
 	return len(b.Violations)
 }
 
-// Snapshot captures the collector's state — recorder plus dedup marks and
-// batch counters — in wire form.
+// runJanitor applies the retention policy on a timer until Close.
+func (c *Collector) runJanitor() {
+	defer c.janitor.Done()
+	t := time.NewTicker(c.cfg.CompactEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.CompactNow()
+		}
+	}
+}
+
+// CompactNow applies the retention policy once across every shard and
+// returns how many violations it evicted. It is what the janitor runs on
+// its timer; tests and operators can call it directly.
+func (c *Collector) CompactNow() int {
+	total := 0
+	if c.cfg.RetainAge > 0 {
+		cutoff := time.Now().Add(-c.cfg.RetainAge).Unix()
+		for _, r := range c.recs {
+			total += r.Compact(cutoff, 0)
+		}
+	}
+	if maxPer := c.cfg.RetainPerAssertion; maxPer > 0 {
+		if len(c.recs) == 1 {
+			total += c.recs[0].Compact(0, maxPer)
+		} else {
+			total += c.compactPerAssertion(maxPer)
+		}
+	}
+	return total
+}
+
+// compactPerAssertion enforces the per-assertion cap globally across
+// shards: shards are keyed by batch source, so one assertion's
+// violations may concentrate on any shard, and dividing the cap per
+// shard would under-retain skewed fleets. Instead the collector plans:
+// it ranks each over-cap assertion's retained violations newest-first
+// across all shards (by ingest time; within a shard, arrival order
+// breaks ties) and hands every shard a budget — how many of the global
+// newest N live there — which CompactBudgets then enforces locally.
+// Ingest racing the plan can only add violations newer than everything
+// planned, so a racing shard at worst evicts the oldest planned
+// survivor, never a newer violation in favour of an older one.
+func (c *Collector) compactPerAssertion(maxPer int) int {
+	type slot struct {
+		shard  int
+		ingest int64
+	}
+	perAssertion := make(map[string][]slot)
+	for si, r := range c.recs {
+		vs := r.Violations() // oldest -> newest
+		for i := len(vs) - 1; i >= 0; i-- {
+			v := vs[i]
+			perAssertion[v.Assertion] = append(perAssertion[v.Assertion], slot{si, v.IngestUnix})
+		}
+	}
+	budgets := make([]map[string]int, len(c.recs))
+	for name, slots := range perAssertion {
+		if len(slots) <= maxPer {
+			continue // under the cap: no budget, untouched
+		}
+		// Newest first; the per-shard lists were appended newest-first, so
+		// stability keeps arrival order among same-second ties.
+		sort.SliceStable(slots, func(i, j int) bool { return slots[i].ingest > slots[j].ingest })
+		for si := range c.recs {
+			if budgets[si] == nil {
+				budgets[si] = make(map[string]int)
+			}
+			budgets[si][name] = 0 // a shard with none of the newest N keeps none
+		}
+		for _, s := range slots[:maxPer] {
+			budgets[s.shard][name]++
+		}
+	}
+	total := 0
+	for si, r := range c.recs {
+		if len(budgets[si]) > 0 {
+			total += r.CompactBudgets(budgets[si])
+		}
+	}
+	return total
+}
+
+// RetentionEvicted returns how many violations the retention policy has
+// evicted from the queryable log over the collector's lifetime (including
+// evictions restored from a snapshot).
+func (c *Collector) RetentionEvicted() int64 {
+	var n int64
+	for _, r := range c.recs {
+		n += r.Compacted()
+	}
+	return n
+}
+
+// TotalFired returns the total number of violations ingested, summed
+// across shards. It is complete regardless of retention and log bounds.
+func (c *Collector) TotalFired() int {
+	total := 0
+	for _, r := range c.recs {
+		total += r.TotalFired()
+	}
+	return total
+}
+
+// Summary returns per-assertion firing counts merged across shards.
+func (c *Collector) Summary() map[string]int {
+	out := make(map[string]int)
+	for _, r := range c.recs {
+		for name, n := range r.Summary() {
+			out[name] += n
+		}
+	}
+	return out
+}
+
+// Violations returns the retained violations of every shard. With one
+// shard this is arrival order; across shards the merge is ordered by
+// Time, then Stream, then SampleIndex (no global arrival order exists).
+func (c *Collector) Violations() []assertion.Violation {
+	if len(c.recs) == 1 {
+		return c.recs[0].Violations()
+	}
+	var out []assertion.Violation
+	for _, r := range c.recs {
+		out = append(out, r.Violations()...)
+	}
+	assertion.SortViolations(out)
+	return out
+}
+
+// ByAssertion returns retained violations of the named assertion, merged
+// across shards in the same order Violations uses.
+func (c *Collector) ByAssertion(name string) []assertion.Violation {
+	if len(c.recs) == 1 {
+		return c.recs[0].ByAssertion(name)
+	}
+	var out []assertion.Violation
+	for _, r := range c.recs {
+		out = append(out, r.ByAssertion(name)...)
+	}
+	assertion.SortViolations(out)
+	return out
+}
+
+// LogDropped returns how many retained violations the bounded in-memory
+// logs have evicted (overflow, not retention), summed across shards.
+func (c *Collector) LogDropped() int {
+	n := 0
+	for _, r := range c.recs {
+		n += r.Dropped()
+	}
+	return n
+}
+
+// Snapshot captures the collector's state — per-shard recorders plus
+// dedup marks and counters — in wire form. A single-shard collector
+// fills the legacy Recorder field; a sharded one fills Recorders (one
+// snapshot per shard, so a same-shape restart restores shard-for-shard)
+// AND the legacy field with the merged view, so a rollback to a
+// pre-sharding reader restores the full merged state instead of
+// silently starting empty.
 func (c *Collector) Snapshot() Snapshot {
 	c.mu.Lock()
 	states := make(map[string]*sourceState, len(c.sources))
@@ -117,19 +440,47 @@ func (c *Collector) Snapshot() Snapshot {
 		lastSeq[src] = st.lastSeq
 		st.mu.Unlock()
 	}
-	return Snapshot{
+	s := Snapshot{
 		Version:    WireVersion,
-		Recorder:   c.rec.Snapshot(),
 		LastSeq:    lastSeq,
 		Batches:    c.batches.Load(),
 		Duplicates: c.duplicates.Load(),
+		Rejected:   c.rejected.Load(),
 	}
+	if len(c.recs) == 1 {
+		s.Recorder = c.recs[0].Snapshot()
+	} else {
+		s.Recorders = make([]assertion.RecorderSnapshot, 0, len(c.recs))
+		for _, r := range c.recs {
+			s.Recorders = append(s.Recorders, r.Snapshot())
+		}
+		s.Recorder = assertion.MergeRecorderSnapshots(s.Recorders...)
+	}
+	return s
 }
 
-// Restore replaces the collector's state with a snapshot's. It must not
-// be called concurrently with Ingest.
+// Restore replaces the collector's state with a snapshot's. A snapshot
+// whose shard count matches restores shard-for-shard; any other shape —
+// a legacy single-recorder snapshot into a sharded collector, or a
+// different shard count — is merged and redistributed by stream key, so
+// the merged views are preserved exactly even though shard placement of
+// historical violations changes. It must not be called concurrently with
+// Ingest.
 func (c *Collector) Restore(s Snapshot) {
-	c.rec.RestoreSnapshot(s.Recorder)
+	switch {
+	case len(s.Recorders) == len(c.recs):
+		for i, r := range c.recs {
+			r.RestoreSnapshot(s.Recorders[i])
+		}
+	case len(s.Recorders) == 0 && len(c.recs) == 1:
+		c.recs[0].RestoreSnapshot(s.Recorder)
+	default:
+		merged := s.Recorder
+		if len(s.Recorders) > 0 {
+			merged = assertion.MergeRecorderSnapshots(s.Recorders...)
+		}
+		c.redistribute(merged)
+	}
 	c.mu.Lock()
 	c.sources = make(map[string]*sourceState, len(s.LastSeq))
 	for src, seq := range s.LastSeq {
@@ -138,7 +489,26 @@ func (c *Collector) Restore(s Snapshot) {
 	c.mu.Unlock()
 	c.batches.Store(s.Batches)
 	c.duplicates.Store(s.Duplicates)
-	c.ingested.Store(int64(s.Recorder.TotalFired()))
+	c.rejected.Store(s.Rejected)
+	c.ingested.Store(int64(c.TotalFired()))
+}
+
+// redistribute restores a merged snapshot into this collector's shard
+// shape: violations re-route by stream key (sources are not recorded per
+// violation), statistics and eviction counters land on shard 0 — the
+// merged read views are identical either way.
+func (c *Collector) redistribute(m assertion.RecorderSnapshot) {
+	parts := make([]assertion.RecorderSnapshot, len(c.recs))
+	parts[0].Stats = m.Stats
+	parts[0].LogDropped = m.LogDropped
+	parts[0].Compacted = m.Compacted
+	for _, v := range m.Violations {
+		i := assertion.ShardFor(v.Stream, len(c.recs))
+		parts[i].Violations = append(parts[i].Violations, v)
+	}
+	for i, r := range c.recs {
+		r.RestoreSnapshot(parts[i])
+	}
 }
 
 // SummaryResponse is the JSON body of GET /v1/summary.
@@ -150,7 +520,9 @@ type SummaryResponse struct {
 	DuplicateBatches int64          `json:"duplicate_batches"`
 	Rejected         int64          `json:"rejected"`
 	Sources          int            `json:"sources"`
+	Shards           int            `json:"shards"`
 	LogDropped       int            `json:"log_dropped"`
+	RetentionEvicted int64          `json:"retention_evicted"`
 }
 
 // IngestResponse is the JSON body of POST /v1/violations.
@@ -170,6 +542,7 @@ type QueryResponse struct {
 //	POST /v1/violations        ingest one wire batch
 //	GET  /v1/summary           per-assertion firing counts + totals
 //	GET  /v1/violations/query  retained violations, ?assertion= ?stream= ?limit=
+//	GET  /v1/violations/tail   SSE live tail, ?assertion= ?stream=
 //	GET  /healthz              liveness
 //	GET  /metrics              Prometheus text format
 func (c *Collector) Handler() http.Handler {
@@ -177,6 +550,7 @@ func (c *Collector) Handler() http.Handler {
 	mux.HandleFunc("POST "+IngestPath, c.handleIngest)
 	mux.HandleFunc("GET /v1/summary", c.handleSummary)
 	mux.HandleFunc("GET /v1/violations/query", c.handleQuery)
+	mux.HandleFunc("GET "+TailPath, c.handleTail)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -186,10 +560,17 @@ func (c *Collector) Handler() http.Handler {
 }
 
 func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
-	b, err := DecodeBatch(http.MaxBytesReader(w, r.Body, 32<<20))
+	b, err := DecodeBatch(http.MaxBytesReader(w, r.Body, maxIngestBytes))
 	if err != nil {
 		c.rejected.Add(1)
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			// The body blew the ingest bound: the payload can never be
+			// parsed, and the sender must not retry the same bytes.
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
 	accepted, duplicate := c.Ingest(b)
@@ -202,13 +583,15 @@ func (c *Collector) handleSummary(w http.ResponseWriter, _ *http.Request) {
 	c.mu.Unlock()
 	writeJSON(w, SummaryResponse{
 		Version:          WireVersion,
-		TotalFired:       c.rec.TotalFired(),
-		Assertions:       c.rec.Summary(),
+		TotalFired:       c.TotalFired(),
+		Assertions:       c.Summary(),
 		Batches:          c.batches.Load(),
 		DuplicateBatches: c.duplicates.Load(),
 		Rejected:         c.rejected.Load(),
 		Sources:          sources,
-		LogDropped:       c.rec.Dropped(),
+		Shards:           len(c.recs),
+		LogDropped:       c.LogDropped(),
+		RetentionEvicted: c.RetentionEvicted(),
 	})
 }
 
@@ -225,9 +608,9 @@ func (c *Collector) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	var vs []assertion.Violation
 	if name := q.Get("assertion"); name != "" {
-		vs = c.rec.ByAssertion(name)
+		vs = c.ByAssertion(name)
 	} else {
-		vs = c.rec.Violations()
+		vs = c.Violations()
 	}
 	if stream := q.Get("stream"); stream != "" {
 		kept := vs[:0]
@@ -255,12 +638,19 @@ func (c *Collector) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter := func(name, help string, value int64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, value)
 	}
+	gauge := func(name, help string, value int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, value)
+	}
 	counter("omg_collector_violations_total", "Violations ingested.", c.ingested.Load())
 	counter("omg_collector_batches_total", "Batches applied.", c.batches.Load())
 	counter("omg_collector_duplicate_batches_total", "Retried batches deduplicated.", c.duplicates.Load())
-	counter("omg_collector_rejected_requests_total", "Malformed or version-mismatched ingest requests.", c.rejected.Load())
+	counter("omg_collector_rejected_requests_total", "Malformed, oversized or version-mismatched ingest requests.", c.rejected.Load())
+	counter("omg_collector_retention_evictions_total", "Violations evicted from the queryable log by the retention policy.", c.RetentionEvicted())
+	counter("omg_collector_tail_dropped_total", "Tail events dropped because a subscriber's buffer was full.", c.tail.droppedTotal())
+	gauge("omg_collector_tail_clients", "Connected live-tail subscribers.", c.tail.clientCount())
+	gauge("omg_collector_shards", "Ingest shards.", int64(len(c.recs)))
 
-	summary := c.rec.Summary()
+	summary := c.Summary()
 	names := make([]string, 0, len(summary))
 	for name := range summary {
 		names = append(names, name)

@@ -41,7 +41,7 @@ func TestCollectorIngestDeduplicates(t *testing.T) {
 	if n, dup := c.Ingest(Batch{Version: WireVersion, Violations: mkBatch("", 0, 1).Violations}); n != 1 || dup {
 		t.Fatalf("anonymous batch: accepted %d dup %v", n, dup)
 	}
-	if got := c.Recorder().TotalFired(); got != 6 {
+	if got := c.TotalFired(); got != 6 {
 		t.Fatalf("TotalFired = %d, want 6", got)
 	}
 }
@@ -182,7 +182,7 @@ func TestCollectorSnapshotRestoreKeepsDedup(t *testing.T) {
 
 	restored := NewCollector(0)
 	restored.Restore(c.Snapshot())
-	if got := restored.Recorder().TotalFired(); got != 5 {
+	if got := restored.TotalFired(); got != 5 {
 		t.Fatalf("restored TotalFired = %d, want 5", got)
 	}
 	// A batch retried across the restart must still be a duplicate.

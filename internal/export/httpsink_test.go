@@ -45,7 +45,7 @@ func TestHTTPSinkDeliversToCollector(t *testing.T) {
 	if err := s.Flush(); err != nil {
 		t.Fatalf("Flush: %v", err)
 	}
-	if got := c.Recorder().TotalFired(); got != n {
+	if got := c.TotalFired(); got != n {
 		t.Fatalf("collector ingested %d, want %d", got, n)
 	}
 	if s.Delivered() != n || s.Dropped() != 0 {
@@ -83,7 +83,7 @@ func TestHTTPSinkRetriesTransientFailures(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close after transient failures: %v", err)
 	}
-	if got := c.Recorder().TotalFired(); got != 5 {
+	if got := c.TotalFired(); got != 5 {
 		t.Fatalf("collector ingested %d, want 5", got)
 	}
 	if s.Retries() < 2 || s.Dropped() != 0 {
@@ -116,7 +116,7 @@ func TestHTTPSinkRetryAfterLostResponseIsExactlyOnce(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	if got := c.Recorder().TotalFired(); got != 7 {
+	if got := c.TotalFired(); got != 7 {
 		t.Fatalf("collector ingested %d, want exactly 7 (no double-apply)", got)
 	}
 }
@@ -212,7 +212,7 @@ func TestHTTPSinkRecoversAfterOutage(t *testing.T) {
 	if s.Close(); s.Dropped() != dropped {
 		t.Fatalf("post-outage batches dropped too: %d, want %d", s.Dropped(), dropped)
 	}
-	if got := c.Recorder().TotalFired(); got != 4 {
+	if got := c.TotalFired(); got != 4 {
 		t.Fatalf("collector ingested %d after recovery, want 4", got)
 	}
 }
@@ -249,7 +249,7 @@ func TestHTTPSinkFactoryRegistered(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if got := c.Recorder().TotalFired(); got != 10 {
+	if got := c.TotalFired(); got != 10 {
 		t.Fatalf("collector ingested %d, want 10", got)
 	}
 
@@ -322,7 +322,7 @@ func TestHTTPSinkRecordDuringClose(t *testing.T) {
 		t.Fatalf("delivered %d + dropped %d = %d, want the %d accepted",
 			s.Delivered(), s.Dropped(), got, accepted.Load())
 	}
-	if got := c.Recorder().TotalFired(); int64(got) != s.Delivered() {
+	if got := c.TotalFired(); int64(got) != s.Delivered() {
 		t.Fatalf("collector ingested %d, sink delivered %d", got, s.Delivered())
 	}
 }

@@ -1,0 +1,90 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"testing"
+)
+
+// FuzzHandleQuery drives the query endpoint with arbitrary parameter
+// combinations: whatever the inputs, the handler must answer 200 (with a
+// self-consistent body honouring the filters and the limit) or 400 (for
+// an unparsable limit) — never panic, never another status.
+func FuzzHandleQuery(f *testing.F) {
+	f.Add("a", "edge-01", "3")
+	f.Add("", "", "")
+	f.Add("never-fired", "cam-9", "0")
+	f.Add("a", "", "-1")
+	f.Add("b\x00", "日本語", "bogus")
+	f.Add("a", "edge-00", "999999999999999999999")
+	f.Fuzz(func(t *testing.T, assertionName, stream, limitRaw string) {
+		c := NewCollectorConfig(CollectorConfig{Shards: 2})
+		defer c.Close()
+		fillFleet(c, 3, 1, 5)
+
+		params := url.Values{}
+		if assertionName != "" {
+			params.Set("assertion", assertionName)
+		}
+		if stream != "" {
+			params.Set("stream", stream)
+		}
+		if limitRaw != "" {
+			params.Set("limit", limitRaw)
+		}
+		req := httptest.NewRequest(http.MethodGet, "/v1/violations/query?"+params.Encode(), nil)
+		rr := httptest.NewRecorder()
+		c.Handler().ServeHTTP(rr, req)
+
+		limit, limitErr := strconv.Atoi(limitRaw)
+		wantBad := limitRaw != "" && (limitErr != nil || limit < 0)
+		if wantBad {
+			if rr.Code != http.StatusBadRequest {
+				t.Fatalf("limit %q: status %d, want 400", limitRaw, rr.Code)
+			}
+			return
+		}
+		if rr.Code != http.StatusOK {
+			t.Fatalf("status %d, want 200 (assertion=%q stream=%q limit=%q)",
+				rr.Code, assertionName, stream, limitRaw)
+		}
+		var q QueryResponse
+		if err := json.Unmarshal(rr.Body.Bytes(), &q); err != nil {
+			t.Fatalf("query body does not decode: %v\n%s", err, rr.Body.String())
+		}
+		if q.Count != len(q.Violations) || q.Violations == nil {
+			t.Fatalf("count %d != %d violations (or nil array)", q.Count, len(q.Violations))
+		}
+		if limitRaw != "" && limit > 0 && q.Count > limit {
+			t.Fatalf("returned %d violations over limit %d", q.Count, limit)
+		}
+		for _, v := range q.Violations {
+			if assertionName != "" && v.Assertion != assertionName {
+				t.Fatalf("assertion filter %q leaked %+v", assertionName, v)
+			}
+			if stream != "" && v.Stream != stream {
+				t.Fatalf("stream filter %q leaked %+v", stream, v)
+			}
+		}
+	})
+}
+
+// FuzzDecodeBatch ensures arbitrary ingest bodies either decode into a
+// well-versioned batch or fail cleanly — the decoder backing the ingest
+// endpoint must never panic.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte(`{"version":1,"source":"e","seq":1,"violations":[{"assertion":"a"}]}`))
+	f.Add([]byte(`{"version":42}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		b, err := DecodeBatch(bytes.NewReader(body))
+		if err == nil && b.Version != WireVersion {
+			t.Fatalf("decoded batch with version %d", b.Version)
+		}
+	})
+}

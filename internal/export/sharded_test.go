@@ -1,0 +1,331 @@
+package export
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"omg/internal/assertion"
+)
+
+// metricsBody renders the collector's /metrics endpoint.
+func metricsBody(t *testing.T, c *Collector) string {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	c.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	return rr.Body.String()
+}
+
+// fillFleet ingests the same deterministic multi-source workload into a
+// collector and returns the expected per-assertion counts.
+func fillFleet(c *Collector, sources, batches, perBatch int) map[string]int {
+	want := make(map[string]int)
+	for s := 0; s < sources; s++ {
+		source := fmt.Sprintf("edge-%02d", s)
+		for bi := 0; bi < batches; bi++ {
+			b := Batch{Version: WireVersion, Source: source, Seq: uint64(bi + 1)}
+			for i := 0; i < perBatch; i++ {
+				name := "a"
+				if (s+bi+i)%3 == 0 {
+					name = "b"
+				}
+				b.Violations = append(b.Violations, assertion.Violation{
+					Assertion: name, Stream: source, SampleIndex: bi*perBatch + i,
+					Time: float64(bi*perBatch+i) / 10, Severity: 1,
+				})
+				want[name]++
+			}
+			c.Ingest(b)
+		}
+	}
+	return want
+}
+
+func TestShardedCollectorMergedViewsMatchSingleShard(t *testing.T) {
+	single := NewCollector(0)
+	sharded := NewCollectorConfig(CollectorConfig{Shards: 4})
+	defer single.Close()
+	defer sharded.Close()
+	want := fillFleet(single, 6, 3, 10)
+	fillFleet(sharded, 6, 3, 10)
+
+	if sharded.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", sharded.NumShards())
+	}
+	if got, wantTotal := sharded.TotalFired(), single.TotalFired(); got != wantTotal {
+		t.Fatalf("sharded TotalFired = %d, single = %d", got, wantTotal)
+	}
+	if got := sharded.Summary(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded Summary = %v, want %v", got, want)
+	}
+	// The merged violation views agree after normalising to merge order.
+	sv, shv := single.Violations(), sharded.Violations()
+	assertion.SortViolations(sv)
+	if !reflect.DeepEqual(stripIngest(sv), stripIngest(shv)) {
+		t.Fatalf("sharded Violations diverged: %d vs %d entries", len(shv), len(sv))
+	}
+	sb, shb := single.ByAssertion("b"), sharded.ByAssertion("b")
+	assertion.SortViolations(sb)
+	if !reflect.DeepEqual(stripIngest(sb), stripIngest(shb)) {
+		t.Fatalf("sharded ByAssertion diverged: %d vs %d entries", len(shb), len(sb))
+	}
+	// Dedup still applies per source across shards.
+	if n, dup := sharded.Ingest(Batch{Version: WireVersion, Source: "edge-00", Seq: 1,
+		Violations: []assertion.Violation{{Assertion: "a", Severity: 1}}}); n != 0 || !dup {
+		t.Fatalf("retry on sharded collector: accepted %d dup %v", n, dup)
+	}
+}
+
+// stripIngest zeroes the collector-stamped ingest time so views ingested
+// at different wall-clock seconds still compare equal.
+func stripIngest(vs []assertion.Violation) []assertion.Violation {
+	out := make([]assertion.Violation, len(vs))
+	for i, v := range vs {
+		v.IngestUnix = 0
+		out[i] = v
+	}
+	return out
+}
+
+func TestShardedCollectorConcurrentIngest(t *testing.T) {
+	c := NewCollectorConfig(CollectorConfig{Shards: 8, Retain: 4096})
+	defer c.Close()
+	const sources, batches, perBatch = 16, 20, 25
+	var wg sync.WaitGroup
+	for s := 0; s < sources; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			source := fmt.Sprintf("edge-%02d", s)
+			for bi := 0; bi < batches; bi++ {
+				b := Batch{Version: WireVersion, Source: source, Seq: uint64(bi + 1)}
+				for i := 0; i < perBatch; i++ {
+					b.Violations = append(b.Violations, assertion.Violation{
+						Assertion: "a", Stream: source, SampleIndex: bi*perBatch + i, Severity: 1,
+					})
+				}
+				c.Ingest(b)
+				c.Ingest(b) // immediate retry must dedup
+			}
+		}(s)
+	}
+	wg.Wait()
+	if got, want := c.TotalFired(), sources*batches*perBatch; got != want {
+		t.Fatalf("TotalFired = %d, want %d", got, want)
+	}
+	if got := c.duplicates.Load(); got != sources*batches {
+		t.Fatalf("duplicates = %d, want %d", got, sources*batches)
+	}
+}
+
+func TestShardedCollectorSnapshotRoundTrip(t *testing.T) {
+	src := NewCollectorConfig(CollectorConfig{Shards: 4})
+	defer src.Close()
+	fillFleet(src, 6, 3, 10)
+	snap := src.Snapshot()
+	if len(snap.Recorders) != 4 {
+		t.Fatalf("sharded snapshot shape: %d recorders, want 4", len(snap.Recorders))
+	}
+	// The legacy field carries the merged view, so a rollback to a
+	// pre-sharding reader restores the full state instead of starting
+	// empty.
+	if got, want := snap.Recorder.TotalFired(), src.TotalFired(); got != want {
+		t.Fatalf("legacy snapshot field fired %d, want merged %d", got, want)
+	}
+
+	check := func(t *testing.T, restored *Collector) {
+		t.Helper()
+		if got, want := restored.TotalFired(), src.TotalFired(); got != want {
+			t.Fatalf("restored TotalFired = %d, want %d", got, want)
+		}
+		if !reflect.DeepEqual(restored.Summary(), src.Summary()) {
+			t.Fatalf("restored Summary = %v, want %v", restored.Summary(), src.Summary())
+		}
+		if got, want := stripIngest(restored.Violations()), stripIngest(src.Violations()); !reflect.DeepEqual(got, want) {
+			t.Fatalf("restored Violations diverged: %d vs %d entries", len(got), len(want))
+		}
+		// Dedup marks survive the round-trip.
+		if n, dup := restored.Ingest(Batch{Version: WireVersion, Source: "edge-03", Seq: 2,
+			Violations: []assertion.Violation{{Assertion: "a", Severity: 1}}}); n != 0 || !dup {
+			t.Fatalf("retry after restore: accepted %d dup %v", n, dup)
+		}
+		if n, dup := restored.Ingest(mkBatch("edge-03", 4, 1)); n != 1 || dup {
+			t.Fatalf("fresh batch after restore: accepted %d dup %v", n, dup)
+		}
+	}
+
+	t.Run("same-shard-count", func(t *testing.T) {
+		restored := NewCollectorConfig(CollectorConfig{Shards: 4})
+		defer restored.Close()
+		restored.Restore(snap)
+		check(t, restored)
+	})
+	t.Run("different-shard-count", func(t *testing.T) {
+		restored := NewCollectorConfig(CollectorConfig{Shards: 7})
+		defer restored.Close()
+		restored.Restore(snap)
+		check(t, restored)
+	})
+	t.Run("into-single-shard", func(t *testing.T) {
+		restored := NewCollector(0)
+		defer restored.Close()
+		restored.Restore(snap)
+		check(t, restored)
+	})
+	t.Run("legacy-single-into-sharded", func(t *testing.T) {
+		single := NewCollector(0)
+		defer single.Close()
+		fillFleet(single, 6, 3, 10)
+		restored := NewCollectorConfig(CollectorConfig{Shards: 4})
+		defer restored.Close()
+		restored.Restore(single.Snapshot())
+		if got, want := restored.TotalFired(), single.TotalFired(); got != want {
+			t.Fatalf("restored TotalFired = %d, want %d", got, want)
+		}
+		if !reflect.DeepEqual(restored.Summary(), single.Summary()) {
+			t.Fatalf("restored Summary = %v, want %v", restored.Summary(), single.Summary())
+		}
+	})
+}
+
+func TestShardedSnapshotFileRoundTrip(t *testing.T) {
+	src := NewCollectorConfig(CollectorConfig{Shards: 3})
+	defer src.Close()
+	fillFleet(src, 5, 2, 8)
+	path := t.TempDir() + "/state.json"
+	if err := WriteSnapshotFile(path, src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewCollectorConfig(CollectorConfig{Shards: 3})
+	defer restored.Close()
+	restored.Restore(loaded)
+	if got, want := restored.TotalFired(), src.TotalFired(); got != want {
+		t.Fatalf("file round-trip TotalFired = %d, want %d", got, want)
+	}
+}
+
+func TestCollectorRejectedSurvivesSnapshot(t *testing.T) {
+	c := NewCollector(0)
+	defer c.Close()
+	c.rejected.Add(3)
+	c.Ingest(mkBatch("edge-01", 1, 2))
+	restored := NewCollector(0)
+	defer restored.Close()
+	restored.Restore(c.Snapshot())
+	if got := restored.rejected.Load(); got != 3 {
+		t.Fatalf("restored rejected = %d, want 3", got)
+	}
+}
+
+func TestCollectorRetention(t *testing.T) {
+	c := NewCollectorConfig(CollectorConfig{Shards: 2, RetainPerAssertion: 4, CompactEvery: time.Hour})
+	defer c.Close()
+	fillFleet(c, 4, 2, 10) // 80 violations over assertions a and b
+	total := c.TotalFired()
+	evicted := c.CompactNow()
+	if evicted == 0 {
+		t.Fatal("retention evicted nothing")
+	}
+	if got := c.RetentionEvicted(); got != int64(evicted) {
+		t.Fatalf("RetentionEvicted = %d, CompactNow returned %d", got, evicted)
+	}
+	// The cap is global and exact: both assertions fired well over 4
+	// times, so each retains exactly 4 regardless of how their sources
+	// spread over the shards.
+	perAssertion := make(map[string]int)
+	for _, v := range c.Violations() {
+		perAssertion[v.Assertion]++
+	}
+	for name, n := range perAssertion {
+		if n != 4 {
+			t.Fatalf("assertion %q retains %d violations, want exactly 4", name, n)
+		}
+	}
+	// Aggregate counts are untouched by retention.
+	if got := c.TotalFired(); got != total {
+		t.Fatalf("TotalFired changed across compaction: %d -> %d", total, got)
+	}
+	// A second compaction with no new ingest evicts nothing further.
+	if n := c.CompactNow(); n != 0 {
+		t.Fatalf("idle recompaction evicted %d", n)
+	}
+}
+
+func TestCollectorRetentionPerAssertionGlobalUnderSkew(t *testing.T) {
+	// All of one assertion's violations come from a single source and so
+	// land on one shard. A per-shard split of the cap would under-retain
+	// (cap/shards); the global plan must keep exactly the cap.
+	c := NewCollectorConfig(CollectorConfig{Shards: 4, RetainPerAssertion: 10, CompactEvery: time.Hour})
+	defer c.Close()
+	b := Batch{Version: WireVersion, Source: "lone-edge", Seq: 1}
+	for i := 0; i < 50; i++ {
+		b.Violations = append(b.Violations, assertion.Violation{
+			Assertion: "skewed", Stream: "lone-edge", SampleIndex: i, Severity: 1,
+		})
+	}
+	c.Ingest(b)
+	if n := c.CompactNow(); n != 40 {
+		t.Fatalf("skewed compaction evicted %d, want 40", n)
+	}
+	vs := c.ByAssertion("skewed")
+	if len(vs) != 10 {
+		t.Fatalf("skewed assertion retains %d, want the global cap of 10", len(vs))
+	}
+	// And it kept the newest ones.
+	for i, v := range vs {
+		if v.SampleIndex != 40+i {
+			t.Fatalf("retained[%d].SampleIndex = %d, want %d", i, v.SampleIndex, 40+i)
+		}
+	}
+}
+
+func TestCollectorRetentionAge(t *testing.T) {
+	c := NewCollectorConfig(CollectorConfig{RetainAge: time.Hour, CompactEvery: time.Hour})
+	defer c.Close()
+	c.Ingest(mkBatch("edge-01", 1, 5))
+	// Nothing is an hour old yet.
+	if n := c.CompactNow(); n != 0 {
+		t.Fatalf("fresh violations evicted: %d", n)
+	}
+	// Age the retained violations artificially and compact again.
+	old := time.Now().Add(-2 * time.Hour).Unix()
+	snap := c.Snapshot()
+	for i := range snap.Recorder.Violations {
+		snap.Recorder.Violations[i].IngestUnix = old
+	}
+	c.Restore(snap)
+	if n := c.CompactNow(); n != 5 {
+		t.Fatalf("aged violations evicted = %d, want 5", n)
+	}
+	if got := len(c.Violations()); got != 0 {
+		t.Fatalf("retained %d violations after age eviction", got)
+	}
+	if got := c.TotalFired(); got != 5 {
+		t.Fatalf("TotalFired = %d, want 5 (stats survive retention)", got)
+	}
+}
+
+func TestCollectorJanitorRunsOnTimer(t *testing.T) {
+	c := NewCollectorConfig(CollectorConfig{RetainPerAssertion: 1, CompactEvery: 10 * time.Millisecond})
+	defer c.Close()
+	c.Ingest(mkBatch("edge-01", 1, 10))
+	deadline := time.Now().Add(5 * time.Second)
+	for c.RetentionEvicted() < 9 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := c.RetentionEvicted(); got != 9 {
+		t.Fatalf("janitor evicted %d violations, want 9", got)
+	}
+	metrics := metricsBody(t, c)
+	if !strings.Contains(metrics, "omg_collector_retention_evictions_total 9") {
+		t.Fatalf("metrics missing retention evictions:\n%s", metrics)
+	}
+}

@@ -1,0 +1,176 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"omg/internal/assertion"
+)
+
+// TailPath is the collector's SSE live-tail endpoint: violations stream
+// to subscribers as they ingest.
+const TailPath = "/v1/violations/tail"
+
+// tailHeartbeat is how often an idle tail stream emits a keep-alive
+// comment, so proxies and clients can tell a quiet stream from a dead
+// one. Variable, not const, so tests can shrink it.
+var tailHeartbeat = 15 * time.Second
+
+// tailClient is one live-tail subscriber: a bounded event buffer plus
+// optional assertion/stream filters. The buffer decouples the subscriber
+// from ingest — publish never blocks on a slow client, it drops the
+// event for that client and counts the loss.
+type tailClient struct {
+	ch        chan assertion.Violation
+	assertion string // "" = all assertions
+	stream    string // "" = all streams
+	dropped   atomic.Int64
+}
+
+// tailHub fans ingested violations out to live-tail subscribers. The
+// ingest path pays one atomic load when nobody is tailing.
+type tailHub struct {
+	buffer int
+
+	mu      sync.Mutex
+	clients map[*tailClient]struct{}
+	closed  bool
+
+	n       atomic.Int64 // len(clients), read lock-free on the ingest path
+	dropped atomic.Int64 // events lost to full client buffers, hub-wide
+
+	done chan struct{} // closed by close(); ends every stream
+}
+
+func newTailHub(buffer int) *tailHub {
+	return &tailHub{
+		buffer:  buffer,
+		clients: make(map[*tailClient]struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// subscribe registers a new client. On a closed hub the client is
+// returned unregistered; its stream ends immediately via done.
+func (h *tailHub) subscribe(assertionName, stream string) *tailClient {
+	cl := &tailClient{
+		ch:        make(chan assertion.Violation, h.buffer),
+		assertion: assertionName,
+		stream:    stream,
+	}
+	h.mu.Lock()
+	if !h.closed {
+		h.clients[cl] = struct{}{}
+		h.n.Store(int64(len(h.clients)))
+	}
+	h.mu.Unlock()
+	return cl
+}
+
+func (h *tailHub) unsubscribe(cl *tailClient) {
+	h.mu.Lock()
+	delete(h.clients, cl)
+	h.n.Store(int64(len(h.clients)))
+	h.mu.Unlock()
+}
+
+// publish offers v to every matching subscriber without ever blocking: a
+// client whose buffer is full loses this event, and the loss is counted
+// per client and hub-wide instead of stalling ingest.
+func (h *tailHub) publish(v assertion.Violation) {
+	if h.n.Load() == 0 {
+		return
+	}
+	h.mu.Lock()
+	for cl := range h.clients {
+		if cl.assertion != "" && cl.assertion != v.Assertion {
+			continue
+		}
+		if cl.stream != "" && cl.stream != v.Stream {
+			continue
+		}
+		select {
+		case cl.ch <- v:
+		default:
+			cl.dropped.Add(1)
+			h.dropped.Add(1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// close ends every subscriber's stream. Idempotent.
+func (h *tailHub) close() {
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		close(h.done)
+	}
+	h.mu.Unlock()
+}
+
+func (h *tailHub) clientCount() int64  { return h.n.Load() }
+func (h *tailHub) droppedTotal() int64 { return h.dropped.Load() }
+
+// handleTail serves GET /v1/violations/tail as a Server-Sent Events
+// stream: one `event: violation` per ingested violation (after
+// ?assertion= and ?stream= filters), `event: dropped` whenever this
+// subscriber's bounded buffer has lost events since the last report, a
+// keep-alive comment on idle, and `event: end` when the collector shuts
+// down. Slow consumers lose events, never stall ingest.
+func (c *Collector) handleTail(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	q := r.URL.Query()
+	cl := c.tail.subscribe(q.Get("assertion"), q.Get("stream"))
+	defer c.tail.unsubscribe(cl)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // tell buffering proxies not to
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": omg-collector live tail\n\n")
+	fl.Flush()
+
+	heartbeat := time.NewTicker(tailHeartbeat)
+	defer heartbeat.Stop()
+	var reported int64
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-c.tail.done:
+			fmt.Fprint(w, "event: end\ndata: collector shutting down\n\n")
+			fl.Flush()
+			return
+		case v := <-cl.ch:
+			data, err := json.Marshal(v)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: violation\ndata: %s\n\n", data)
+			if d := cl.dropped.Load(); d > reported {
+				reported = d
+				fmt.Fprintf(w, "event: dropped\ndata: {\"dropped\":%d}\n\n", d)
+			}
+			fl.Flush()
+		case <-heartbeat.C:
+			// The idle tick also reports losses: a client whose buffer
+			// overflowed during a burst and then matched nothing further
+			// must still learn it lost events.
+			if d := cl.dropped.Load(); d > reported {
+				reported = d
+				fmt.Fprintf(w, "event: dropped\ndata: {\"dropped\":%d}\n\n", d)
+			}
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+		}
+	}
+}

@@ -52,18 +52,28 @@ type Batch struct {
 }
 
 // Snapshot is the wire form of a collector's persisted state: the
-// recorder snapshot plus the per-source dedup high-water marks, so a
-// restarted collector neither loses counts nor re-applies a batch retried
-// across the restart.
+// recorder snapshot(s) plus the per-source dedup high-water marks and
+// request counters, so a restarted collector neither loses counts nor
+// re-applies a batch retried across the restart.
 type Snapshot struct {
 	Version     int   `json:"version"`
 	SavedAtUnix int64 `json:"saved_at_unix,omitempty"`
 
-	Recorder assertion.RecorderSnapshot `json:"recorder"`
+	// Recorder is the single-shard form (and the only form PR-3
+	// snapshots carry). A sharded collector writes Recorders — one
+	// snapshot per shard — and fills Recorder with the merged view
+	// alongside, so older readers that only know the legacy field still
+	// restore the full state. Readers prefer Recorders when present.
+	Recorder  assertion.RecorderSnapshot   `json:"recorder"`
+	Recorders []assertion.RecorderSnapshot `json:"recorders,omitempty"`
 
 	LastSeq    map[string]uint64 `json:"last_seq,omitempty"`
 	Batches    int64             `json:"batches,omitempty"`
 	Duplicates int64             `json:"duplicate_batches,omitempty"`
+	// Rejected persists the malformed-request counter, so
+	// omg_collector_rejected_requests_total does not reset across
+	// restarts. Absent in PR-3 snapshots (omitempty), which restore as 0.
+	Rejected int64 `json:"rejected,omitempty"`
 }
 
 // EncodeBatch writes b as JSON on w, stamping the current wire version.

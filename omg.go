@@ -96,6 +96,9 @@ type (
 	// Collector ingests exported violation batches and serves queries; it
 	// is the engine behind cmd/omg-server.
 	Collector = export.Collector
+	// CollectorConfig shapes a Collector: shard count, retention bounds
+	// and live-tail buffering.
+	CollectorConfig = export.CollectorConfig
 	// ViolationBatch is the wire form of one exported violation batch.
 	ViolationBatch = export.Batch
 	// CollectorSnapshot is the wire form of a collector's persisted state.
@@ -104,6 +107,9 @@ type (
 
 // WireVersion is the version stamped on every exported batch and snapshot.
 const WireVersion = export.WireVersion
+
+// TailPath is the collector's SSE live-tail endpoint.
+const TailPath = export.TailPath
 
 // ErrSinkClosed is returned by a Sink's Record method after Close.
 var ErrSinkClosed = assertion.ErrSinkClosed
@@ -156,10 +162,18 @@ func SinkFactoryKinds() []string { return assertion.SinkFactoryKinds() }
 // at cfg.BaseURL.
 func NewHTTPSink(cfg HTTPSinkConfig) (*HTTPSink, error) { return export.NewHTTPSink(cfg) }
 
-// NewCollector returns a violation collector retaining at most limit
-// violations in memory (0 = unbounded); serve its Handler over HTTP to
-// accept exported batches.
+// NewCollector returns a single-shard violation collector retaining at
+// most limit violations in memory (0 = unbounded); serve its Handler over
+// HTTP to accept exported batches.
 func NewCollector(limit int) *Collector { return export.NewCollector(limit) }
+
+// NewCollectorConfig returns a collector shaped by cfg — sharded ingest,
+// retention policy, live tail. Close it when done.
+func NewCollectorConfig(cfg CollectorConfig) *Collector { return export.NewCollectorConfig(cfg) }
+
+// ShardFor routes a key to one of n shards with FNV-1a — the routing seam
+// MonitorPool uses for streams and the collector uses for batch sources.
+func ShardFor(key string, n int) int { return assertion.ShardFor(key, n) }
 
 // NewAssertion adapts a severity function into an Assertion, the analogue
 // of OMG's AddAssertion(func) for arbitrary callables.
