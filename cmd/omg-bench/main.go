@@ -24,9 +24,10 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1..table4, table6, figure3, figure4a, figure4b, figure5, sinkbench, fanin)")
+	only := flag.String("only", "", "run a single experiment (table1..table4, table6, figure3, figure4a, figure4b, figure5, sinkbench, fanin, observe)")
 	quick := flag.Bool("quick", false, "use reduced experiment sizes")
 	root := flag.String("root", ".", "repository root (for Table 2 LOC measurement)")
+	benchOut := flag.String("bench-out", "BENCH_5.json", "where the observe experiment writes its machine-readable results (empty disables)")
 	flag.Parse()
 
 	scale := experiments.FullScale()
@@ -55,6 +56,7 @@ func main() {
 		{"table6", func() (string, error) { return experiments.RenderTable6(scale), nil }},
 		{"sinkbench", func() (string, error) { return renderSinkBench(*quick) }},
 		{"fanin", func() (string, error) { return renderFanInBench(*quick) }},
+		{"observe", func() (string, error) { return renderObserveBench(*quick, *benchOut) }},
 	}
 
 	matched := false

@@ -1,0 +1,265 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"omg/internal/assertion"
+)
+
+// This file races the PR-5 zero-allocation observe path against a
+// faithful reimplementation of the pre-PR hot path, so the speedup is
+// measured on the same host and binary instead of across checkouts, and
+// writes the numbers to a machine-readable BENCH_5.json for the repo's
+// perf trajectory.
+//
+// The baseline reproduces exactly what Monitor.Observe did before this
+// PR: slide-by-reslice window with a fresh copy per sample, a freshly
+// allocated severity vector per evaluation (Suite.Evaluate), a
+// Suite.Names() allocation per sample, and a defensive copy of the action
+// list per sample. The encode baseline is encoding/json.Marshal per
+// violation, which is what the JSONL sink, wire batches and SSE tail paid
+// before AppendViolationJSON.
+
+// oldMonitor is the pre-PR Monitor hot path, preserved for the race.
+type oldMonitor struct {
+	suite      *assertion.Suite
+	windowSize int
+
+	mu       sync.Mutex
+	window   []assertion.Sample
+	recorder *assertion.Recorder
+	actions  []struct {
+		threshold float64
+		action    assertion.Action
+	}
+	observed int
+}
+
+func (m *oldMonitor) observe(s assertion.Sample) assertion.Vector {
+	m.mu.Lock()
+	m.window = append(m.window, s)
+	if len(m.window) > m.windowSize {
+		m.window = m.window[len(m.window)-m.windowSize:]
+	}
+	window := make([]assertion.Sample, len(m.window))
+	copy(window, m.window)
+	m.observed++
+	actions := make([]struct {
+		threshold float64
+		action    assertion.Action
+	}, len(m.actions))
+	copy(actions, m.actions)
+	m.mu.Unlock()
+
+	vec := m.suite.Evaluate(window)
+	names := m.suite.Names()
+	for i, sev := range vec {
+		if sev <= 0 {
+			continue
+		}
+		v := assertion.Violation{
+			Assertion:   names[i],
+			Stream:      s.Stream,
+			SampleIndex: s.Index,
+			Time:        s.Time,
+			Severity:    sev,
+		}
+		m.recorder.Record(v)
+		for _, spec := range actions {
+			if sev >= spec.threshold {
+				spec.action(v)
+			}
+		}
+	}
+	return vec
+}
+
+// observeSuite mirrors the monitor benchmarks' suite: one abstaining
+// assertion and one cheap temporal one, so the measurement is the
+// runtime's overhead, not assertion work.
+func observeSuite() *assertion.Suite {
+	return assertion.NewSuite(
+		assertion.New("noop", func([]assertion.Sample) float64 { return 0 }),
+		assertion.New("len", func(w []assertion.Sample) float64 { return -float64(len(w)) }),
+	)
+}
+
+// benchObserveReport is the machine-readable shape written to BENCH_5.json.
+type benchObserveReport struct {
+	Bench   string `json:"bench"`
+	Quick   bool   `json:"quick"`
+	Samples int    `json:"samples"`
+
+	Observe struct {
+		OldNsPerOp       float64 `json:"old_ns_per_op"`
+		NewNsPerOp       float64 `json:"new_ns_per_op"`
+		OldSamplesPerSec float64 `json:"old_samples_per_sec"`
+		NewSamplesPerSec float64 `json:"new_samples_per_sec"`
+		Speedup          float64 `json:"speedup"`
+	} `json:"observe"`
+
+	Batch struct {
+		PerSampleSamplesPerSec float64 `json:"per_sample_samples_per_sec"`
+		BatchSamplesPerSec     float64 `json:"batch_samples_per_sec"`
+		Speedup                float64 `json:"speedup"`
+	} `json:"batch_enqueue"`
+
+	Encode struct {
+		OldNsPerOp float64 `json:"old_ns_per_op"`
+		NewNsPerOp float64 `json:"new_ns_per_op"`
+		Speedup    float64 `json:"speedup"`
+	} `json:"encode"`
+}
+
+// renderObserveBench races the pre-PR observe, batch-enqueue and
+// violation-encode paths against the current ones and records the results
+// in outPath (machine-readable; "" skips the file).
+func renderObserveBench(quick bool, outPath string) (string, error) {
+	n := 2_000_000
+	if quick {
+		n = 200_000
+	}
+
+	rep := benchObserveReport{Bench: "observe", Quick: quick, Samples: n}
+
+	// --- Observe: old slide-by-reslice monitor vs zero-allocation ring.
+	old := &oldMonitor{suite: observeSuite(), windowSize: 8, recorder: assertion.NewRecorder(0)}
+	oldStart := time.Now()
+	for i := 0; i < n; i++ {
+		old.observe(assertion.Sample{Index: i, Time: float64(i)})
+	}
+	oldWall := time.Since(oldStart)
+
+	mon := assertion.NewMonitor(observeSuite(), assertion.WithWindowSize(8))
+	newStart := time.Now()
+	for i := 0; i < n; i++ {
+		mon.Observe(assertion.Sample{Index: i, Time: float64(i)})
+	}
+	newWall := time.Since(newStart)
+
+	rep.Observe.OldNsPerOp = float64(oldWall.Nanoseconds()) / float64(n)
+	rep.Observe.NewNsPerOp = float64(newWall.Nanoseconds()) / float64(n)
+	rep.Observe.OldSamplesPerSec = float64(n) / oldWall.Seconds()
+	rep.Observe.NewSamplesPerSec = float64(n) / newWall.Seconds()
+	rep.Observe.Speedup = rep.Observe.NewSamplesPerSec / rep.Observe.OldSamplesPerSec
+
+	// --- Batch enqueue: per-sample Enqueue (the old ObserveBatch body)
+	// vs the batch-aware shard-chunk path, identical sample streams.
+	const streams, batchSize = 8, 256
+	makeBatch := func(base int) []assertion.Sample {
+		b := make([]assertion.Sample, batchSize)
+		for j := range b {
+			b[j] = assertion.Sample{
+				Stream: fmt.Sprintf("stream-%d", (base+j)%streams),
+				Index:  base + j,
+			}
+		}
+		return b
+	}
+	batches := n / batchSize
+	if quick {
+		batches = n / batchSize / 2
+	}
+
+	drive := func(batchAware bool) (time.Duration, error) {
+		pool := assertion.NewMonitorPool(observeSuite(),
+			assertion.WithPoolWindowSize(8), assertion.WithQueueDepth(1024))
+		batch := makeBatch(0)
+		start := time.Now()
+		for bi := 0; bi < batches; bi++ {
+			if batchAware {
+				if err := pool.ObserveBatch(batch); err != nil {
+					return 0, err
+				}
+				continue
+			}
+			for _, s := range batch {
+				if err := pool.Enqueue(s); err != nil {
+					return 0, err
+				}
+			}
+		}
+		if err := pool.Flush(); err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start)
+		if got, want := pool.Observed(), batches*batchSize; got != want {
+			return 0, fmt.Errorf("pool observed %d of %d samples", got, want)
+		}
+		return elapsed, pool.Close()
+	}
+
+	perSampleWall, err := drive(false)
+	if err != nil {
+		return "", fmt.Errorf("per-sample enqueue: %w", err)
+	}
+	batchWall, err := drive(true)
+	if err != nil {
+		return "", fmt.Errorf("batch enqueue: %w", err)
+	}
+	totalBatchSamples := float64(batches * batchSize)
+	rep.Batch.PerSampleSamplesPerSec = totalBatchSamples / perSampleWall.Seconds()
+	rep.Batch.BatchSamplesPerSec = totalBatchSamples / batchWall.Seconds()
+	rep.Batch.Speedup = rep.Batch.BatchSamplesPerSec / rep.Batch.PerSampleSamplesPerSec
+
+	// --- Encode: encoding/json.Marshal vs the reflection-free appender.
+	v := assertion.Violation{
+		Assertion: "flicker", Stream: "cam-3", SampleIndex: 123456,
+		Time: 4115.2, Severity: 2.5, IngestUnix: 1753800000,
+	}
+	encN := n
+	encStart := time.Now()
+	for i := 0; i < encN; i++ {
+		if _, err := json.Marshal(v); err != nil {
+			return "", err
+		}
+	}
+	encOldWall := time.Since(encStart)
+	buf := make([]byte, 0, 256)
+	encStart = time.Now()
+	for i := 0; i < encN; i++ {
+		out, err := assertion.AppendViolationJSON(buf, v)
+		if err != nil {
+			return "", err
+		}
+		_ = out
+	}
+	encNewWall := time.Since(encStart)
+	rep.Encode.OldNsPerOp = float64(encOldWall.Nanoseconds()) / float64(encN)
+	rep.Encode.NewNsPerOp = float64(encNewWall.Nanoseconds()) / float64(encN)
+	rep.Encode.Speedup = rep.Encode.OldNsPerOp / rep.Encode.NewNsPerOp
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return "", fmt.Errorf("write %s: %w", outPath, err)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Observe hot path, %d samples (single stream, window 8):\n", n)
+	fmt.Fprintf(&b, "  %-26s %12s %16s\n", "path", "ns/sample", "samples/s")
+	fmt.Fprintf(&b, "  %-26s %12.1f %16.0f\n", "pre-PR (alloc per sample)", rep.Observe.OldNsPerOp, rep.Observe.OldSamplesPerSec)
+	fmt.Fprintf(&b, "  %-26s %12.1f %16.0f\n", "ring+reuse (this PR)", rep.Observe.NewNsPerOp, rep.Observe.NewSamplesPerSec)
+	fmt.Fprintf(&b, "  observe speedup: %.2fx\n\n", rep.Observe.Speedup)
+	fmt.Fprintf(&b, "Async ingestion, %d samples in %d-sample batches over %d streams:\n", batches*batchSize, batchSize, streams)
+	fmt.Fprintf(&b, "  %-26s %16.0f samples/s\n", "per-sample Enqueue", rep.Batch.PerSampleSamplesPerSec)
+	fmt.Fprintf(&b, "  %-26s %16.0f samples/s\n", "batch-aware ObserveBatch", rep.Batch.BatchSamplesPerSec)
+	fmt.Fprintf(&b, "  batch speedup: %.2fx\n\n", rep.Batch.Speedup)
+	fmt.Fprintf(&b, "Violation encode, %d violations:\n", encN)
+	fmt.Fprintf(&b, "  %-26s %12.1f ns/violation\n", "encoding/json.Marshal", rep.Encode.OldNsPerOp)
+	fmt.Fprintf(&b, "  %-26s %12.1f ns/violation\n", "AppendViolationJSON", rep.Encode.NewNsPerOp)
+	fmt.Fprintf(&b, "  encode speedup: %.2fx\n", rep.Encode.Speedup)
+	if outPath != "" {
+		fmt.Fprintf(&b, "  results written to %s\n", outPath)
+	}
+	return b.String(), nil
+}

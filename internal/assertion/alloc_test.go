@@ -1,0 +1,105 @@
+package assertion
+
+import (
+	"io"
+	"testing"
+)
+
+// The alloc-regression tests assert the hot path's allocation budget under
+// go test, so a regression fails CI instead of silently drifting. They are
+// skipped under -race (instrumentation allocates); the CI alloc-gate job
+// runs them without -race and fails when it sees a skip.
+
+// TestAllocRegressionMonitorObserve asserts the tentpole invariant: a
+// steady-state Observe with no firing assertions performs zero heap
+// allocations — fixed window ring, reused scratch view, reused severity
+// vector, copy-on-write action snapshot.
+func TestAllocRegressionMonitorObserve(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is meaningless under -race")
+	}
+	m := NewMonitor(NewSuite(
+		New("noop", func([]Sample) float64 { return 0 }),
+		New("len", func(w []Sample) float64 { return -float64(len(w)) }), // clamped to 0, never fires
+	), WithWindowSize(8))
+	m.OnViolation(0.5, func(Violation) {}) // an action list must not cost the quiet path anything
+	for i := 0; i < 64; i++ {              // fill the ring past wrap-around
+		m.Observe(Sample{Index: i, Time: float64(i)})
+	}
+	i := 64
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Observe(Sample{Index: i, Time: float64(i)})
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Monitor.Observe allocated %.1f times per sample, want 0", allocs)
+	}
+}
+
+// TestAllocRegressionJSONLSinkRecord bounds the producer side of the JSONL
+// sink at one allocation per recorded violation; today it is zero (a
+// channel send of an inline value), the ≤ 1 budget leaves room for
+// harmless drift without letting reflection or per-record buffers back in.
+func TestAllocRegressionJSONLSinkRecord(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is meaningless under -race")
+	}
+	s := NewJSONLSink(io.Discard, 8192)
+	defer s.Close()
+	v := Violation{Assertion: "alloc", Stream: "s", SampleIndex: 1, Time: 0.5, Severity: 1}
+	for i := 0; i < 4096; i++ { // warm the worker's encode buffer
+		if err := s.Record(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := s.Record(v); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("JSONLSink.Record allocated %.1f times per violation, want <= 1", allocs)
+	}
+}
+
+// TestAllocRegressionAppendViolationJSON asserts the reflection-free
+// encoder allocates nothing when the destination buffer has capacity.
+func TestAllocRegressionAppendViolationJSON(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is meaningless under -race")
+	}
+	buf := make([]byte, 0, 512)
+	v := Violation{Assertion: "alloc-enc", Stream: "cam-0", SampleIndex: 7, Time: 0.23, Severity: 1.5, IngestUnix: 1753800000}
+	allocs := testing.AllocsPerRun(1000, func() {
+		out, err := AppendViolationJSON(buf, v)
+		if err != nil || len(out) == 0 {
+			t.Fatal("encode failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendViolationJSON allocated %.1f times per violation, want 0", allocs)
+	}
+}
+
+// TestAllocRegressionSuiteEvaluateInto asserts the reusable-vector
+// evaluation entry point allocates nothing once dst has capacity.
+func TestAllocRegressionSuiteEvaluateInto(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is meaningless under -race")
+	}
+	s := NewSuite(
+		New("a", func([]Sample) float64 { return 0 }),
+		New("b", func([]Sample) float64 { return 1 }),
+	)
+	window := []Sample{{Index: 0}, {Index: 1}}
+	vec := make(Vector, s.Len())
+	allocs := testing.AllocsPerRun(1000, func() {
+		vec = s.EvaluateInto(vec, window)
+	})
+	if allocs != 0 {
+		t.Fatalf("Suite.EvaluateInto allocated %.1f times per call, want 0", allocs)
+	}
+}

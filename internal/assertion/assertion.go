@@ -51,6 +51,10 @@ type Assertion interface {
 	// ordered by increasing Index. The last element is the sample that
 	// triggered evaluation. It returns a severity score where 0 means
 	// abstain and larger values mean more severe suspected errors.
+	//
+	// The window slice is only valid for the duration of the call —
+	// monitors reuse its backing array across samples — so an assertion
+	// that retains samples across calls must copy them.
 	Check(window []Sample) float64
 }
 
@@ -307,16 +311,28 @@ func (v Vector) Max() (idx int, severity float64) {
 // Evaluate runs every assertion in the suite on the window and returns the
 // severity vector.
 func (s *Suite) Evaluate(window []Sample) Vector {
-	out := make(Vector, len(s.assertions))
+	return s.EvaluateInto(nil, window)
+}
+
+// EvaluateInto is Evaluate writing into dst: when dst has capacity for one
+// entry per assertion its backing array is reused, so a caller evaluating
+// in a loop (the monitor hot path, one vector per shard worker) allocates
+// nothing per sample. It returns the filled vector, which aliases dst
+// whenever dst was large enough.
+func (s *Suite) EvaluateInto(dst Vector, window []Sample) Vector {
+	if cap(dst) < len(s.assertions) {
+		dst = make(Vector, len(s.assertions))
+	}
+	dst = dst[:len(s.assertions)]
 	for i, a := range s.assertions {
 		sev := a.Check(window)
 		if sev < 0 {
 			// Negative severities are clamped: the contract is [0, inf).
 			sev = 0
 		}
-		out[i] = sev
+		dst[i] = sev
 	}
-	return out
+	return dst
 }
 
 // EvaluateBatch evaluates the suite over a batch of windows (one window

@@ -1,0 +1,163 @@
+package assertion
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+// This file is the reflection-free violation encoder. The observe→record→
+// export hot path encodes every violation at least once (JSONL sink, HTTP
+// wire batches, SSE tail), and encoding/json pays reflection plus an
+// intermediate allocation per Marshal call. AppendViolationJSON writes the
+// same bytes by hand into a caller-owned buffer, so steady-state encoding
+// costs no allocations at all.
+//
+// The output is byte-identical to encoding/json's Marshal of a Violation —
+// field order, omitempty behaviour, string escaping (including HTML
+// escaping, � replacement of invalid UTF-8 and U+2028/U+2029), float
+// formatting, and the refusal to encode NaN/Inf. FuzzAppendViolationJSON
+// differentially fuzzes the two encoders against each other; any change to
+// the Violation struct must keep this encoder in sync (the fuzzer and
+// TestAppendViolationJSONCoversAllFields fail loudly if it drifts).
+
+const jsonHex = "0123456789abcdef"
+
+// AppendJSONString appends s as a JSON string literal, replicating
+// encoding/json's default (HTML-escaping) string encoder byte for byte.
+// It is exported for the sibling wire encoder (export.AppendBatchJSON),
+// which hand-encodes the envelope around the violations this package
+// encodes.
+func AppendJSONString(dst []byte, s string) []byte {
+	return appendJSONString(dst, s)
+}
+
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			// Safe ASCII: printable, not a quote, backslash or HTML chief
+			// troublemaker (<, >, & are escaped like encoding/json does by
+			// default, so the bytes stay safe to splice into HTML/JSONP).
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', jsonHex[b>>4], jsonHex[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', jsonHex[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// appendJSONFloat appends f in encoding/json's float format: %f except for
+// very small or very large magnitudes, which use %e with the exponent's
+// leading zero stripped (1e-07 encodes as 1e-7). NaN and infinities are
+// rejected, exactly as json.Marshal rejects them.
+func appendJSONFloat(dst []byte, f float64) ([]byte, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return dst, fmt.Errorf("assertion: unsupported JSON value: %v", f)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, nil
+}
+
+// AppendViolationJSON appends v's JSON object to dst and returns the
+// extended buffer, without reflection and without allocating when dst has
+// capacity. The bytes are identical to json.Marshal(v); on error (a NaN or
+// infinite Time/Severity, which JSON cannot represent) dst is returned
+// unextended, so a partially written object never reaches the buffer.
+func AppendViolationJSON(dst []byte, v Violation) ([]byte, error) {
+	start := len(dst)
+	var err error
+	dst = append(dst, `{"assertion":`...)
+	dst = appendJSONString(dst, v.Assertion)
+	if v.Stream != "" {
+		dst = append(dst, `,"stream":`...)
+		dst = appendJSONString(dst, v.Stream)
+	}
+	dst = append(dst, `,"sample_index":`...)
+	dst = strconv.AppendInt(dst, int64(v.SampleIndex), 10)
+	dst = append(dst, `,"time":`...)
+	if dst, err = appendJSONFloat(dst, v.Time); err != nil {
+		return dst[:start], err
+	}
+	dst = append(dst, `,"severity":`...)
+	if dst, err = appendJSONFloat(dst, v.Severity); err != nil {
+		return dst[:start], err
+	}
+	if v.IngestUnix != 0 {
+		dst = append(dst, `,"ingest_unix":`...)
+		dst = strconv.AppendInt(dst, v.IngestUnix, 10)
+	}
+	return append(dst, '}'), nil
+}
+
+// AppendViolationsJSON appends vs as a JSON array (nil encodes as null,
+// like encoding/json encodes a nil slice). It is the shared body of
+// export's batch encoder.
+func AppendViolationsJSON(dst []byte, vs []Violation) ([]byte, error) {
+	if vs == nil {
+		return append(dst, `null`...), nil
+	}
+	start := len(dst)
+	var err error
+	dst = append(dst, '[')
+	for i, v := range vs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		if dst, err = AppendViolationJSON(dst, v); err != nil {
+			return dst[:start], err
+		}
+	}
+	return append(dst, ']'), nil
+}

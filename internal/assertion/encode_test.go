@@ -1,0 +1,133 @@
+package assertion
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// diffViolation checks the hand-rolled encoder against encoding/json for
+// one violation: both must agree on whether v is encodable and, when it
+// is, on every output byte.
+func diffViolation(t *testing.T, v Violation) {
+	t.Helper()
+	want, wantErr := json.Marshal(v)
+	got, gotErr := AppendViolationJSON(nil, v)
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("error mismatch for %+v: json.Marshal err=%v, AppendViolationJSON err=%v", v, wantErr, gotErr)
+	}
+	if wantErr != nil {
+		if len(got) != 0 {
+			t.Fatalf("AppendViolationJSON extended the buffer despite error %v: %q", gotErr, got)
+		}
+		return
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoding mismatch for %+v:\n json: %s\n ours: %s", v, want, got)
+	}
+}
+
+// FuzzAppendViolationJSON differentially fuzzes the reflection-free
+// encoder against encoding/json over arbitrary violations: arbitrary
+// (including invalid-UTF-8 and HTML-unsafe) assertion and stream names,
+// negative indices, NaN/Inf/denormal severities and times, and the
+// omitempty edges (empty stream, zero ingest stamp).
+func FuzzAppendViolationJSON(f *testing.F) {
+	f.Add("flicker", "cam-0", 7, 0.23, 1.5, int64(0))
+	f.Add("", "", 0, 0.0, 0.0, int64(0))
+	f.Add("a\"b\\c\nd", "<script>&amp;", -3, -1.5, 2.5, int64(-7))
+	f.Add("日本語の検査", "カメラ-1", 1<<40, 1e-7, 1e21, int64(1753800000))
+	f.Add("nan", "s", 1, math.NaN(), 1.0, int64(1))
+	f.Add("inf", "s", 1, 1.0, math.Inf(1), int64(1))
+	f.Add("neg-inf", "s", 1, math.Inf(-1), 1.0, int64(1))
+	f.Add("bad-utf8 \xff\xfe", "trunc \xc3", 2, 5e-7, 123456.789, int64(9))
+	f.Add("ctl \x00\x01\x1f\x7f", "seps \u2028\u2029", 2, -0.0, 1e300, int64(1))
+	f.Fuzz(func(t *testing.T, assertionName, stream string, idx int, tm, sev float64, ingest int64) {
+		diffViolation(t, Violation{
+			Assertion:   assertionName,
+			Stream:      stream,
+			SampleIndex: idx,
+			Time:        tm,
+			Severity:    sev,
+			IngestUnix:  ingest,
+		})
+	})
+}
+
+// TestAppendViolationJSONCoversAllFields fails when a field is added to
+// Violation without teaching AppendViolationJSON about it: a fully
+// populated violation must round-trip through the hand encoder back into
+// an equal struct via encoding/json.
+func TestAppendViolationJSONCoversAllFields(t *testing.T) {
+	v := Violation{
+		Assertion:   "field-cover",
+		Stream:      "cam-1",
+		SampleIndex: 42,
+		Time:        1.25,
+		Severity:    3.5,
+		IngestUnix:  1753800000,
+	}
+	data, err := AppendViolationJSON(nil, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Violation
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+	if back != v {
+		t.Fatalf("round-trip lost data: %+v != %+v\nencoded: %s", back, v, data)
+	}
+}
+
+func TestAppendViolationJSONReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	v := Violation{Assertion: "reuse", Stream: "s", SampleIndex: 1, Time: 2, Severity: 3}
+	out, err := AppendViolationJSON(buf, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("AppendViolationJSON reallocated despite sufficient capacity")
+	}
+	// A failed append must leave previously appended bytes intact.
+	out = append(out, '\n')
+	n := len(out)
+	out2, err := AppendViolationJSON(out, Violation{Assertion: "bad", Severity: math.NaN()})
+	if err == nil {
+		t.Fatal("NaN severity must not encode")
+	}
+	if len(out2) != n {
+		t.Fatalf("failed append left %d bytes, want %d", len(out2), n)
+	}
+}
+
+func TestAppendViolationsJSONMatchesMarshal(t *testing.T) {
+	cases := [][]Violation{
+		nil,
+		{},
+		{{Assertion: "a", SampleIndex: 1, Time: 0.5, Severity: 1}},
+		{
+			{Assertion: "a", Stream: "s1", SampleIndex: 1, Time: 0.5, Severity: 1},
+			{Assertion: "b", SampleIndex: 2, Time: 1.5, Severity: 2, IngestUnix: 123},
+		},
+	}
+	for _, vs := range cases {
+		want, err := json.Marshal(vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AppendViolationsJSON(nil, vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("array mismatch for %+v:\n json: %s\n ours: %s", vs, want, got)
+		}
+	}
+	// An unencodable element must fail the whole array, like json.Marshal.
+	if _, err := AppendViolationsJSON(nil, []Violation{{Assertion: "x", Severity: math.Inf(1)}}); err == nil {
+		t.Fatal("Inf severity in array must not encode")
+	}
+}

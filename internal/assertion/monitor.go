@@ -2,6 +2,7 @@ package assertion
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // Violation is one firing of one assertion on one sample: the unit the
@@ -44,15 +45,41 @@ type actionSpec struct {
 //
 // A Monitor is safe for concurrent use; samples are serialised through an
 // internal lock since window semantics require a total order.
+//
+// The observe path is allocation-free in the steady state: the window
+// lives in a fixed ring buffer, assertions receive a reused scratch view
+// of it, and the severity vector returned by Observe is reused across
+// calls. The returned Vector and the window handed to Assertion.Check are
+// therefore only valid until the next Observe (or Reset) on this monitor
+// — callers and assertions that retain them must copy, and concurrent
+// observers of one monitor must not use the returned vector at all (see
+// Observe).
 type Monitor struct {
-	suite      *Suite
+	suite *Suite
+	// names caches suite.Names() once: the hot path reads assertion names
+	// per firing without re-allocating the slice per sample.
+	names      []string
 	windowSize int
 
-	mu       sync.Mutex
-	window   []Sample
+	// evalMu serialises the whole observe path — ring update, evaluation,
+	// recording, actions — which is what makes the ring, scratch window
+	// and severity vector reusable. Action registration does not take it,
+	// so an action may register further actions without deadlocking.
+	evalMu  sync.Mutex
+	ring    []Sample // fixed backing array of windowSize samples
+	head    int      // index of the oldest retained sample once full
+	n       int      // retained sample count, <= windowSize
+	scratch []Sample // in-order window view handed to assertions when the ring has wrapped
+	vec     Vector   // reused severity vector returned by Observe
+
 	recorder *Recorder
-	actions  []actionSpec
-	observed int
+	observed atomic.Int64
+
+	// actions is a copy-on-write snapshot: registration (rare) swaps in a
+	// fresh slice under actMu, the observe path (hot) reads the current
+	// snapshot with one atomic load and no copying.
+	actMu   sync.Mutex
+	actions atomic.Pointer[[]actionSpec]
 }
 
 // MonitorOption configures a Monitor.
@@ -82,67 +109,97 @@ func WithRecorder(r *Recorder) MonitorOption {
 func NewMonitor(suite *Suite, opts ...MonitorOption) *Monitor {
 	m := &Monitor{
 		suite:      suite,
+		names:      suite.Names(),
 		windowSize: 16,
 		recorder:   NewRecorder(0),
 	}
 	for _, o := range opts {
 		o(m)
 	}
+	m.ring = make([]Sample, m.windowSize)
+	m.scratch = make([]Sample, m.windowSize)
+	m.vec = make(Vector, suite.Len())
+	m.actions.Store(&[]actionSpec{})
 	return m
 }
 
 // OnViolation registers an action triggered whenever any assertion fires
 // with severity >= threshold.
 func (m *Monitor) OnViolation(threshold float64, a Action) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.actions = append(m.actions, actionSpec{threshold: threshold, action: a})
+	m.addAction(actionSpec{threshold: threshold, action: a})
 }
 
 // OnAssertion registers an action triggered when the named assertion fires
 // with severity >= threshold.
 func (m *Monitor) OnAssertion(name string, threshold float64, a Action) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.actions = append(m.actions, actionSpec{assertion: name, threshold: threshold, action: a})
+	m.addAction(actionSpec{assertion: name, threshold: threshold, action: a})
+}
+
+// addAction appends spec copy-on-write: concurrent Observe calls keep
+// reading the previous snapshot, the next Observe sees the new one.
+func (m *Monitor) addAction(spec actionSpec) {
+	m.actMu.Lock()
+	defer m.actMu.Unlock()
+	old := *m.actions.Load()
+	next := make([]actionSpec, len(old)+1)
+	copy(next, old)
+	next[len(old)] = spec
+	m.actions.Store(&next)
+}
+
+// push appends s to the window ring, overwriting the oldest sample in
+// place once the ring is full.
+func (m *Monitor) push(s Sample) {
+	if m.n < len(m.ring) {
+		m.ring[(m.head+m.n)%len(m.ring)] = s
+		m.n++
+		return
+	}
+	m.ring[m.head] = s
+	m.head++
+	if m.head == len(m.ring) {
+		m.head = 0
+	}
+}
+
+// window returns the retained samples in arrival order. Until the ring
+// wraps the backing array itself is in order and is returned directly;
+// afterwards the two ring segments are linearised into the reused scratch
+// slice.
+func (m *Monitor) window() []Sample {
+	if m.head == 0 {
+		return m.ring[:m.n]
+	}
+	w := m.scratch[:m.n]
+	k := copy(w, m.ring[m.head:])
+	copy(w[k:], m.ring[:m.head])
+	return w
 }
 
 // Observe delivers one (input, output) sample to the monitor: the sample
 // joins the sliding window, all assertions are evaluated, violations are
 // recorded, matching actions run synchronously, and the sample's severity
 // vector is returned.
+//
+// The returned vector is reused by the next Observe call on this monitor:
+// a caller that serialises its own observes (the normal pattern — one
+// producer per stream, as the pool's shard workers are) may read it until
+// its next Observe, and must copy it to retain it longer. Goroutines
+// calling Observe on the same monitor concurrently must not use the
+// returned vector at all: another call may already be overwriting it by
+// the time Observe returns.
+//
+// Actions run after the monitor's internal lock is released (as they did
+// before the ring rewrite), so an action may call back into the monitor —
+// including Observe and Reset — without deadlocking.
 func (m *Monitor) Observe(s Sample) Vector {
-	m.mu.Lock()
-	m.window = append(m.window, s)
-	if len(m.window) > m.windowSize {
-		m.window = m.window[len(m.window)-m.windowSize:]
-	}
-	window := make([]Sample, len(m.window))
-	copy(window, m.window)
-	m.observed++
-	actions := make([]actionSpec, len(m.actions))
-	copy(actions, m.actions)
-	m.mu.Unlock()
-
-	vec := m.suite.Evaluate(window)
-	names := m.suite.Names()
-	for i, sev := range vec {
-		if sev <= 0 {
-			continue
-		}
-		v := Violation{
-			Assertion:   names[i],
-			Stream:      s.Stream,
-			SampleIndex: s.Index,
-			Time:        s.Time,
-			Severity:    sev,
-		}
-		m.recorder.Record(v)
+	vec, fired, actions := m.observeLocked(s)
+	for _, v := range fired {
 		for _, spec := range actions {
-			if spec.assertion != "" && spec.assertion != names[i] {
+			if spec.assertion != "" && spec.assertion != v.Assertion {
 				continue
 			}
-			if sev >= spec.threshold {
+			if v.Severity >= spec.threshold {
 				spec.action(v)
 			}
 		}
@@ -150,11 +207,46 @@ func (m *Monitor) Observe(s Sample) Vector {
 	return vec
 }
 
+// observeLocked is the serialised half of Observe: window update,
+// evaluation and recording under evalMu. Violations that must reach an
+// action are collected and returned so dispatch happens outside the lock;
+// the collection allocates only when an assertion fired AND actions are
+// registered — the quiet path stays allocation-free.
+func (m *Monitor) observeLocked(s Sample) (Vector, []Violation, []actionSpec) {
+	m.evalMu.Lock()
+	defer m.evalMu.Unlock()
+	m.push(s)
+	m.observed.Add(1)
+
+	vec := m.suite.EvaluateInto(m.vec, m.window())
+	m.vec = vec
+	var fired []Violation
+	var actions []actionSpec
+	for i, sev := range vec {
+		if sev <= 0 {
+			continue
+		}
+		v := Violation{
+			Assertion:   m.names[i],
+			Stream:      s.Stream,
+			SampleIndex: s.Index,
+			Time:        s.Time,
+			Severity:    sev,
+		}
+		m.recorder.Record(v)
+		if actions == nil {
+			actions = *m.actions.Load()
+		}
+		if len(actions) > 0 {
+			fired = append(fired, v)
+		}
+	}
+	return vec, fired, actions
+}
+
 // Observed returns the number of samples seen so far.
 func (m *Monitor) Observed() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.observed
+	return int(m.observed.Load())
 }
 
 // Recorder returns the monitor's recorder for querying recorded
@@ -162,9 +254,13 @@ func (m *Monitor) Observed() int {
 func (m *Monitor) Recorder() *Recorder { return m.recorder }
 
 // Reset clears the sliding window (e.g. at a stream boundary) without
-// clearing recorded violations.
+// clearing recorded violations. The ring's backing array is retained, so
+// the first window after a stream boundary costs no re-growth; retained
+// sample payloads are released to the garbage collector.
 func (m *Monitor) Reset() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.window = nil
+	m.evalMu.Lock()
+	defer m.evalMu.Unlock()
+	clear(m.ring)
+	clear(m.scratch)
+	m.head, m.n = 0, 0
 }

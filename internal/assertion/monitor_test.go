@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMonitorWindowing(t *testing.T) {
@@ -209,5 +210,41 @@ func TestMonitorWindowSizeMinimum(t *testing.T) {
 	}
 	if lastLen != 16 {
 		t.Fatalf("default window = %d, want 16", lastLen)
+	}
+}
+
+func TestMonitorActionMayReenterMonitor(t *testing.T) {
+	// Actions run outside the monitor's internal lock (as they did before
+	// the ring-buffer rewrite), so an action may call back into the
+	// monitor — e.g. reset the window after a severe violation — without
+	// deadlocking.
+	a := New("sev", func(w []Sample) float64 {
+		return float64(w[len(w)-1].Index)
+	})
+	m := NewMonitor(NewSuite(a), WithWindowSize(8))
+	var resets int
+	m.OnViolation(5, func(Violation) {
+		m.Reset()
+		resets++
+	})
+	var lastLen int
+	m.OnViolation(0.1, func(Violation) { lastLen = m.Observed() })
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 8; i++ {
+			m.Observe(Sample{Index: i})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("re-entrant action deadlocked Observe")
+	}
+	if resets != 3 { // severities 5, 6, 7
+		t.Fatalf("reset action fired %d times, want 3", resets)
+	}
+	if lastLen != 8 {
+		t.Fatalf("Observed inside action = %d, want 8", lastLen)
 	}
 }

@@ -41,7 +41,7 @@ type MonitorPool struct {
 	windowSize int
 
 	shards  []*poolShard
-	queues  []chan Sample
+	queues  []chan shardItem
 	rec     *Recorder     // shared recorder; nil when perStream
 	sem     chan struct{} // bounds concurrent evaluation; nil when unbounded
 	wg      sync.WaitGroup
@@ -66,6 +66,30 @@ type MonitorPool struct {
 type poolShard struct {
 	mu      sync.Mutex
 	streams map[string]*Monitor
+}
+
+// shardItem is one unit of work on a shard queue: a single sample
+// (Enqueue/TryEnqueue) or a pooled chunk of batch samples (ObserveBatch).
+// Carrying the sample inline keeps the single-sample path allocation-free;
+// carrying the chunk as a pooled pointer lets the worker hand the backing
+// array straight back to the chunk pool when it is done.
+type shardItem struct {
+	s     Sample
+	chunk *[]Sample // nil => single sample
+}
+
+// chunkPool recycles the per-shard []Sample chunks ObserveBatch ships over
+// the shard queues, so the steady-state batch path allocates nothing: the
+// producer takes a chunk per shard per batch, the consuming worker returns
+// it after evaluation.
+var chunkPool = sync.Pool{New: func() any { c := make([]Sample, 0, 64); return &c }}
+
+func getChunk() *[]Sample { return chunkPool.Get().(*[]Sample) }
+
+func putChunk(c *[]Sample) {
+	clear(*c) // release Sample payload references to the GC
+	*c = (*c)[:0]
+	chunkPool.Put(c)
 }
 
 type poolConfig struct {
@@ -198,7 +222,7 @@ func NewMonitorPool(suite *Suite, opts ...PoolOption) *MonitorPool {
 	}
 	for i := 0; i < cfg.shards; i++ {
 		p.shards = append(p.shards, &poolShard{streams: make(map[string]*Monitor)})
-		p.queues = append(p.queues, make(chan Sample, cfg.queueDepth))
+		p.queues = append(p.queues, make(chan shardItem, cfg.queueDepth))
 	}
 	for i := range p.queues {
 		p.wg.Add(1)
@@ -209,12 +233,31 @@ func NewMonitorPool(suite *Suite, opts ...PoolOption) *MonitorPool {
 
 // runShard drains one shard's queue. Each shard is serviced by exactly one
 // goroutine, which is what preserves per-stream total order; the semaphore
-// bounds how many shards evaluate simultaneously.
+// bounds how many shards evaluate simultaneously. Batch chunks are
+// evaluated in order and their backing arrays returned to the chunk pool.
 func (p *MonitorPool) runShard(i int) {
 	defer p.wg.Done()
-	for s := range p.queues[i] {
-		p.observeOn(i, s)
-		p.pending.add(-1)
+	for it := range p.queues[i] {
+		if it.chunk == nil {
+			p.observeOn(i, it.s)
+			p.pending.add(-1)
+			continue
+		}
+		p.observeChunk(i, *it.chunk)
+		p.pending.add(-len(*it.chunk))
+		putChunk(it.chunk)
+	}
+}
+
+// observeChunk evaluates one batch chunk on the given shard, holding a
+// worker slot once for the whole chunk rather than once per sample.
+func (p *MonitorPool) observeChunk(shard int, chunk []Sample) {
+	if p.sem != nil {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+	}
+	for i := range chunk {
+		p.monitorFor(shard, chunk[i].Stream).Observe(chunk[i])
 	}
 }
 
@@ -301,7 +344,7 @@ func (p *MonitorPool) Enqueue(s Sample) error {
 		return ErrPoolClosed
 	}
 	p.pending.add(1)
-	p.queues[p.shardFor(s.Stream)] <- s
+	p.queues[p.shardFor(s.Stream)] <- shardItem{s: s}
 	return nil
 }
 
@@ -316,7 +359,7 @@ func (p *MonitorPool) TryEnqueue(s Sample) (bool, error) {
 	}
 	p.pending.add(1)
 	select {
-	case p.queues[p.shardFor(s.Stream)] <- s:
+	case p.queues[p.shardFor(s.Stream)] <- shardItem{s: s}:
 		return true, nil
 	default:
 		p.pending.add(-1)
@@ -325,15 +368,65 @@ func (p *MonitorPool) TryEnqueue(s Sample) (bool, error) {
 }
 
 // ObserveBatch queues a batch of samples for asynchronous evaluation,
-// preserving the batch's relative order within each stream. It blocks
-// whenever a shard queue is full.
+// preserving the batch's relative order within each stream (identical to
+// enqueueing the samples one by one — FuzzObserveBatchOrder locks the
+// equivalence). It is batch-aware: samples are grouped by shard once and
+// each shard receives a single chunk over its queue, so a batch costs one
+// close-check and one channel operation per shard instead of per sample.
+// It blocks whenever a shard queue is full.
 func (p *MonitorPool) ObserveBatch(batch []Sample) error {
-	for _, s := range batch {
-		if err := p.Enqueue(s); err != nil {
-			return err
-		}
+	if len(batch) == 0 {
+		return nil
 	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	if len(batch) == 1 {
+		p.pending.add(1)
+		p.queues[p.shardFor(batch[0].Stream)] <- shardItem{s: batch[0]}
+		return nil
+	}
+	chunks := getChunkIndex(len(p.queues))
+	for _, s := range batch {
+		i := p.shardFor(s.Stream)
+		c := (*chunks)[i]
+		if c == nil {
+			c = getChunk()
+			(*chunks)[i] = c
+		}
+		*c = append(*c, s)
+	}
+	p.pending.add(len(batch))
+	for i, c := range *chunks {
+		if c == nil {
+			continue
+		}
+		(*chunks)[i] = nil
+		p.queues[i] <- shardItem{chunk: c}
+	}
+	putChunkIndex(chunks)
 	return nil
+}
+
+// chunkIndexPool recycles the per-call shard→chunk index ObserveBatch
+// groups into, completing the zero-allocation steady state of the batch
+// path.
+var chunkIndexPool = sync.Pool{New: func() any { idx := make([]*[]Sample, 0, 16); return &idx }}
+
+func getChunkIndex(shards int) *[]*[]Sample {
+	idx := chunkIndexPool.Get().(*[]*[]Sample)
+	for len(*idx) < shards {
+		*idx = append(*idx, nil)
+	}
+	*idx = (*idx)[:shards]
+	return idx
+}
+
+func putChunkIndex(idx *[]*[]Sample) {
+	clear(*idx)
+	chunkIndexPool.Put(idx)
 }
 
 // Flush blocks until every queued sample has been evaluated and every

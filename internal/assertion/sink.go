@@ -2,7 +2,6 @@ package assertion
 
 import (
 	"bytes"
-	"encoding/json"
 	"errors"
 	"io"
 	"sync"
@@ -199,14 +198,17 @@ func (s *JSONLSink) setErr(err error) { s.err.set(err) }
 
 func (s *JSONLSink) run() {
 	defer close(s.done)
-	var buf bytes.Buffer
+	// The worker owns one scratch buffer for its whole lifetime: lines are
+	// appended by the reflection-free encoder, so a warmed-up sink writes
+	// batches without allocating at all.
+	buf := make([]byte, 0, 4096)
 	for v := range s.ch {
 		// Once a write has failed the sink only drains, so a dead sink
 		// costs no encoding work for the recorder's remaining lifetime.
 		// Encoding failures do NOT latch: one unmarshalable violation is
 		// dropped (and counted) without killing the stream.
 		dead := s.dead.Load()
-		buf.Reset()
+		buf = buf[:0]
 		n, encoded := 1, 0
 		if !dead {
 			encoded += s.encode(&buf, v)
@@ -230,15 +232,15 @@ func (s *JSONLSink) run() {
 		if dead {
 			s.dropped.Add(int64(n))
 		} else {
-			s.dropped.Add(int64(n - encoded)) // violations json.Marshal refused
-			if buf.Len() > 0 {
-				if wn, err := s.w.Write(buf.Bytes()); err != nil {
+			s.dropped.Add(int64(n - encoded)) // violations the encoder refused
+			if len(buf) > 0 {
+				if wn, err := s.w.Write(buf); err != nil {
 					s.setErr(err)
 					s.dead.Store(true)
 					// A partial write (e.g. a rotation failing mid-batch)
 					// still landed complete lines: count as dropped only
 					// the violations that did not make it out.
-					wrote := bytes.Count(buf.Bytes()[:wn], []byte{'\n'})
+					wrote := bytes.Count(buf[:wn], []byte{'\n'})
 					s.dropped.Add(int64(encoded - wrote))
 				}
 			}
@@ -247,15 +249,16 @@ func (s *JSONLSink) run() {
 	}
 }
 
-// encode appends v to buf, reporting 1 on success and 0 when the
-// violation could not be marshalled (the error is retained).
-func (s *JSONLSink) encode(buf *bytes.Buffer, v Violation) int {
-	data, err := json.Marshal(v)
+// encode appends v to buf as one JSONL line, reporting 1 on success and 0
+// when the violation could not be encoded (the error is retained). A
+// failed encode leaves buf unextended — AppendViolationJSON never commits
+// a partial object.
+func (s *JSONLSink) encode(buf *[]byte, v Violation) int {
+	b, err := AppendViolationJSON(*buf, v)
 	if err != nil {
 		s.setErr(err)
 		return 0
 	}
-	buf.Write(data)
-	buf.WriteByte('\n')
+	*buf = append(b, '\n')
 	return 1
 }

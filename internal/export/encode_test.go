@@ -1,0 +1,109 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"omg/internal/assertion"
+)
+
+// FuzzAppendBatchJSON differentially fuzzes the reflection-free wire
+// encoder against encoding/json over arbitrary batches: arbitrary source
+// identities (including invalid UTF-8), seq edges (0 is omitempty), nil
+// versus empty violation lists, and violations exercising every field
+// including NaN/Inf rejection.
+func FuzzAppendBatchJSON(f *testing.F) {
+	f.Add("edge-0", uint64(0), 0, "a", "s", 1.5, 2.5, int64(0))
+	f.Add("", uint64(1), 2, "flicker", "", 1e-7, 1e21, int64(77))
+	f.Add("host-1-abc", uint64(1<<63), 1, "日本語", "<&>", -1.0, 0.0, int64(-1))
+	f.Add("bad\xffsource", uint64(3), 3, "n", "s", math.Inf(1), 1.0, int64(5))
+	f.Fuzz(func(t *testing.T, source string, seq uint64, nViolations int, name, stream string, tm, sev float64, ingest int64) {
+		b := Batch{Version: WireVersion, Source: source, Seq: seq}
+		nViolations %= 4
+		if nViolations < 0 {
+			nViolations = -nViolations
+		}
+		if nViolations > 0 {
+			b.Violations = make([]assertion.Violation, nViolations)
+			for i := range b.Violations {
+				b.Violations[i] = assertion.Violation{
+					Assertion:   name,
+					Stream:      stream,
+					SampleIndex: i,
+					Time:        tm,
+					Severity:    sev,
+					IngestUnix:  ingest,
+				}
+			}
+		}
+		want, wantErr := json.Marshal(b)
+		got, gotErr := AppendBatchJSON(nil, b)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error mismatch for %+v: json.Marshal err=%v, AppendBatchJSON err=%v", b, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if len(got) != 0 {
+				t.Fatalf("AppendBatchJSON extended the buffer despite error %v: %q", gotErr, got)
+			}
+			return
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("encoding mismatch for %+v:\n json: %s\n ours: %s", b, want, got)
+		}
+	})
+}
+
+// TestEncodeBatchMatchesJSONEncoder locks EncodeBatch to its pre-existing
+// contract: the bytes on the wire are exactly what json.Encoder.Encode
+// produced before the reflection-free rewrite, newline included, with the
+// version stamped.
+func TestEncodeBatchMatchesJSONEncoder(t *testing.T) {
+	b := Batch{
+		Source: "edge-7",
+		Seq:    42,
+		Violations: []assertion.Violation{
+			{Assertion: "flicker", Stream: "cam-0", SampleIndex: 9, Time: 0.3, Severity: 2},
+			{Assertion: "agree", SampleIndex: 10, Time: 0.301, Severity: 0.5, IngestUnix: 1753800000},
+		},
+	}
+	var got bytes.Buffer
+	if err := EncodeBatch(&got, b); err != nil {
+		t.Fatal(err)
+	}
+	stamped := b
+	stamped.Version = WireVersion
+	var want bytes.Buffer
+	if err := json.NewEncoder(&want).Encode(stamped); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("EncodeBatch bytes diverged:\n json: %q\n ours: %q", want.String(), got.String())
+	}
+	if !strings.HasSuffix(got.String(), "\n") {
+		t.Fatal("EncodeBatch output must stay newline-terminated")
+	}
+	// And the bytes must still decode through the public decoder.
+	decoded, err := DecodeBatch(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Source != b.Source || decoded.Seq != b.Seq || len(decoded.Violations) != len(b.Violations) {
+		t.Fatalf("round-trip lost data: %+v", decoded)
+	}
+}
+
+// TestEncodeBatchUnencodable verifies an unencodable batch reports the
+// error instead of writing a partial payload.
+func TestEncodeBatchUnencodable(t *testing.T) {
+	var out bytes.Buffer
+	err := EncodeBatch(&out, Batch{Violations: []assertion.Violation{{Assertion: "x", Severity: math.NaN()}}})
+	if err == nil {
+		t.Fatal("NaN severity must not encode")
+	}
+	if out.Len() != 0 {
+		t.Fatalf("partial payload written: %q", out.String())
+	}
+}

@@ -2,7 +2,6 @@ package export
 
 import (
 	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -243,7 +242,11 @@ func (s *HTTPSink) addPending(delta int) {
 
 func (s *HTTPSink) run() {
 	defer close(s.done)
+	// The shipper owns its coalescing buffer and its encode buffer for its
+	// whole lifetime, so a warmed-up sink builds wire payloads without
+	// allocating per batch.
 	batch := make([]assertion.Violation, 0, s.cfg.BatchMax)
+	encBuf := make([]byte, 0, 4096)
 	for v := range s.ch {
 		batch = append(batch[:0], v)
 	drain:
@@ -258,16 +261,18 @@ func (s *HTTPSink) run() {
 				break drain
 			}
 		}
-		s.ship(batch)
+		encBuf = s.ship(encBuf[:0], batch)
 		s.addPending(-len(batch))
 	}
 }
 
-// ship delivers one batch, retrying transient failures with exponential
+// ship encodes one batch into buf (reflection-free, reusing buf's backing
+// array) and delivers it, retrying transient failures with exponential
 // backoff and jitter. On giving up the batch's violations are counted as
-// dropped and the last failure is retained.
-func (s *HTTPSink) ship(violations []assertion.Violation) {
-	body, err := json.Marshal(Batch{
+// dropped and the last failure is retained. The extended buffer is
+// returned so the shipper keeps its capacity across batches.
+func (s *HTTPSink) ship(buf []byte, violations []assertion.Violation) []byte {
+	body, err := AppendBatchJSON(buf, Batch{
 		Version:    WireVersion,
 		Source:     s.cfg.Source,
 		Seq:        s.seq.Add(1),
@@ -276,14 +281,14 @@ func (s *HTTPSink) ship(violations []assertion.Violation) {
 	if err != nil {
 		s.setErr(fmt.Errorf("export: encode batch: %w", err))
 		s.dropped.Add(int64(len(violations)))
-		return
+		return buf
 	}
 	for attempt := 0; ; attempt++ {
 		err = s.post(body)
 		if err == nil {
 			s.delivered.Add(int64(len(violations)))
 			s.batches.Add(1)
-			return
+			return body
 		}
 		var perm *permanentError
 		if attempt >= s.cfg.MaxRetries || errors.As(err, &perm) {
@@ -294,6 +299,7 @@ func (s *HTTPSink) ship(violations []assertion.Violation) {
 	}
 	s.setErr(fmt.Errorf("export: deliver batch to %s: %w", s.url, err))
 	s.dropped.Add(int64(len(violations)))
+	return body
 }
 
 func (s *HTTPSink) post(body []byte) error {

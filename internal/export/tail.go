@@ -1,7 +1,6 @@
 package export
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
@@ -23,9 +22,12 @@ var tailHeartbeat = 15 * time.Second
 // tailClient is one live-tail subscriber: a bounded event buffer plus
 // optional assertion/stream filters. The buffer decouples the subscriber
 // from ingest — publish never blocks on a slow client, it drops the
-// event for that client and counts the loss.
+// event for that client and counts the loss. The buffered events are
+// pre-encoded JSON: publish encodes each violation exactly once and every
+// subscriber shares the same bytes, so fan-out cost no longer grows with
+// the client count.
 type tailClient struct {
-	ch        chan assertion.Violation
+	ch        chan []byte
 	assertion string // "" = all assertions
 	stream    string // "" = all streams
 	dropped   atomic.Int64
@@ -58,7 +60,7 @@ func newTailHub(buffer int) *tailHub {
 // returned unregistered; its stream ends immediately via done.
 func (h *tailHub) subscribe(assertionName, stream string) *tailClient {
 	cl := &tailClient{
-		ch:        make(chan assertion.Violation, h.buffer),
+		ch:        make(chan []byte, h.buffer),
 		assertion: assertionName,
 		stream:    stream,
 	}
@@ -80,11 +82,15 @@ func (h *tailHub) unsubscribe(cl *tailClient) {
 
 // publish offers v to every matching subscriber without ever blocking: a
 // client whose buffer is full loses this event, and the loss is counted
-// per client and hub-wide instead of stalling ingest.
+// per client and hub-wide instead of stalling ingest. The violation is
+// encoded at most once — lazily, when the first subscriber matches — and
+// the resulting bytes are shared by every matching client, replacing the
+// old marshal-per-client fan-out.
 func (h *tailHub) publish(v assertion.Violation) {
 	if h.n.Load() == 0 {
 		return
 	}
+	var data []byte // encoded on first match, then shared
 	h.mu.Lock()
 	for cl := range h.clients {
 		if cl.assertion != "" && cl.assertion != v.Assertion {
@@ -93,8 +99,16 @@ func (h *tailHub) publish(v assertion.Violation) {
 		if cl.stream != "" && cl.stream != v.Stream {
 			continue
 		}
+		if data == nil {
+			var err error
+			if data, err = assertion.AppendViolationJSON(nil, v); err != nil {
+				// JSON cannot represent this violation (NaN/Inf); no
+				// subscriber can receive it.
+				break
+			}
+		}
 		select {
-		case cl.ch <- v:
+		case cl.ch <- data:
 		default:
 			cl.dropped.Add(1)
 			h.dropped.Add(1)
@@ -150,11 +164,7 @@ func (c *Collector) handleTail(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprint(w, "event: end\ndata: collector shutting down\n\n")
 			fl.Flush()
 			return
-		case v := <-cl.ch:
-			data, err := json.Marshal(v)
-			if err != nil {
-				continue
-			}
+		case data := <-cl.ch:
 			fmt.Fprintf(w, "event: violation\ndata: %s\n\n", data)
 			if d := cl.dropped.Load(); d > reported {
 				reported = d

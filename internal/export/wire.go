@@ -18,6 +18,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"sync"
 	"time"
 
 	"omg/internal/assertion"
@@ -76,10 +78,54 @@ type Snapshot struct {
 	Rejected int64 `json:"rejected,omitempty"`
 }
 
+// wireBufPool recycles the scratch buffers the wire encoders build batch
+// payloads in, so steady-state batch encoding costs no allocations beyond
+// the first warm-up per concurrent encoder.
+var wireBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// AppendBatchJSON appends b's JSON object to dst without reflection and
+// returns the extended buffer. The bytes are identical to json.Marshal(b)
+// — field order, omitempty on Source and Seq, nil Violations encoding as
+// null — which FuzzAppendBatchJSON locks differentially. On error (a
+// violation whose Time or Severity JSON cannot represent) dst is returned
+// unextended.
+func AppendBatchJSON(dst []byte, b Batch) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, `{"version":`...)
+	dst = strconv.AppendInt(dst, int64(b.Version), 10)
+	if b.Source != "" {
+		dst = append(dst, `,"source":`...)
+		dst = assertion.AppendJSONString(dst, b.Source)
+	}
+	if b.Seq != 0 {
+		dst = append(dst, `,"seq":`...)
+		dst = strconv.AppendUint(dst, b.Seq, 10)
+	}
+	dst = append(dst, `,"violations":`...)
+	dst, err := assertion.AppendViolationsJSON(dst, b.Violations)
+	if err != nil {
+		return dst[:start], err
+	}
+	return append(dst, '}'), nil
+}
+
 // EncodeBatch writes b as JSON on w, stamping the current wire version.
+// Like json.Encoder.Encode, the payload is newline-terminated; the bytes
+// are built by the reflection-free AppendBatchJSON in a pooled buffer.
 func EncodeBatch(w io.Writer, b Batch) error {
 	b.Version = WireVersion
-	return json.NewEncoder(w).Encode(b)
+	buf := wireBufPool.Get().(*[]byte)
+	defer func() {
+		*buf = (*buf)[:0]
+		wireBufPool.Put(buf)
+	}()
+	data, err := AppendBatchJSON(*buf, b)
+	if err != nil {
+		return err
+	}
+	*buf = append(data, '\n')
+	_, err = w.Write(*buf)
+	return err
 }
 
 // DecodeBatch reads one JSON batch from r and validates its version.

@@ -118,6 +118,19 @@ var ErrSinkClosed = assertion.ErrSinkClosed
 // queue depth (<= 0 uses the default of 1024).
 func NewJSONLSink(w io.Writer, depth int) *JSONLSink { return assertion.NewJSONLSink(w, depth) }
 
+// AppendViolationJSON appends v's JSON object to dst without reflection
+// or allocation (given capacity), byte-identical to json.Marshal(v) — the
+// encoder behind the JSONL sink, the HTTP wire format and the SSE tail.
+func AppendViolationJSON(dst []byte, v Violation) ([]byte, error) {
+	return assertion.AppendViolationJSON(dst, v)
+}
+
+// AppendBatchJSON appends b's wire JSON to dst without reflection,
+// byte-identical to json.Marshal(b).
+func AppendBatchJSON(dst []byte, b ViolationBatch) ([]byte, error) {
+	return export.AppendBatchJSON(dst, b)
+}
+
 // NewMemorySink returns a queryable sink retaining at most limit
 // violations (0 = unbounded).
 func NewMemorySink(limit int) *MemorySink { return assertion.NewMemorySink(limit) }
