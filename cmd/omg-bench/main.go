@@ -8,7 +8,8 @@
 //	omg-bench -only table4    # one experiment: table1..4, table6,
 //	                          # figure3, figure4a, figure4b, figure5,
 //	                          # sinkbench (JSONL vs loopback HTTP export),
-//	                          # fanin (sharded vs single-recorder collector)
+//	                          # fanin (sharded vs single-recorder collector),
+//	                          # store (mem vs on-disk segment violation store)
 //	omg-bench -quick          # reduced sizes (CI smoke run)
 //	omg-bench -root DIR       # repository root for Table 2 (default .)
 package main
@@ -24,10 +25,11 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1..table4, table6, figure3, figure4a, figure4b, figure5, sinkbench, fanin, observe)")
+	only := flag.String("only", "", "run a single experiment (table1..table4, table6, figure3, figure4a, figure4b, figure5, sinkbench, fanin, observe, store)")
 	quick := flag.Bool("quick", false, "use reduced experiment sizes")
 	root := flag.String("root", ".", "repository root (for Table 2 LOC measurement)")
 	benchOut := flag.String("bench-out", "BENCH_5.json", "where the observe experiment writes its machine-readable results (empty disables)")
+	storeBenchOut := flag.String("store-bench-out", "BENCH_6.json", "where the store experiment writes its machine-readable results (empty disables)")
 	flag.Parse()
 
 	scale := experiments.FullScale()
@@ -57,6 +59,7 @@ func main() {
 		{"sinkbench", func() (string, error) { return renderSinkBench(*quick) }},
 		{"fanin", func() (string, error) { return renderFanInBench(*quick) }},
 		{"observe", func() (string, error) { return renderObserveBench(*quick, *benchOut) }},
+		{"store", func() (string, error) { return renderStoreBench(*quick, *storeBenchOut) }},
 	}
 
 	matched := false

@@ -27,12 +27,21 @@
 // one period. -log streams ingested violations to a local JSONL file,
 // size-rotated at 64 MiB with 3 rotated files retained.
 //
+// With -store=disk the collector's violation log itself lives on disk:
+// every shard appends to segment files under -data-dir (rolled at
+// -segment-bytes) and dedup marks go to a write-ahead log, so a SIGKILL'd
+// server restarts to its exact pre-crash state — counts, retained
+// violations and exactly-once dedup marks — with no snapshot needed.
+// -snapshot remains useful as a portable export; a stale one can never
+// roll the disk store back.
+//
 // Usage:
 //
 //	omg-server [-addr :9077] [-retain N] [-shards N]
 //	           [-retain-age DUR] [-retain-per-assertion N] [-compact-every DUR]
 //	           [-snapshot state.json] [-snapshot-every DUR]
 //	           [-log violations.jsonl]
+//	           [-store mem|disk] [-data-dir DIR] [-segment-bytes N]
 package main
 
 import (
@@ -64,6 +73,9 @@ func main() {
 	snapshot := flag.String("snapshot", "", "state snapshot path: loaded at startup, written on shutdown")
 	snapshotEvery := flag.Duration("snapshot-every", 0, "also persist -snapshot on this period (0 = only on shutdown)")
 	logPath := flag.String("log", "", "also stream ingested violations to this JSONL file (size-rotated at 64 MiB, 3 rotations kept)")
+	storeKind := flag.String("store", export.StoreMem, "violation store backend: mem (in-memory) or disk (crash-recoverable segment files under -data-dir)")
+	dataDir := flag.String("data-dir", "", "data directory for -store=disk (created if missing)")
+	segmentBytes := flag.Int64("segment-bytes", 0, "target size of one on-disk segment file for -store=disk (0 = 64 MiB default)")
 	flag.Parse()
 	if *retain < 0 {
 		log.Fatalf("-retain must be >= 0")
@@ -74,14 +86,29 @@ func main() {
 	if *retainAge < 0 || *retainPer < 0 || *compactEvery <= 0 || *snapshotEvery < 0 {
 		log.Fatalf("retention and snapshot periods must not be negative")
 	}
+	if *segmentBytes < 0 {
+		log.Fatalf("-segment-bytes must be >= 0")
+	}
+	if *storeKind == export.StoreDisk && *dataDir == "" {
+		log.Fatalf("-store=disk requires -data-dir")
+	}
 
-	c := export.NewCollectorConfig(export.CollectorConfig{
+	c, err := export.OpenCollector(export.CollectorConfig{
 		Retain:             *retain,
 		Shards:             *shards,
 		RetainAge:          *retainAge,
 		RetainPerAssertion: *retainPer,
 		CompactEvery:       *compactEvery,
+		Store:              *storeKind,
+		DataDir:            *dataDir,
+		SegmentBytes:       *segmentBytes,
 	})
+	if err != nil {
+		log.Fatalf("open collector: %v", err)
+	}
+	if *storeKind == export.StoreDisk {
+		log.Printf("disk store at %s: recovered %d violations", *dataDir, c.TotalFired())
+	}
 	if *snapshot != "" {
 		s, err := export.ReadSnapshotFile(*snapshot)
 		switch {

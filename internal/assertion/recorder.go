@@ -6,7 +6,6 @@ import (
 	"io"
 	"math"
 	"sort"
-	"sync"
 	"sync/atomic"
 )
 
@@ -82,7 +81,7 @@ func atomicMaxFloat(a *atomic.Uint64, x float64) {
 	}
 }
 
-// violationRing is the bounded violation log shared by Recorder and
+// violationRing is the bounded violation log shared by MemStore and
 // MemorySink: append-or-overwrite with O(1) eviction, arrival-order
 // reads. Callers provide their own locking.
 type violationRing struct {
@@ -141,22 +140,20 @@ type sinkBox struct {
 	owned bool
 }
 
-// Recorder stores assertion violations: an in-memory log (optionally
-// bounded, kept as a ring buffer so eviction is O(1)) plus lock-free
-// aggregate statistics, with optional asynchronous streaming to a
-// pluggable Sink backend (JSONL by default). In a production deployment
-// the violation stream is what populates dashboards and the
-// data-collection pipeline (paper §2.3). It is safe for concurrent use.
+// Recorder is the violation recording front end: it feeds every recorded
+// violation into a pluggable ViolationStore (the queryable log plus
+// aggregate statistics — in-memory rings by default, on-disk segment
+// files via internal/store) and optionally streams it to a pluggable
+// Sink backend (JSONL by default). In a production deployment the
+// violation stream is what populates dashboards and the data-collection
+// pipeline (paper §2.3). It is safe for concurrent use.
 //
 // The observe path never encodes JSON: Record hands violations to the
 // sink (asynchronous backends queue them for a worker goroutine), and
 // Flush/Close drain the stream to the backend. Call Flush (or Close)
 // before reading the sink's output or its error state.
 type Recorder struct {
-	mu  sync.Mutex // guards the violation ring only
-	log violationRing
-
-	stats sync.Map // assertion name -> *statsCell
+	store ViolationStore
 
 	sink atomic.Pointer[sinkBox]
 
@@ -164,13 +161,9 @@ type Recorder struct {
 	// SinkDropped survives StreamTo swaps and Close.
 	sinkDropped atomic.Int64
 
-	// compacted counts violations evicted from the log by Compact — a
-	// deliberate retention policy, kept separate from the ring's own
-	// overflow evictions (Dropped).
-	compacted atomic.Int64
-
-	// streamErr retains the first streaming error across sink swaps, so
-	// rotating logs with StreamTo cannot silently discard a failure.
+	// streamErr retains the first streaming or storage error across sink
+	// swaps, so rotating logs with StreamTo cannot silently discard a
+	// failure.
 	streamErr firstErr
 }
 
@@ -178,11 +171,37 @@ func (r *Recorder) saveErr(err error) { r.streamErr.set(err) }
 
 func (r *Recorder) storedErr() error { return r.streamErr.get() }
 
-// NewRecorder returns a recorder keeping at most limit violations in
-// memory (0 or negative = unbounded). Aggregate statistics are always
-// complete regardless of the memory bound.
+// NewRecorder returns a recorder over an in-memory MemStore keeping at
+// most limit violations (0 or negative = unbounded). Aggregate
+// statistics are always complete regardless of the memory bound.
 func NewRecorder(limit int) *Recorder {
-	return &Recorder{log: violationRing{limit: limit}}
+	return &Recorder{store: NewMemStore(limit)}
+}
+
+// NewRecorderWithStore returns a recorder over the given storage
+// backend — e.g. an on-disk store.SegmentStore, so the queryable log
+// survives crashes. The caller retains ownership of the store:
+// Recorder.Close settles only the streaming sink, and whoever opened the
+// store closes it.
+func NewRecorderWithStore(s ViolationStore) *Recorder {
+	if s == nil {
+		return NewRecorder(0)
+	}
+	return &Recorder{store: s}
+}
+
+// Store returns the recorder's storage backend — for callers (the
+// collector) that checkpoint, sync or inspect it directly.
+func (r *Recorder) Store() ViolationStore { return r.store }
+
+// SyncStore flushes the storage backend's buffered appends to the OS
+// (see ViolationStore.Sync) and retains any error for Err. Collectors
+// call it once per ingested batch so acknowledged batches survive a
+// process crash.
+func (r *Recorder) SyncStore() error {
+	err := r.store.Sync()
+	r.saveErr(err)
+	return err
 }
 
 // StreamTo attaches a buffered asynchronous JSONL sink: every subsequent
@@ -240,9 +259,9 @@ func (r *Recorder) retire(box *sinkBox) {
 	}
 }
 
-// Err returns the first error encountered while streaming, if any —
-// including errors from sinks since replaced or closed. Because sinks may
-// be asynchronous, call Flush first to observe errors from
+// Err returns the first error encountered while streaming or storing, if
+// any — including errors from sinks since replaced or closed. Because
+// sinks may be asynchronous, call Flush first to observe errors from
 // already-recorded violations. When the sink has discarded violations
 // (see SinkDropped) the count is folded into the error message.
 func (r *Recorder) Err() error {
@@ -303,7 +322,8 @@ func (r *Recorder) Flush() error {
 // Close detaches the sink — closing it if owned, flushing it if shared —
 // and returns the first streaming error. The recorder itself remains
 // usable (and Err still reports the sink's error); subsequent violations
-// are no longer streamed.
+// are no longer streamed. The storage backend is untouched: its owner
+// closes it (the internal MemStore needs no closing).
 func (r *Recorder) Close() error {
 	if box := r.sink.Swap(nil); box != nil {
 		r.retire(box)
@@ -311,24 +331,14 @@ func (r *Recorder) Close() error {
 	return r.Err()
 }
 
-// Record appends one violation. The in-memory log uses a ring buffer, so
-// recording is O(1) even when the bounded log is full and evicting.
+// Record appends one violation to the store and streams it to the sink.
+// With the default MemStore this is O(1) even when the bounded log is
+// full and evicting; a storage failure (a disk-backed store's write
+// error) is retained for Err and never blocks the sink stream.
 func (r *Recorder) Record(v Violation) {
-	cell, ok := r.stats.Load(v.Assertion)
-	if !ok {
-		fresh := newStatsCell()
-		fresh.first.Store(int64(v.SampleIndex))
-		cell, _ = r.stats.LoadOrStore(v.Assertion, fresh)
+	if err := r.store.Append(v); err != nil {
+		r.saveErr(err)
 	}
-	st := cell.(*statsCell)
-	st.fired.Add(1)
-	atomicAddFloat(&st.totalSev, v.Severity)
-	atomicMaxFloat(&st.maxSev, v.Severity)
-	st.last.Store(int64(v.SampleIndex))
-
-	r.mu.Lock()
-	r.log.add(v)
-	r.mu.Unlock()
 
 	if box := r.sink.Load(); box != nil {
 		// A record can be refused when a concurrent StreamTo swap closed
@@ -361,59 +371,41 @@ func (r *Recorder) Record(v Violation) {
 }
 
 // Violations returns a copy of the retained violations in arrival order.
-func (r *Recorder) Violations() []Violation {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.log.snapshot()
-}
+func (r *Recorder) Violations() []Violation { return r.store.Violations() }
 
 // ByAssertion returns retained violations of the named assertion in
 // arrival order.
 func (r *Recorder) ByAssertion(name string) []Violation {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.log.byAssertion(name)
+	return r.store.ByAssertion(name)
 }
+
+// Query returns retained violations matching q in arrival order.
+func (r *Recorder) Query(q StoreQuery) []Violation { return r.store.Query(q) }
 
 // Stats returns aggregate statistics for the named assertion.
-func (r *Recorder) Stats(name string) (Stats, bool) {
-	cell, ok := r.stats.Load(name)
-	if !ok {
-		return Stats{}, false
-	}
-	return cell.(*statsCell).snapshot(), true
-}
+func (r *Recorder) Stats(name string) (Stats, bool) { return r.store.Stats(name) }
 
 // TotalFired returns the total number of violations recorded (including
-// any dropped from the in-memory log).
-func (r *Recorder) TotalFired() int {
-	total := int64(0)
-	r.stats.Range(func(_, cell any) bool {
-		total += cell.(*statsCell).fired.Load()
-		return true
-	})
-	return int(total)
-}
+// any dropped from the retained log).
+func (r *Recorder) TotalFired() int { return r.store.TotalFired() }
 
 // Dropped returns how many violations were evicted from the bounded
-// in-memory log.
-func (r *Recorder) Dropped() int { return int(r.log.dropped.Load()) }
+// retained log by its own size bound.
+func (r *Recorder) Dropped() int { return int(r.store.Dropped()) }
 
 // Compact applies a retention policy to the retained log and returns how
 // many violations it evicted: violations whose IngestUnix is older than
 // minIngestUnix are dropped (0 disables the age bound; violations without
 // an ingest stamp are exempt), and at most maxPerAssertion of the newest
 // violations are kept per assertion (<= 0 disables the cap). Aggregate
-// statistics are untouched — like the ring's own bound, compaction ages
+// statistics are untouched — like the log's own bound, compaction ages
 // out the queryable log, not the counts. Evictions accumulate in
-// Compacted, separately from Dropped.
+// Compacted, separately from Dropped. A storage error is retained for
+// Err.
 func (r *Recorder) Compact(minIngestUnix int64, maxPerAssertion int) int {
-	if minIngestUnix <= 0 && maxPerAssertion <= 0 {
-		return 0
-	}
-	return r.compact(minIngestUnix, func(string) (int, bool) {
-		return maxPerAssertion, maxPerAssertion > 0
-	})
+	n, err := r.store.Compact(minIngestUnix, maxPerAssertion)
+	r.saveErr(err)
+	return n
 }
 
 // CompactBudgets evicts all but the newest budgets[name] violations of
@@ -423,66 +415,25 @@ func (r *Recorder) Compact(minIngestUnix int64, maxPerAssertion int) int {
 // globally-newest violations live on each shard and hands every shard
 // its budget. Evictions are counted like Compact's.
 func (r *Recorder) CompactBudgets(budgets map[string]int) int {
-	if len(budgets) == 0 {
-		return 0
-	}
-	return r.compact(0, func(name string) (int, bool) {
-		n, ok := budgets[name]
-		return n, ok
-	})
-}
-
-// compact rewrites the retained log, keeping a violation when it is not
-// older than minIngestUnix (0 disables; unstamped violations are exempt)
-// and its assertion's budget, when one exists, is not yet spent. The
-// newest-to-oldest walk makes budgets keep the newest.
-func (r *Recorder) compact(minIngestUnix int64, budget func(name string) (int, bool)) int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	vs := r.log.snapshot() // oldest -> newest
-	kept := make([]bool, len(vs))
-	perAssertion := make(map[string]int)
-	n := 0
-	for i := len(vs) - 1; i >= 0; i-- {
-		v := vs[i]
-		if minIngestUnix > 0 && v.IngestUnix > 0 && v.IngestUnix < minIngestUnix {
-			continue
-		}
-		if max, ok := budget(v.Assertion); ok {
-			if perAssertion[v.Assertion] >= max {
-				continue
-			}
-			perAssertion[v.Assertion]++
-		}
-		kept[i] = true
-		n++
-	}
-	evicted := len(vs) - n
-	if evicted == 0 {
-		return 0
-	}
-	keep := make([]Violation, 0, n)
-	for i, ok := range kept {
-		if ok {
-			keep = append(keep, vs[i])
-		}
-	}
-	r.log.buf, r.log.head = keep, 0
-	r.compacted.Add(int64(evicted))
-	return evicted
+	n, err := r.store.CompactBudgets(budgets)
+	r.saveErr(err)
+	return n
 }
 
 // Compacted returns how many violations Compact has evicted from the
 // retained log over the recorder's lifetime.
-func (r *Recorder) Compacted() int64 { return r.compacted.Load() }
+func (r *Recorder) Compacted() int64 { return r.store.Compacted() }
 
 // AssertionNames returns the names of assertions that have fired, sorted.
 func (r *Recorder) AssertionNames() []string {
-	var out []string
-	r.stats.Range(func(name, _ any) bool {
-		out = append(out, name.(string))
-		return true
-	})
+	if m, ok := r.store.(*MemStore); ok {
+		return m.AssertionNames()
+	}
+	stats := r.store.StatsAll()
+	out := make([]string, 0, len(stats))
+	for name := range stats {
+		out = append(out, name)
+	}
 	sort.Strings(out)
 	return out
 }
@@ -490,23 +441,18 @@ func (r *Recorder) AssertionNames() []string {
 // Summary renders per-assertion firing counts as a map (assertion name →
 // count) for dashboards and tests.
 func (r *Recorder) Summary() map[string]int {
-	out := make(map[string]int)
-	r.stats.Range(func(name, cell any) bool {
-		out[name.(string)] = int(cell.(*statsCell).fired.Load())
-		return true
-	})
+	stats := r.store.StatsAll()
+	out := make(map[string]int, len(stats))
+	for name, st := range stats {
+		out[name] = st.Fired
+	}
 	return out
 }
 
 // Clear removes all retained violations and statistics. It must not be
 // called concurrently with Record.
 func (r *Recorder) Clear() {
-	r.mu.Lock()
-	r.log.clear()
-	r.mu.Unlock()
-	r.compacted.Store(0)
-	r.stats.Range(func(name, _ any) bool {
-		r.stats.Delete(name)
-		return true
-	})
+	if err := r.store.Clear(); err != nil {
+		r.saveErr(err)
+	}
 }

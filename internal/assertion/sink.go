@@ -34,11 +34,16 @@ type Sink interface {
 	// asynchronous backends report later write failures via Err, not here.
 	Record(v Violation) error
 	// Flush blocks until every accepted violation has been handed to the
-	// underlying backend (file sinks do not fsync) and returns the first
-	// error the sink has encountered, if any.
+	// underlying backend and returns the first error the sink has
+	// encountered, if any. Flush does not fsync: the data has left the
+	// sink, not necessarily reached stable storage.
 	Flush() error
 	// Close flushes, releases resources and returns the first error. It is
-	// idempotent; Record returns ErrSinkClosed afterwards.
+	// idempotent; Record returns ErrSinkClosed afterwards. File-backed
+	// sinks fsync on Close (and RotatingFileSink at every rotation
+	// boundary) unless that is explicitly disabled — see JSONLConfig
+	// SyncOnClose and RotateConfig DisableSync — so a clean shutdown
+	// leaves the violation log durable.
 	Close() error
 	// Err returns the first error the sink has encountered, if any,
 	// without blocking for in-flight violations.
@@ -120,7 +125,8 @@ func (w *waiter) wait() {
 // never blocked by a dead sink — every violation discarded that way is
 // counted by Dropped.
 type JSONLSink struct {
-	w io.Writer
+	w           io.Writer
+	syncOnClose bool // fsync w on Close when it supports Sync
 
 	mu     sync.RWMutex // record (read side) vs close (write side)
 	closed bool
@@ -135,19 +141,44 @@ type JSONLSink struct {
 	dropped atomic.Int64
 }
 
+// syncer is the optional durability hook a JSONLSink writer can expose:
+// *os.File satisfies it, and so does any writer that can push buffered
+// bytes to stable storage on demand.
+type syncer interface{ Sync() error }
+
+// JSONLConfig configures a JSONLSink beyond the queue depth.
+type JSONLConfig struct {
+	// Depth is the queue depth (<= 0 uses the default of 1024). When the
+	// queue is full, Record blocks until the worker catches up — explicit
+	// backpressure rather than silent loss.
+	Depth int
+	// SyncOnClose fsyncs the writer on Close, after the worker has
+	// drained, when the writer exposes Sync() error (as *os.File does).
+	// A sync failure is retained and reported like a write failure.
+	// Writers without a Sync method are unaffected.
+	SyncOnClose bool
+}
+
 // NewJSONLSink returns a sink encoding violations as one JSON object per
 // line on w, with a queue of the given depth (<= 0 uses the default of
 // 1024). When the queue is full, Record blocks until the worker catches up
-// — explicit backpressure rather than silent loss.
+// — explicit backpressure rather than silent loss. Use NewJSONLSinkConfig
+// to also fsync on Close.
 func NewJSONLSink(w io.Writer, depth int) *JSONLSink {
-	if depth <= 0 {
-		depth = defaultSinkDepth
+	return NewJSONLSinkConfig(w, JSONLConfig{Depth: depth})
+}
+
+// NewJSONLSinkConfig is NewJSONLSink with the full option set.
+func NewJSONLSinkConfig(w io.Writer, cfg JSONLConfig) *JSONLSink {
+	if cfg.Depth <= 0 {
+		cfg.Depth = defaultSinkDepth
 	}
 	s := &JSONLSink{
-		w:       w,
-		ch:      make(chan Violation, depth),
-		pending: newWaiter(),
-		done:    make(chan struct{}),
+		w:           w,
+		syncOnClose: cfg.SyncOnClose,
+		ch:          make(chan Violation, cfg.Depth),
+		pending:     newWaiter(),
+		done:        make(chan struct{}),
 	}
 	go s.run()
 	return s
@@ -172,7 +203,9 @@ func (s *JSONLSink) Flush() error {
 	return s.Err()
 }
 
-// Close drains the queue, stops the worker, and returns the first error.
+// Close drains the queue, stops the worker, fsyncs the writer when
+// configured (JSONLConfig SyncOnClose and the writer supports it), and
+// returns the first error.
 func (s *JSONLSink) Close() error {
 	s.mu.Lock()
 	already := s.closed
@@ -182,6 +215,11 @@ func (s *JSONLSink) Close() error {
 		close(s.ch)
 	}
 	<-s.done
+	if !already && s.syncOnClose && !s.dead.Load() {
+		if sy, ok := s.w.(syncer); ok {
+			s.setErr(sy.Sync())
+		}
+	}
 	return s.Err()
 }
 

@@ -51,6 +51,21 @@ func TestSinkRecordDuringCloseContract(t *testing.T) {
 				}
 			}
 		}},
+		{"jsonl-sync-on-close", func(t *testing.T) (Sink, func(*testing.T, int64)) {
+			w := &syncCountWriter{}
+			s := NewJSONLSinkConfig(w, JSONLConfig{Depth: 64, SyncOnClose: true})
+			return s, func(t *testing.T, accepted int64) {
+				if got := w.syncs.Load(); got != 1 {
+					t.Fatalf("Sync called %d times across Close and a repeat Close, want 1", got)
+				}
+				w.mu.Lock()
+				written := w.lines
+				w.mu.Unlock()
+				if got := written + s.Dropped(); got != accepted {
+					t.Fatalf("written %d + dropped %d = %d, want the %d accepted", written, s.Dropped(), got, accepted)
+				}
+			}
+		}},
 		{"memory", func(t *testing.T) (Sink, func(*testing.T, int64)) {
 			s := NewMemorySink(128) // bounded: eviction racing close too
 			return s, func(t *testing.T, accepted int64) {

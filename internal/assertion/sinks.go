@@ -309,13 +309,28 @@ type rotatingWriter struct {
 	path     string
 	maxBytes int64
 	keep     int
-	maxAge   time.Duration    // 0 disables age-based rotation
-	now      func() time.Time // clock hook for tests
+	maxAge   time.Duration        // 0 disables age-based rotation
+	now      func() time.Time     // clock hook for tests
+	noSync   bool                 // RotateConfig.DisableSync
+	syncFn   func(*os.File) error // fsync hook for tests; nil = (*os.File).Sync
 
 	mu       sync.Mutex
 	f        *os.File
 	size     int64
 	openedAt time.Time // when the active file started accumulating
+}
+
+// syncActive fsyncs the active file unless syncing is disabled. Rotation
+// and Close call it before letting go of a file, so every retained file
+// is durable the moment it stops being written to. Called with mu held.
+func (w *rotatingWriter) syncActive() error {
+	if w.noSync || w.f == nil {
+		return nil
+	}
+	if w.syncFn != nil {
+		return w.syncFn(w.f)
+	}
+	return w.f.Sync()
 }
 
 // Write splits p — a batch of complete JSONL lines — at line boundaries
@@ -374,10 +389,15 @@ func (w *rotatingWriter) Write(p []byte) (int, error) {
 }
 
 // rotate shifts the retained files by one suffix and reopens path fresh.
-// A failed shift aborts the rotation: overwriting a still-retained file
-// would silently destroy logged violations, so the error surfaces (and
-// latches the sink dead) instead. Called with mu held.
+// The outgoing file is fsync'd first (unless DisableSync), so a rotation
+// boundary is also a durability boundary. A failed sync or shift aborts
+// the rotation: overwriting a still-retained file would silently destroy
+// logged violations, so the error surfaces (and latches the sink dead)
+// instead. Called with mu held.
 func (w *rotatingWriter) rotate() error {
+	if err := w.syncActive(); err != nil {
+		return err
+	}
 	if err := w.f.Close(); err != nil {
 		return err
 	}
@@ -421,7 +441,10 @@ func (w *rotatingWriter) Close() error {
 	if w.f == nil {
 		return nil
 	}
-	err := w.f.Close()
+	err := w.syncActive()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
 	w.f = nil
 	return err
 }
@@ -432,7 +455,10 @@ func (w *rotatingWriter) Close() error {
 // renames it to path.1 (shifting older rotations up) and starts fresh, so
 // week-long monitoring runs never grow one unbounded JSONL file.
 // Coalesced writes are split at line boundaries, so a retained file
-// exceeds the size bound only when a single JSONL line does.
+// exceeds the size bound only when a single JSONL line does. By default
+// the outgoing file is fsync'd at every rotation boundary and on Close
+// (RotateConfig DisableSync opts out), so rotated-out violation logs are
+// durable, not just written.
 type RotatingFileSink struct {
 	*JSONLSink
 	rw *rotatingWriter
@@ -451,6 +477,12 @@ type RotateConfig struct {
 	// Keep is how many rotated files to retain beside the active one
 	// (minimum 1; path.1 is the most recent).
 	Keep int
+	// DisableSync turns off the default fsync of the active file at every
+	// rotation boundary and on Close. The default (sync on) means a
+	// retained file is durable the moment it stops being written to and a
+	// clean shutdown loses nothing to the page cache; disable it only
+	// when throughput matters more than machine-crash durability.
+	DisableSync bool
 }
 
 // NewRotatingFileSink opens a rotating JSONL log at path that rotates
@@ -482,7 +514,7 @@ func NewRotatingFileSinkConfig(path string, cfg RotateConfig) (*RotatingFileSink
 	}
 	rw := &rotatingWriter{
 		path: path, maxBytes: cfg.MaxBytes, keep: cfg.Keep,
-		maxAge: cfg.MaxAge, now: time.Now, f: f,
+		maxAge: cfg.MaxAge, now: time.Now, noSync: cfg.DisableSync, f: f,
 	}
 	rw.openedAt = rw.now()
 	if st, err := f.Stat(); err == nil {

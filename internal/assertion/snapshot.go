@@ -1,7 +1,5 @@
 package assertion
 
-import "math"
-
 // RecorderSnapshot is a point-in-time, JSON-serialisable copy of a
 // Recorder's state: per-assertion aggregate statistics plus the retained
 // violation log. It is the recorder half of the export wire format
@@ -14,6 +12,10 @@ type RecorderSnapshot struct {
 	// recorder's in-memory bound has evicted violations the log is
 	// partial; LogDropped counts those evictions, and Stats stays
 	// complete regardless.
+	//
+	// A disk-backed recorder omits Violations entirely (see Store): the
+	// segment files are the durable log, and embedding a copy here would
+	// make every checkpoint O(retained log).
 	Violations []Violation `json:"violations,omitempty"`
 	// LogDropped is how many violations the bounded in-memory log had
 	// evicted when the snapshot was taken.
@@ -22,6 +24,11 @@ type RecorderSnapshot struct {
 	// evicted when the snapshot was taken, so eviction metrics stay
 	// monotone across restarts.
 	Compacted int64 `json:"compacted,omitempty"`
+	// Store, when present, marks a cheap checkpoint from a durable
+	// backend: instead of embedding the violation log, the snapshot
+	// carries the store's manifest and high-water marks, and the store
+	// recovers the log itself from its segment files on restart.
+	Store *StoreCheckpoint `json:"store,omitempty"`
 }
 
 // TotalFired returns the total violation count across the snapshot's
@@ -38,18 +45,12 @@ func (s RecorderSnapshot) TotalFired() int {
 // is safe to call concurrently with Record; violations recorded while the
 // snapshot is being taken may appear in the statistics, the log, both or
 // neither, but each assertion's Stats entry is internally consistent.
+//
+// With a durable backend the snapshot is a cheap checkpoint: the store
+// fsyncs its state and the snapshot carries its manifest (Store) instead
+// of an embedded violation log.
 func (r *Recorder) Snapshot() RecorderSnapshot {
-	snap := RecorderSnapshot{Stats: make(map[string]Stats)}
-	r.stats.Range(func(name, cell any) bool {
-		snap.Stats[name.(string)] = cell.(*statsCell).snapshot()
-		return true
-	})
-	r.mu.Lock()
-	snap.Violations = r.log.snapshot()
-	snap.LogDropped = r.log.dropped.Load()
-	r.mu.Unlock()
-	snap.Compacted = r.compacted.Load()
-	return snap
+	return r.store.Export()
 }
 
 // RestoreSnapshot replaces the recorder's statistics and retained log with
@@ -58,27 +59,7 @@ func (r *Recorder) Snapshot() RecorderSnapshot {
 // violations are not replayed into it. When this recorder's in-memory
 // bound is tighter than the snapshotting recorder's, the oldest restored
 // violations are evicted and counted in Dropped as usual. It must not be
-// called concurrently with Record.
+// called concurrently with Record. A storage error is retained for Err.
 func (r *Recorder) RestoreSnapshot(snap RecorderSnapshot) {
-	r.Clear()
-	for name, st := range snap.Stats {
-		cell := newStatsCell()
-		cell.fired.Store(int64(st.Fired))
-		cell.totalSev.Store(math.Float64bits(st.TotalSev))
-		if st.Fired > 0 {
-			// A cell that has never fired keeps the -Inf seed, so the first
-			// recorded severity — even a negative one — becomes the maximum.
-			cell.maxSev.Store(math.Float64bits(st.MaxSev))
-		}
-		cell.first.Store(int64(st.FirstSample))
-		cell.last.Store(int64(st.LastSample))
-		r.stats.Store(name, cell)
-	}
-	r.mu.Lock()
-	r.log.dropped.Store(snap.LogDropped)
-	for _, v := range snap.Violations {
-		r.log.add(v)
-	}
-	r.mu.Unlock()
-	r.compacted.Store(snap.Compacted)
+	r.saveErr(r.store.Replace(snap))
 }

@@ -1,0 +1,471 @@
+package assertion
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file declares the violation storage seam: the ViolationStore
+// interface a Recorder sits on, and MemStore, the in-memory backend
+// extracted from the recorder's original violationRing/statsCell
+// internals.
+//
+// The canonical entry point for the seam is the internal/store package,
+// which re-exports these types under their store names and adds the
+// on-disk SegmentStore backend. The declarations live here because Go's
+// import graph forbids assertion -> store (every store implementation
+// needs the Violation and Stats types), while Recorder must still accept
+// any backend; internal/store aliases them so the two packages share one
+// set of types.
+
+// StoreQuery selects retained violations from a ViolationStore. The zero
+// value selects everything.
+type StoreQuery struct {
+	// Assertion restricts results to one assertion name ("" = any).
+	Assertion string
+	// Stream restricts results to one stream key ("" = any).
+	Stream string
+	// MinIngestUnix / MaxIngestUnix bound the violations' ingest stamps
+	// (inclusive; 0 disables a bound). Violations without an ingest stamp
+	// match only unbounded queries, mirroring retention's age exemption.
+	MinIngestUnix int64
+	MaxIngestUnix int64
+	// Limit keeps only the newest N matches (0 = all).
+	Limit int
+}
+
+// Matches reports whether v satisfies the query's filters (Limit is
+// applied by the caller over the filtered arrival-order list).
+func (q StoreQuery) Matches(v Violation) bool {
+	if q.Assertion != "" && v.Assertion != q.Assertion {
+		return false
+	}
+	if q.Stream != "" && v.Stream != q.Stream {
+		return false
+	}
+	if q.MinIngestUnix > 0 && (v.IngestUnix == 0 || v.IngestUnix < q.MinIngestUnix) {
+		return false
+	}
+	if q.MaxIngestUnix > 0 && (v.IngestUnix == 0 || v.IngestUnix > q.MaxIngestUnix) {
+		return false
+	}
+	return true
+}
+
+// limitNewest applies a StoreQuery limit to an arrival-ordered result.
+func limitNewest(vs []Violation, limit int) []Violation {
+	if limit > 0 && len(vs) > limit {
+		return vs[len(vs)-limit:]
+	}
+	return vs
+}
+
+// StoreInfo describes a store's current shape, for metrics and
+// dashboards.
+type StoreInfo struct {
+	// Backend names the implementation ("mem", "segment").
+	Backend string `json:"backend"`
+	// Entries is the number of retained violations.
+	Entries int `json:"entries"`
+	// Segments is the number of live segment files (0 for in-memory
+	// backends).
+	Segments int `json:"segments"`
+	// Bytes is the on-disk footprint of the retained log (0 for
+	// in-memory backends).
+	Bytes int64 `json:"bytes"`
+}
+
+// StoreSegment describes one live segment file in a checkpoint manifest.
+type StoreSegment struct {
+	Name    string `json:"name"`
+	Records int    `json:"records"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// StoreCheckpoint is the durable high-water mark a store returns from
+// Checkpoint: enough to validate a recovery without shipping the
+// violations themselves. For a disk-backed store it is the segment
+// manifest plus the append sequence the persisted statistics cover; for
+// MemStore it only summarises the in-memory state (Durable false).
+type StoreCheckpoint struct {
+	Backend string `json:"backend"`
+	// Durable reports whether the checkpoint made state crash-safe (a
+	// disk store fsyncs its active segment and statistics; an in-memory
+	// store cannot).
+	Durable bool `json:"durable"`
+	// Dir is the disk store's data directory ("" for in-memory).
+	Dir string `json:"dir,omitempty"`
+	// Entries and TotalFired are the retained-log size and lifetime
+	// violation count at checkpoint time.
+	Entries    int `json:"entries"`
+	TotalFired int `json:"total_fired"`
+	// AppendSeq is the store's append high-water mark: every violation
+	// ever appended has a unique increasing sequence number, and the
+	// checkpointed statistics cover all of them up to this one.
+	AppendSeq uint64 `json:"append_seq,omitempty"`
+	// Segments is the live segment manifest (disk stores only).
+	Segments []StoreSegment `json:"segments,omitempty"`
+}
+
+// ViolationStore is the violation storage seam: the backend a Recorder
+// keeps its queryable log and aggregate statistics in. Implementations
+// must be safe for concurrent use.
+//
+// Two backends exist: MemStore (this package; ring buffer + lock-free
+// statistics, the original Recorder internals) and store.SegmentStore
+// (append-only on-disk segment files with exact crash recovery). The
+// internal/store package is the canonical home of the seam; it aliases
+// this interface so both packages share one type.
+type ViolationStore interface {
+	// Append records one violation: aggregate statistics always update,
+	// and the violation joins the retained log (which a bound or
+	// retention policy may later evict it from).
+	Append(v Violation) error
+	// Violations returns a copy of the retained log in arrival order.
+	Violations() []Violation
+	// ByAssertion returns retained violations of one assertion in
+	// arrival order.
+	ByAssertion(name string) []Violation
+	// Query returns retained violations matching q in arrival order.
+	Query(q StoreQuery) []Violation
+	// Stats returns one assertion's aggregate statistics. Statistics are
+	// complete over everything ever appended, regardless of what the
+	// retained log has evicted.
+	Stats(name string) (Stats, bool)
+	// StatsAll returns every fired assertion's aggregate statistics.
+	StatsAll() map[string]Stats
+	// TotalFired returns the lifetime violation count.
+	TotalFired() int
+	// Dropped counts violations evicted by the retained log's own bound
+	// (overflow, not retention policy).
+	Dropped() int64
+	// Compacted counts violations evicted by Compact/CompactBudgets.
+	Compacted() int64
+	// Compact applies a retention policy to the retained log and returns
+	// how many violations it evicted: violations whose IngestUnix is
+	// older than minIngestUnix are dropped (0 disables the age bound;
+	// unstamped violations are exempt), and at most maxPerAssertion of
+	// the newest violations are kept per assertion (<= 0 disables).
+	// Statistics are untouched.
+	Compact(minIngestUnix int64, maxPerAssertion int) (int, error)
+	// CompactBudgets evicts all but the newest budgets[name] violations
+	// of each assertion named in budgets (absent assertions untouched) —
+	// the per-shard half of a sharded store's global per-assertion cap.
+	CompactBudgets(budgets map[string]int) (int, error)
+	// Export captures the store's state as a recorder snapshot.
+	Export() RecorderSnapshot
+	// Replace overwrites the store's state with a snapshot's — the
+	// restore path. It must not be called concurrently with Append.
+	Replace(snap RecorderSnapshot) error
+	// Clear removes all retained violations and statistics.
+	Clear() error
+	// Sync makes every appended violation durable against process crash
+	// (buffered disk stores flush to the OS; in-memory stores no-op).
+	// Machine-crash durability additionally needs Checkpoint, which
+	// fsyncs.
+	Sync() error
+	// Checkpoint persists a durable recovery point (disk stores fsync
+	// the active segment and their statistics) and returns its manifest.
+	Checkpoint() (StoreCheckpoint, error)
+	// Info describes the store's current shape for metrics.
+	Info() StoreInfo
+	// Close releases resources after a final Checkpoint-equivalent
+	// flush. MemStore's Close is a no-op and the store stays usable;
+	// disk stores refuse appends afterwards.
+	Close() error
+}
+
+// MemStore is the in-memory ViolationStore: a bounded ring-buffer log
+// with O(1) eviction plus lock-free per-assertion statistics — the
+// storage internals Recorder carried before the seam existed. It is the
+// backend NewRecorder wires in and the baseline the on-disk SegmentStore
+// is benchmarked against. It is safe for concurrent use.
+type MemStore struct {
+	mu  sync.Mutex // guards the violation ring only
+	log violationRing
+
+	stats sync.Map // assertion name -> *statsCell
+
+	compacted atomic.Int64
+}
+
+// NewMemStore returns an in-memory store keeping at most limit
+// violations in its log (0 or negative = unbounded). Statistics are
+// complete regardless of the bound.
+func NewMemStore(limit int) *MemStore {
+	return &MemStore{log: violationRing{limit: limit}}
+}
+
+// Append implements ViolationStore; it never fails.
+func (m *MemStore) Append(v Violation) error {
+	cell, ok := m.stats.Load(v.Assertion)
+	if !ok {
+		fresh := newStatsCell()
+		fresh.first.Store(int64(v.SampleIndex))
+		cell, _ = m.stats.LoadOrStore(v.Assertion, fresh)
+	}
+	st := cell.(*statsCell)
+	st.fired.Add(1)
+	atomicAddFloat(&st.totalSev, v.Severity)
+	atomicMaxFloat(&st.maxSev, v.Severity)
+	st.last.Store(int64(v.SampleIndex))
+
+	m.mu.Lock()
+	m.log.add(v)
+	m.mu.Unlock()
+	return nil
+}
+
+// Violations implements ViolationStore.
+func (m *MemStore) Violations() []Violation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.log.snapshot()
+}
+
+// ByAssertion implements ViolationStore.
+func (m *MemStore) ByAssertion(name string) []Violation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.log.byAssertion(name)
+}
+
+// Query implements ViolationStore.
+func (m *MemStore) Query(q StoreQuery) []Violation {
+	m.mu.Lock()
+	vs := m.log.snapshot()
+	m.mu.Unlock()
+	kept := vs[:0]
+	for _, v := range vs {
+		if q.Matches(v) {
+			kept = append(kept, v)
+		}
+	}
+	return limitNewest(kept, q.Limit)
+}
+
+// Stats implements ViolationStore.
+func (m *MemStore) Stats(name string) (Stats, bool) {
+	cell, ok := m.stats.Load(name)
+	if !ok {
+		return Stats{}, false
+	}
+	return cell.(*statsCell).snapshot(), true
+}
+
+// StatsAll implements ViolationStore.
+func (m *MemStore) StatsAll() map[string]Stats {
+	out := make(map[string]Stats)
+	m.stats.Range(func(name, cell any) bool {
+		out[name.(string)] = cell.(*statsCell).snapshot()
+		return true
+	})
+	return out
+}
+
+// TotalFired implements ViolationStore.
+func (m *MemStore) TotalFired() int {
+	total := int64(0)
+	m.stats.Range(func(_, cell any) bool {
+		total += cell.(*statsCell).fired.Load()
+		return true
+	})
+	return int(total)
+}
+
+// Dropped implements ViolationStore.
+func (m *MemStore) Dropped() int64 { return m.log.dropped.Load() }
+
+// Compacted implements ViolationStore.
+func (m *MemStore) Compacted() int64 { return m.compacted.Load() }
+
+// Compact implements ViolationStore.
+func (m *MemStore) Compact(minIngestUnix int64, maxPerAssertion int) (int, error) {
+	if minIngestUnix <= 0 && maxPerAssertion <= 0 {
+		return 0, nil
+	}
+	return m.compact(minIngestUnix, func(string) (int, bool) {
+		return maxPerAssertion, maxPerAssertion > 0
+	}), nil
+}
+
+// CompactBudgets implements ViolationStore.
+func (m *MemStore) CompactBudgets(budgets map[string]int) (int, error) {
+	if len(budgets) == 0 {
+		return 0, nil
+	}
+	return m.compact(0, func(name string) (int, bool) {
+		n, ok := budgets[name]
+		return n, ok
+	}), nil
+}
+
+// compact rewrites the retained log, keeping a violation when it is not
+// older than minIngestUnix (0 disables; unstamped violations are exempt)
+// and its assertion's budget, when one exists, is not yet spent. The
+// newest-to-oldest walk makes budgets keep the newest.
+func (m *MemStore) compact(minIngestUnix int64, budget func(name string) (int, bool)) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	vs := m.log.snapshot() // oldest -> newest
+	mask := PlanCompaction(vs, minIngestUnix, budget)
+	kept := make([]Violation, 0, len(vs))
+	for i, keep := range mask {
+		if keep {
+			kept = append(kept, vs[i])
+		}
+	}
+	evicted := len(vs) - len(kept)
+	if evicted == 0 {
+		return 0
+	}
+	m.log.buf, m.log.head = kept, 0
+	m.compacted.Add(int64(evicted))
+	return evicted
+}
+
+// PlanCompaction returns a keep-mask over an arrival-ordered log for a
+// retention pass — the shared policy core of MemStore and SegmentStore
+// compaction. A violation survives when it is not older than
+// minIngestUnix (0 disables; unstamped violations are exempt) and its
+// assertion's budget, when one exists, is not yet spent; the
+// newest-to-oldest walk makes budgets keep the newest.
+func PlanCompaction(vs []Violation, minIngestUnix int64, budget func(name string) (int, bool)) []bool {
+	keepMask := make([]bool, len(vs))
+	perAssertion := make(map[string]int)
+	for i := len(vs) - 1; i >= 0; i-- {
+		v := vs[i]
+		if minIngestUnix > 0 && v.IngestUnix > 0 && v.IngestUnix < minIngestUnix {
+			continue
+		}
+		if max, ok := budget(v.Assertion); ok {
+			if perAssertion[v.Assertion] >= max {
+				continue
+			}
+			perAssertion[v.Assertion]++
+		}
+		keepMask[i] = true
+	}
+	return keepMask
+}
+
+// CompactionBudget adapts the Compact/CompactBudgets parameter pair into
+// the budget callback PlanCompaction takes; shared with SegmentStore.
+// Pass budgets == nil for the uniform maxPerAssertion cap.
+func CompactionBudget(maxPerAssertion int, budgets map[string]int) func(name string) (int, bool) {
+	if budgets != nil {
+		return func(name string) (int, bool) {
+			n, ok := budgets[name]
+			return n, ok
+		}
+	}
+	return func(string) (int, bool) { return maxPerAssertion, maxPerAssertion > 0 }
+}
+
+// Export implements ViolationStore. It is safe to call concurrently with
+// Append; violations appended while the export is being taken may appear
+// in the statistics, the log, both or neither, but each assertion's
+// Stats entry is internally consistent.
+func (m *MemStore) Export() RecorderSnapshot {
+	snap := RecorderSnapshot{Stats: m.StatsAll()}
+	m.mu.Lock()
+	snap.Violations = m.log.snapshot()
+	snap.LogDropped = m.log.dropped.Load()
+	m.mu.Unlock()
+	snap.Compacted = m.compacted.Load()
+	return snap
+}
+
+// Replace implements ViolationStore. When this store's bound is tighter
+// than the snapshotting store's, the oldest restored violations are
+// evicted and counted in Dropped as usual.
+func (m *MemStore) Replace(snap RecorderSnapshot) error {
+	m.Clear()
+	for name, st := range snap.Stats {
+		cell := statsCellFrom(st)
+		m.stats.Store(name, cell)
+	}
+	m.mu.Lock()
+	m.log.dropped.Store(snap.LogDropped)
+	for _, v := range snap.Violations {
+		m.log.add(v)
+	}
+	m.mu.Unlock()
+	m.compacted.Store(snap.Compacted)
+	return nil
+}
+
+// Clear implements ViolationStore. It must not be called concurrently
+// with Append.
+func (m *MemStore) Clear() error {
+	m.mu.Lock()
+	m.log.clear()
+	m.mu.Unlock()
+	m.compacted.Store(0)
+	m.stats.Range(func(name, _ any) bool {
+		m.stats.Delete(name)
+		return true
+	})
+	return nil
+}
+
+// Sync implements ViolationStore; an in-memory store has nothing to
+// flush.
+func (m *MemStore) Sync() error { return nil }
+
+// Checkpoint implements ViolationStore. Memory cannot survive a crash,
+// so the checkpoint only summarises the current state (Durable false);
+// durable checkpoints come from the Recorder/Collector snapshot path.
+func (m *MemStore) Checkpoint() (StoreCheckpoint, error) {
+	m.mu.Lock()
+	entries := len(m.log.buf)
+	m.mu.Unlock()
+	return StoreCheckpoint{
+		Backend:    "mem",
+		Durable:    false,
+		Entries:    entries,
+		TotalFired: m.TotalFired(),
+	}, nil
+}
+
+// Info implements ViolationStore.
+func (m *MemStore) Info() StoreInfo {
+	m.mu.Lock()
+	entries := len(m.log.buf)
+	m.mu.Unlock()
+	return StoreInfo{Backend: "mem", Entries: entries}
+}
+
+// Close implements ViolationStore as a no-op: the store stays usable, so
+// Recorder.Close (which settles only the sink) keeps its historical
+// semantics with the default backend.
+func (m *MemStore) Close() error { return nil }
+
+// AssertionNames returns the names of assertions that have fired,
+// sorted — shared by Recorder.AssertionNames and the merged pool views.
+func (m *MemStore) AssertionNames() []string {
+	var out []string
+	m.stats.Range(func(name, _ any) bool {
+		out = append(out, name.(string))
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// statsCellFrom seeds a statistics cell from a snapshot entry. A cell
+// that has never fired keeps the -Inf seed, so the first recorded
+// severity — even a negative one — becomes the maximum.
+func statsCellFrom(st Stats) *statsCell {
+	cell := newStatsCell()
+	cell.fired.Store(int64(st.Fired))
+	cell.totalSev.Store(math.Float64bits(st.TotalSev))
+	if st.Fired > 0 {
+		cell.maxSev.Store(math.Float64bits(st.MaxSev))
+	}
+	cell.first.Store(int64(st.FirstSample))
+	cell.last.Store(int64(st.LastSample))
+	return cell
+}

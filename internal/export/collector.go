@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -50,6 +51,21 @@ type CollectorConfig struct {
 	// 256). A slow client overflows its own buffer and the overflow is
 	// dropped and counted — ingest never stalls on a tail consumer.
 	TailBuffer int
+	// Store selects the violation storage backend: "" or "mem" keeps the
+	// in-memory rings; "disk" puts every shard on an on-disk
+	// store.SegmentStore under DataDir, making violations, statistics and
+	// dedup marks survive a crash exactly. Only OpenCollector honours
+	// this field — NewCollectorConfig always builds the in-memory layout.
+	Store string
+	// DataDir is the disk backend's data directory (required when Store
+	// is "disk"): shard-N subdirectories hold each shard's segments, and
+	// marks.log holds the dedup/counter write-ahead log.
+	DataDir string
+	// SegmentBytes is the disk backend's segment roll threshold
+	// (0 = store.DefaultSegmentBytes). Ignored by the in-memory backend,
+	// as is Retain by the disk one (its log is bounded by the retention
+	// policy, not a ring size).
+	SegmentBytes int64
 }
 
 // Collector is the ingest side of networked monitoring: it applies wire
@@ -83,6 +99,13 @@ type Collector struct {
 	sinkMu sync.Mutex
 	sink   assertion.Sink
 
+	// Disk backend state (nil/zero for in-memory collectors): the
+	// per-shard stores, and the dedup-marks write-ahead log.
+	stores     []assertion.ViolationStore
+	marks      *os.File
+	marksMu    sync.Mutex
+	marksBytes int64
+
 	quiesceOnce sync.Once
 	closeOnce   sync.Once
 	stop        chan struct{}
@@ -96,7 +119,7 @@ type Collector struct {
 // duplicate only after the original's violations have all landed.
 type sourceState struct {
 	mu      sync.Mutex
-	lastSeq uint64 // high-water mark of fully applied batches
+	lastSeq atomic.Uint64 // high-water mark of fully applied batches
 }
 
 // NewCollector returns a single-shard collector retaining at most limit
@@ -108,7 +131,23 @@ func NewCollector(limit int) *Collector {
 
 // NewCollectorConfig returns a collector shaped by cfg, starting the
 // retention janitor when a retention bound is set. Call Close when done.
+// The recorders always sit on in-memory stores; use OpenCollector for
+// cfg.Store selection (the disk backend can fail to open, so its
+// constructor returns an error).
 func NewCollectorConfig(cfg CollectorConfig) *Collector {
+	c := newCollectorBase(&cfg)
+	per := perShard(cfg.Retain, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		c.recs = append(c.recs, assertion.NewRecorder(per))
+	}
+	c.startJanitor()
+	return c
+}
+
+// newCollectorBase normalises cfg and builds the collector shell —
+// everything except the per-shard recorders and the janitor, which the
+// backend-specific constructors add.
+func newCollectorBase(cfg *CollectorConfig) *Collector {
 	if cfg.Shards < 1 {
 		cfg.Shards = 1
 	}
@@ -121,21 +160,21 @@ func NewCollectorConfig(cfg CollectorConfig) *Collector {
 	if cfg.CompactEvery <= 0 {
 		cfg.CompactEvery = 30 * time.Second
 	}
-	c := &Collector{
-		cfg:     cfg,
+	return &Collector{
+		cfg:     *cfg,
 		sources: make(map[string]*sourceState),
 		tail:    newTailHub(cfg.TailBuffer),
 		stop:    make(chan struct{}),
 	}
-	per := perShard(cfg.Retain, cfg.Shards)
-	for i := 0; i < cfg.Shards; i++ {
-		c.recs = append(c.recs, assertion.NewRecorder(per))
-	}
-	if cfg.RetainAge > 0 || cfg.RetainPerAssertion > 0 {
+}
+
+// startJanitor launches the retention janitor when a retention bound is
+// configured.
+func (c *Collector) startJanitor() {
+	if c.cfg.RetainAge > 0 || c.cfg.RetainPerAssertion > 0 {
 		c.janitor.Add(1)
 		go c.runJanitor()
 	}
-	return c
 }
 
 // perShard splits a global bound across shards, rounding up so the
@@ -193,10 +232,13 @@ func (c *Collector) Quiesce() {
 	})
 }
 
-// Close quiesces the collector (janitor, tail streams) and detaches and
-// closes the attached sink (if any), returning the first sink error. The
-// collector itself remains usable for ingest and queries — only the
-// background machinery stops. Close is idempotent.
+// Close quiesces the collector (janitor, tail streams), detaches and
+// closes the attached sink (if any), and — for a disk-backed collector —
+// checkpoints and closes the shard stores and the marks log, returning
+// the first error. An in-memory collector remains usable for ingest and
+// queries afterwards (only the background machinery stops); a
+// disk-backed one refuses further ingest, though queries keep answering
+// from memory. Close is idempotent.
 func (c *Collector) Close() error {
 	c.Quiesce()
 	var err error
@@ -205,16 +247,18 @@ func (c *Collector) Close() error {
 		s := c.sink
 		c.sink = nil
 		c.sinkMu.Unlock()
-		if s == nil {
-			return
-		}
-		for _, r := range c.recs {
-			r.ShareSink(nil) // detach (and flush) before the close below
-			if e := r.Err(); err == nil {
+		if s != nil {
+			for _, r := range c.recs {
+				r.ShareSink(nil) // detach (and flush) before the close below
+				if e := r.Err(); err == nil {
+					err = e
+				}
+			}
+			if e := s.Close(); err == nil {
 				err = e
 			}
 		}
-		if e := s.Close(); err == nil {
+		if e := c.closeStores(); err == nil {
 			err = e
 		}
 	})
@@ -232,17 +276,27 @@ func (c *Collector) Close() error {
 // and whether the batch was a duplicate.
 func (c *Collector) Ingest(b Batch) (accepted int, duplicate bool) {
 	if b.Source == "" || b.Seq == 0 {
-		return c.apply(b), false
+		n := c.apply(b)
+		c.logMarks("", 0) // counters still persist for unmarked batches
+		return n, false
 	}
 	st := c.sourceState(b.Source)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if b.Seq <= st.lastSeq {
+	if b.Seq <= st.lastSeq.Load() {
 		c.duplicates.Add(1)
+		c.logMarks(b.Source, st.lastSeq.Load())
 		return 0, true
 	}
 	accepted = c.apply(b)
-	st.lastSeq = b.Seq
+	st.lastSeq.Store(b.Seq)
+	// The mark is logged only after the batch is fully applied AND (for
+	// disk-backed shards) synced: a crash between apply and mark leaves
+	// the violations durable and the mark unset, so a sender retry is
+	// re-counted — never lost, and only double-applied if the sender
+	// actually retries across the crash (the same window the snapshot
+	// path always had).
+	c.logMarks(b.Source, b.Seq)
 	return accepted, false
 }
 
@@ -256,6 +310,12 @@ func (c *Collector) apply(b Batch) int {
 		v.IngestUnix = now
 		rec.Record(v)
 		c.tail.publish(v)
+	}
+	if c.durable() {
+		// One write syscall flushes the whole batch to the OS: after the
+		// acknowledgement below, these violations survive a process
+		// crash.
+		rec.SyncStore()
 	}
 	c.batches.Add(1)
 	c.ingested.Add(int64(len(b.Violations)))
@@ -437,7 +497,7 @@ func (c *Collector) Snapshot() Snapshot {
 	lastSeq := make(map[string]uint64, len(states))
 	for src, st := range states {
 		st.mu.Lock() // an in-flight apply finishes before its mark is read
-		lastSeq[src] = st.lastSeq
+		lastSeq[src] = st.lastSeq.Load()
 		st.mu.Unlock()
 	}
 	s := Snapshot{
@@ -466,6 +526,14 @@ func (c *Collector) Snapshot() Snapshot {
 // the merged views are preserved exactly even though shard placement of
 // historical violations changes. It must not be called concurrently with
 // Ingest.
+//
+// A disk-backed collector already recovered its state from its own
+// files at OpenCollector, so Restore MERGES instead of overwriting:
+// recorder snapshots that carry a store checkpoint are no-ops (the
+// segments are authoritative; a legacy violations-bearing snapshot still
+// migrates in), and dedup marks and counters keep whichever value is
+// higher — a stale snapshot file can never roll the recovered state
+// back.
 func (c *Collector) Restore(s Snapshot) {
 	switch {
 	case len(s.Recorders) == len(c.recs):
@@ -481,15 +549,40 @@ func (c *Collector) Restore(s Snapshot) {
 		}
 		c.redistribute(merged)
 	}
-	c.mu.Lock()
-	c.sources = make(map[string]*sourceState, len(s.LastSeq))
-	for src, seq := range s.LastSeq {
-		c.sources[src] = &sourceState{lastSeq: seq}
+	if c.durable() {
+		c.mu.Lock()
+		for src, seq := range s.LastSeq {
+			st := c.sources[src]
+			if st == nil {
+				st = &sourceState{}
+				c.sources[src] = st
+			}
+			if seq > st.lastSeq.Load() {
+				st.lastSeq.Store(seq)
+			}
+		}
+		c.mu.Unlock()
+		storeMax := func(a *atomic.Int64, v int64) {
+			if v > a.Load() {
+				a.Store(v)
+			}
+		}
+		storeMax(&c.batches, s.Batches)
+		storeMax(&c.duplicates, s.Duplicates)
+		storeMax(&c.rejected, s.Rejected)
+	} else {
+		c.mu.Lock()
+		c.sources = make(map[string]*sourceState, len(s.LastSeq))
+		for src, seq := range s.LastSeq {
+			st := &sourceState{}
+			st.lastSeq.Store(seq)
+			c.sources[src] = st
+		}
+		c.mu.Unlock()
+		c.batches.Store(s.Batches)
+		c.duplicates.Store(s.Duplicates)
+		c.rejected.Store(s.Rejected)
 	}
-	c.mu.Unlock()
-	c.batches.Store(s.Batches)
-	c.duplicates.Store(s.Duplicates)
-	c.rejected.Store(s.Rejected)
 	c.ingested.Store(int64(c.TotalFired()))
 }
 
@@ -523,6 +616,10 @@ type SummaryResponse struct {
 	Shards           int            `json:"shards"`
 	LogDropped       int            `json:"log_dropped"`
 	RetentionEvicted int64          `json:"retention_evicted"`
+	// Store names the storage backend when it is not the in-memory
+	// default (omitted for "mem", so the pre-seam response shape is
+	// unchanged).
+	Store string `json:"store,omitempty"`
 }
 
 // IngestResponse is the JSON body of POST /v1/violations.
@@ -563,6 +660,7 @@ func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
 	b, err := DecodeBatch(http.MaxBytesReader(w, r.Body, maxIngestBytes))
 	if err != nil {
 		c.rejected.Add(1)
+		c.logMarks("", 0) // the rejected counter persists like the others
 		status := http.StatusBadRequest
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -581,7 +679,7 @@ func (c *Collector) handleSummary(w http.ResponseWriter, _ *http.Request) {
 	c.mu.Lock()
 	sources := len(c.sources)
 	c.mu.Unlock()
-	writeJSON(w, SummaryResponse{
+	resp := SummaryResponse{
 		Version:          WireVersion,
 		TotalFired:       c.TotalFired(),
 		Assertions:       c.Summary(),
@@ -592,7 +690,11 @@ func (c *Collector) handleSummary(w http.ResponseWriter, _ *http.Request) {
 		Shards:           len(c.recs),
 		LogDropped:       c.LogDropped(),
 		RetentionEvicted: c.RetentionEvicted(),
-	})
+	}
+	if c.durable() {
+		resp.Store = StoreDisk
+	}
+	writeJSON(w, resp)
 }
 
 func (c *Collector) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -649,6 +751,9 @@ func (c *Collector) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("omg_collector_tail_dropped_total", "Tail events dropped because a subscriber's buffer was full.", c.tail.droppedTotal())
 	gauge("omg_collector_tail_clients", "Connected live-tail subscribers.", c.tail.clientCount())
 	gauge("omg_collector_shards", "Ingest shards.", int64(len(c.recs)))
+	info := c.StoreInfo()
+	gauge("omg_collector_segments", "Live segment files in the violation store (0 for the in-memory backend).", int64(info.Segments))
+	gauge("omg_collector_segments_bytes", "Bytes held in violation store segment files (0 for the in-memory backend).", info.Bytes)
 
 	summary := c.Summary()
 	names := make([]string, 0, len(summary))

@@ -1,0 +1,203 @@
+package export
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"omg/internal/assertion"
+)
+
+func diskCollector(t *testing.T, dir string, shards int) *Collector {
+	t.Helper()
+	c, err := OpenCollector(CollectorConfig{Store: StoreDisk, DataDir: dir, Shards: shards})
+	if err != nil {
+		t.Fatalf("OpenCollector: %v", err)
+	}
+	return c
+}
+
+func TestOpenCollectorValidation(t *testing.T) {
+	if _, err := OpenCollector(CollectorConfig{Store: "disk"}); err == nil {
+		t.Fatal("disk store without DataDir accepted")
+	}
+	if _, err := OpenCollector(CollectorConfig{Store: "floppy"}); err == nil {
+		t.Fatal("unknown store backend accepted")
+	}
+	// "" and "mem" build the in-memory layout.
+	c, err := OpenCollector(CollectorConfig{Store: StoreMem})
+	if err != nil {
+		t.Fatalf("mem OpenCollector: %v", err)
+	}
+	defer c.Close()
+	if c.durable() {
+		t.Fatal("mem collector claims to be durable")
+	}
+}
+
+func TestDiskCollectorCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c := diskCollector(t, dir, 4)
+	for i := 1; i <= 5; i++ {
+		c.Ingest(Batch{Source: "edge-a", Seq: uint64(i), Violations: []assertion.Violation{
+			{Assertion: "lights", Stream: "cam0", SampleIndex: i, Severity: float64(i)},
+			{Assertion: "flicker", Stream: "cam1", SampleIndex: i, Severity: 0.5},
+		}})
+		c.Ingest(Batch{Source: "edge-b", Seq: uint64(i), Violations: []assertion.Violation{
+			{Assertion: "lights", Stream: "cam2", SampleIndex: i, Severity: 1},
+		}})
+	}
+	// A duplicate and a rejected-equivalent counter bump.
+	if _, dup := c.Ingest(Batch{Source: "edge-a", Seq: 3}); !dup {
+		t.Fatal("retry not detected as duplicate")
+	}
+
+	wantTotal := c.TotalFired()
+	wantSummary := c.Summary()
+	wantViolations := c.Violations()
+	wantBatches := c.batches.Load()
+	wantDups := c.duplicates.Load()
+	c.Quiesce() // do NOT Close: the SIGKILL model — no checkpoint, no fsync
+
+	r := diskCollector(t, dir, 4)
+	defer r.Close()
+	if got := r.TotalFired(); got != wantTotal {
+		t.Fatalf("TotalFired after crash = %d, want %d", got, wantTotal)
+	}
+	if got := r.Summary(); !reflect.DeepEqual(got, wantSummary) {
+		t.Fatalf("Summary after crash = %v, want %v", got, wantSummary)
+	}
+	if got := r.Violations(); !reflect.DeepEqual(got, wantViolations) {
+		t.Fatalf("Violations after crash = %+v, want %+v", got, wantViolations)
+	}
+	if got := r.batches.Load(); got != wantBatches {
+		t.Fatalf("batches after crash = %d, want %d", got, wantBatches)
+	}
+	if got := r.duplicates.Load(); got != wantDups {
+		t.Fatalf("duplicates after crash = %d, want %d", got, wantDups)
+	}
+	// Dedup marks survived: replaying an applied batch is a duplicate,
+	// and the next fresh sequence number applies.
+	if _, dup := r.Ingest(Batch{Source: "edge-a", Seq: 5}); !dup {
+		t.Fatal("dedup mark lost across crash")
+	}
+	if n, dup := r.Ingest(Batch{Source: "edge-a", Seq: 6, Violations: []assertion.Violation{
+		{Assertion: "lights", SampleIndex: 99, Severity: 1},
+	}}); dup || n != 1 {
+		t.Fatalf("fresh batch after crash: n=%d dup=%v", n, dup)
+	}
+}
+
+func TestDiskCollectorStaleSnapshotCannotRollBack(t *testing.T) {
+	dir := t.TempDir()
+	c := diskCollector(t, dir, 1)
+	c.Ingest(Batch{Source: "s", Seq: 1, Violations: []assertion.Violation{{Assertion: "a", Severity: 1}}})
+	stale := c.Snapshot() // checkpoint at seq 1
+	c.Ingest(Batch{Source: "s", Seq: 2, Violations: []assertion.Violation{{Assertion: "a", Severity: 2}}})
+	c.Quiesce()
+
+	r := diskCollector(t, dir, 1)
+	defer r.Close()
+	r.Restore(stale) // the periodic snapshot file lags the WAL
+	if got := r.TotalFired(); got != 2 {
+		t.Fatalf("TotalFired rolled back to %d by stale snapshot", got)
+	}
+	if _, dup := r.Ingest(Batch{Source: "s", Seq: 2}); !dup {
+		t.Fatal("dedup mark rolled back by stale snapshot")
+	}
+}
+
+func TestDiskCollectorSnapshotIsCheap(t *testing.T) {
+	c := diskCollector(t, t.TempDir(), 2)
+	defer c.Close()
+	for i := 1; i <= 10; i++ {
+		c.Ingest(Batch{Source: "s", Seq: uint64(i), Violations: []assertion.Violation{
+			{Assertion: "a", SampleIndex: i, Severity: 1},
+		}})
+	}
+	s := c.Snapshot()
+	for i, rs := range s.Recorders {
+		if len(rs.Violations) != 0 {
+			t.Fatalf("shard %d snapshot embeds %d violations", i, len(rs.Violations))
+		}
+		if rs.Store == nil || rs.Store.Backend != "segment" {
+			t.Fatalf("shard %d snapshot missing store checkpoint: %+v", i, rs.Store)
+		}
+	}
+	// The merged legacy view still reports the right totals for old
+	// readers.
+	if got := s.Recorder.TotalFired(); got != 10 {
+		t.Fatalf("merged snapshot TotalFired = %d, want 10", got)
+	}
+}
+
+func TestDiskCollectorMetricsAndSummaryShape(t *testing.T) {
+	c := diskCollector(t, t.TempDir(), 1)
+	defer c.Close()
+	c.Ingest(Batch{Violations: []assertion.Violation{{Assertion: "a", Severity: 1}}})
+
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	body := string(getBody(t, srv.URL+"/metrics", 200))
+	for _, metric := range []string{"omg_collector_segments ", "omg_collector_segments_bytes "} {
+		if !strings.Contains(body, metric) {
+			t.Fatalf("metrics missing %q:\n%s", metric, body)
+		}
+	}
+	if !strings.Contains(body, "omg_collector_segments 1") {
+		t.Fatalf("expected one live segment:\n%s", body)
+	}
+	sum := string(getBody(t, srv.URL+"/v1/summary", 200))
+	if !strings.Contains(sum, `"store":"disk"`) {
+		t.Fatalf("summary missing store backend: %s", sum)
+	}
+
+	info := c.StoreInfo()
+	if info.Backend != "segment" || info.Entries != 1 || info.Bytes == 0 {
+		t.Fatalf("StoreInfo = %+v", info)
+	}
+}
+
+func TestDiskCollectorLegacySnapshotMigrates(t *testing.T) {
+	// A snapshot written by a mem-backed collector restores into a disk
+	// one: the embedded violations become segments.
+	mem := NewCollector(0)
+	mem.Ingest(Batch{Source: "s", Seq: 1, Violations: []assertion.Violation{
+		{Assertion: "a", Stream: "x", SampleIndex: 1, Severity: 2},
+		{Assertion: "b", Stream: "y", SampleIndex: 2, Severity: 3},
+	}})
+	legacy := mem.Snapshot()
+	mem.Close()
+
+	dir := t.TempDir()
+	c := diskCollector(t, dir, 1)
+	c.Restore(legacy)
+	want := c.Violations()
+	if len(want) != 2 || c.TotalFired() != 2 {
+		t.Fatalf("migration lost data: %+v", want)
+	}
+	c.Quiesce() // crash
+
+	r := diskCollector(t, dir, 1)
+	defer r.Close()
+	if got := r.Violations(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("migrated state not durable: %+v want %+v", got, want)
+	}
+}
+
+func TestDiskCollectorMarksFile(t *testing.T) {
+	dir := t.TempDir()
+	c := diskCollector(t, dir, 1)
+	c.Ingest(Batch{Source: "s", Seq: 1, Violations: []assertion.Violation{{Assertion: "a", Severity: 1}}})
+	c.Close()
+	data, err := os.ReadFile(filepath.Join(dir, marksName))
+	if err != nil {
+		t.Fatalf("marks log missing: %v", err)
+	}
+	if !strings.Contains(string(data), `"src":"s"`) {
+		t.Fatalf("marks log missing source mark: %s", data)
+	}
+}

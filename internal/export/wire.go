@@ -140,9 +140,13 @@ func DecodeBatch(r io.Reader) (Batch, error) {
 	return b, nil
 }
 
-// WriteSnapshotFile persists s at path atomically (write to a temp file in
-// the same directory, then rename), stamping the wire version and save
-// time, so a crash mid-write never leaves a truncated snapshot behind.
+// WriteSnapshotFile persists s at path atomically and durably: the
+// snapshot is written to a temp file in the same directory, fsync'd,
+// renamed over path, and the parent directory fsync'd — so a crash
+// mid-write never leaves a truncated snapshot, and a machine crash just
+// after the rename cannot lose or truncate it either (the rename itself
+// is only durable once the directory is synced). The wire version and
+// save time are stamped; on any failure the temp file is removed.
 func WriteSnapshotFile(path string, s Snapshot) error {
 	s.Version = WireVersion
 	if s.SavedAtUnix == 0 {
@@ -152,21 +156,46 @@ func WriteSnapshotFile(path string, s Snapshot) error {
 	if err != nil {
 		return fmt.Errorf("export: write snapshot: %w", err)
 	}
+	// NOTE: no `:=` below — an earlier version shadowed err inside the
+	// encode branch and silently returned nil on encode failures.
 	enc := json.NewEncoder(tmp)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(s); err == nil {
-		err = tmp.Close()
-		if err == nil {
-			if err = os.Rename(tmp.Name(), path); err == nil {
-				return nil
-			}
-		}
-	} else {
+	if err = enc.Encode(s); err != nil {
 		tmp.Close()
-		err = fmt.Errorf("export: encode snapshot: %w", err)
+		os.Remove(tmp.Name())
+		return fmt.Errorf("export: encode snapshot: %w", err)
 	}
-	os.Remove(tmp.Name())
-	return err
+	if err = tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("export: sync snapshot: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("export: write snapshot: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("export: write snapshot: %w", err)
+	}
+	return syncParentDir(path)
+}
+
+// syncParentDir fsyncs the directory holding path, making a rename into
+// it durable.
+func syncParentDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("export: sync snapshot dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("export: sync snapshot dir: %w", err)
+	}
+	return nil
 }
 
 // ReadSnapshotFile loads a snapshot written by WriteSnapshotFile and

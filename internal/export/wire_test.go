@@ -3,6 +3,7 @@ package export
 import (
 	"bytes"
 	"errors"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -79,6 +80,60 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 	}
 	if len(entries) != 1 {
 		t.Fatalf("atomic write left debris: %v", entries)
+	}
+}
+
+func TestWriteSnapshotFileEncodeErrorLeavesNoDebris(t *testing.T) {
+	// NaN cannot be encoded as JSON, so the write must fail — and the
+	// temp file must never survive the failure, even though the encoder
+	// had already streamed bytes into it.
+	bad := Snapshot{
+		Recorder: assertion.RecorderSnapshot{
+			Stats: map[string]assertion.Stats{"a": {Fired: 1, TotalSev: math.NaN()}},
+		},
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteSnapshotFile(path, bad); err == nil {
+		t.Fatal("encoding NaN must fail")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("encode failure left files behind: %v", names)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("snapshot path exists after a failed write")
+	}
+}
+
+func TestWriteSnapshotFileOverwriteSurvivesEncodeError(t *testing.T) {
+	// A failed write must not clobber the previous good snapshot.
+	path := filepath.Join(t.TempDir(), "state.json")
+	good := Snapshot{LastSeq: map[string]uint64{"s": 3}}
+	if err := WriteSnapshotFile(path, good); err != nil {
+		t.Fatal(err)
+	}
+	bad := Snapshot{
+		Recorder: assertion.RecorderSnapshot{
+			Stats: map[string]assertion.Stats{"a": {Fired: 1, MaxSev: math.Inf(1)}},
+		},
+	}
+	if err := WriteSnapshotFile(path, bad); err == nil {
+		t.Fatal("encoding +Inf must fail")
+	}
+	out, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("previous snapshot damaged: %v", err)
+	}
+	if out.LastSeq["s"] != 3 {
+		t.Fatalf("previous snapshot content lost: %+v", out)
 	}
 }
 

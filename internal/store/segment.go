@@ -1,0 +1,1155 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"omg/internal/assertion"
+)
+
+// ErrClosed reports an append or sync on a closed SegmentStore.
+var ErrClosed = errors.New("store: segment store is closed")
+
+// ErrCorrupt reports a segment file damaged beyond the recoverable torn
+// tail of the newest segment.
+var ErrCorrupt = errors.New("store: corrupt segment")
+
+const (
+	segmentBackend = "segment"
+
+	// recordHeader frames every record: u32 body length, u32 CRC-32
+	// (IEEE) of the body, u64 append sequence number, then the JSON body
+	// produced by assertion.AppendViolationJSON. Little-endian.
+	recordHeader = 16
+
+	// maxRecordBytes bounds a single record body on replay; a length
+	// prefix beyond it means the header itself is garbage.
+	maxRecordBytes = 32 << 20
+
+	// flushThreshold is the pending-buffer size that forces a write to
+	// the active segment even without an explicit Sync.
+	flushThreshold = 64 << 10
+
+	checkpointName = "checkpoint.json"
+)
+
+// DefaultSegmentBytes is the segment roll threshold when Config leaves
+// SegmentBytes zero. Rolls are the append path's only fsyncs, and an
+// fsync stalls the appending caller for as long as the device takes to
+// persist the whole segment — so the default is sized to amortise that
+// stall far below the per-record work (measured in BENCH_6.json), while
+// keeping recovery replay and compaction granular enough. Smaller
+// segments tighten the machine-crash window at a direct ingest-latency
+// cost; process-crash (SIGKILL) recovery is exact at any size.
+const DefaultSegmentBytes = 64 << 20
+
+// Config configures a SegmentStore.
+type Config struct {
+	// Dir is the data directory; it is created if missing. One
+	// SegmentStore owns a directory — two stores over the same directory
+	// corrupt each other.
+	Dir string
+	// SegmentBytes is the roll threshold: once the active segment reaches
+	// it, the segment is fsync'd, sealed and a new one started
+	// (0 = DefaultSegmentBytes).
+	SegmentBytes int64
+	// NoSync disables fsync on rolls, checkpoints and close — for
+	// benchmarks and tests where machine-crash durability is not under
+	// test. Appends still reach the OS via write, so process-crash
+	// recovery stays exact.
+	NoSync bool
+}
+
+// segMeta describes one sealed segment file.
+type segMeta struct {
+	num     int
+	records int
+	bytes   int64
+}
+
+// segEntry is the in-memory mirror of one on-disk record.
+type segEntry struct {
+	seq uint64
+	v   assertion.Violation
+}
+
+// segCheckpoint is the on-disk checkpoint file: the aggregate statistics
+// as of AppendSeq, the live-segment manifest, and the eviction counters.
+// Recovery replays every record with a sequence number above AppendSeq
+// into the statistics, which makes them exact even though appends between
+// checkpoints never rewrite this file.
+type segCheckpoint struct {
+	Version   int                        `json:"version"`
+	AppendSeq uint64                     `json:"append_seq"`
+	Stats     map[string]assertion.Stats `json:"stats,omitempty"`
+	Dropped   int64                      `json:"dropped,omitempty"`
+	Compacted int64                      `json:"compacted,omitempty"`
+	Segments  []Segment                  `json:"segments,omitempty"`
+}
+
+// checkpointVersion stamps segCheckpoint files.
+const checkpointVersion = 1
+
+// SegmentStore is the on-disk ViolationStore: an append-only log of
+// length-prefixed, CRC-checked JSON records across rolling segment
+// files, mirrored in memory for queries.
+//
+// Durability model: every record is buffered in memory and written to
+// the active segment with a single write syscall on Sync (the collector
+// syncs once per ingested batch) or when the buffer exceeds 64 KiB —
+// after the write returns, the record survives a process crash (SIGKILL)
+// exactly. fsync happens on segment rolls, checkpoints, compaction and
+// close, so a machine crash loses at most the tail of the active segment
+// since the last checkpoint. The roll fsync runs on a background
+// goroutine — a sealed segment is immutable, so syncing it needs no lock
+// and must not stall appends for hundreds of milliseconds; checkpoints,
+// compaction and Close wait for outstanding seals (and surface their
+// errors) before claiming durability. Recovery replays the segment
+// files: a torn record at the tail of the newest segment is truncated
+// away; corruption anywhere else refuses to open.
+//
+// Statistics are exact across crashes without per-append checkpoint
+// writes: every record carries a monotone append sequence number, the
+// checkpoint stores the statistics as of its sequence high-water mark,
+// and recovery folds only records above that mark back in — compaction
+// can delete older records freely because their contribution is already
+// inside the checkpointed statistics.
+//
+// All methods are safe for concurrent use.
+type SegmentStore struct {
+	mu sync.Mutex
+
+	dir      string
+	segBytes int64
+	noSync   bool
+
+	active      *os.File
+	activeNum   int
+	activeBytes int64 // bytes handed to write(2); excludes pending
+	activeRecs  int
+
+	pending     []byte
+	pendingRecs int
+	scratch     []byte
+
+	finalized []segMeta // sealed segments, ascending
+
+	sealWG  sync.WaitGroup // background fsync+close of sealed segments
+	sealMu  sync.Mutex     // guards sealErr (never taken with mu held by the sealer)
+	sealErr error          // first background seal failure, latched
+
+	entries  []segEntry
+	byAssert map[string][]int32
+	byStream map[string][]int32
+
+	stats      map[string]assertion.Stats
+	totalFired int
+	appendSeq  uint64
+	dropped    int64
+	compacted  int64
+	closed     bool
+}
+
+// Open opens (or creates) the segment store in cfg.Dir, running crash
+// recovery over whatever the directory holds: checkpoint manifest,
+// sealed segments, a torn active tail, or the half-renamed files of an
+// interrupted compaction.
+func Open(cfg Config) (*SegmentStore, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("store: Config.Dir is required")
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	s := &SegmentStore{
+		dir:      cfg.Dir,
+		segBytes: cfg.SegmentBytes,
+		noSync:   cfg.NoSync,
+		byAssert: make(map[string][]int32),
+		byStream: make(map[string][]int32),
+		stats:    make(map[string]assertion.Stats),
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func segName(num int) string { return fmt.Sprintf("seg-%08d.log", num) }
+
+// segNum parses a segment number out of a seg-NNNNNNNN.log name.
+func segNum(name string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, "seg-")
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, ".log")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// recover rebuilds the store from the data directory. See the type doc
+// for the invariants it restores.
+func (s *SegmentStore) recover() error {
+	cp, haveCP, err := s.readCheckpoint()
+	if err != nil {
+		return err
+	}
+
+	names, tmps, err := s.scanDir()
+	if err != nil {
+		return err
+	}
+
+	var live []int
+	coveredSeq := uint64(0)
+	if haveCP {
+		coveredSeq = cp.AppendSeq
+		for name, st := range cp.Stats {
+			s.stats[name] = st
+		}
+		s.dropped = cp.Dropped
+		s.compacted = cp.Compacted
+
+		manifest := make(map[int]bool, len(cp.Segments))
+		maxManifest := 0
+		for _, seg := range cp.Segments {
+			num, ok := segNum(seg.Name)
+			if !ok {
+				return fmt.Errorf("%w: checkpoint names segment %q", ErrCorrupt, seg.Name)
+			}
+			manifest[num] = true
+			if num > maxManifest {
+				maxManifest = num
+			}
+			if !names[num] {
+				// A compaction crashed after writing the checkpoint but
+				// before renaming this survivor into place: promote it.
+				if !tmps[num] {
+					return fmt.Errorf("%w: segment %s is in the checkpoint manifest but missing on disk", ErrCorrupt, seg.Name)
+				}
+				if err := os.Rename(filepath.Join(s.dir, seg.Name+".tmp"), filepath.Join(s.dir, seg.Name)); err != nil {
+					return fmt.Errorf("store: promote %s: %w", seg.Name, err)
+				}
+				names[num] = true
+				delete(tmps, num)
+			}
+		}
+		for num := range names {
+			if manifest[num] || num > maxManifest {
+				// Manifest members and segments rolled after the
+				// checkpoint are live.
+				live = append(live, num)
+				continue
+			}
+			// Sealed before the checkpoint but absent from its manifest:
+			// compaction evicted it and crashed before the delete.
+			if err := os.Remove(filepath.Join(s.dir, segName(num))); err != nil {
+				return fmt.Errorf("store: drop stale segment: %w", err)
+			}
+		}
+	} else {
+		for num := range names {
+			live = append(live, num)
+		}
+	}
+	// Leftover .tmp survivors from a compaction that crashed before its
+	// checkpoint are dead: the pre-compaction segments are still live.
+	for num := range tmps {
+		if err := os.Remove(filepath.Join(s.dir, segName(num)+".tmp")); err != nil {
+			return fmt.Errorf("store: drop orphan temp segment: %w", err)
+		}
+	}
+	sort.Ints(live)
+
+	maxSeq := coveredSeq
+	for i, num := range live {
+		meta, segMax, err := s.replaySegment(num, coveredSeq, i == len(live)-1)
+		if err != nil {
+			return err
+		}
+		if segMax > maxSeq {
+			maxSeq = segMax
+		}
+		s.finalized = append(s.finalized, meta)
+	}
+	s.appendSeq = maxSeq
+	s.totalFired = 0
+	for _, st := range s.stats {
+		s.totalFired += st.Fired
+	}
+	s.rebuildIndex()
+
+	// The highest segment resumes as the active one unless it is already
+	// at the roll threshold.
+	next := 1
+	if n := len(s.finalized); n > 0 {
+		last := s.finalized[n-1]
+		if last.bytes < s.segBytes {
+			f, err := os.OpenFile(filepath.Join(s.dir, segName(last.num)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("store: reopen active segment: %w", err)
+			}
+			s.active = f
+			s.activeNum = last.num
+			s.activeBytes = last.bytes
+			s.activeRecs = last.records
+			s.finalized = s.finalized[:n-1]
+			return nil
+		}
+		next = last.num + 1
+	}
+	return s.openSegment(next)
+}
+
+// scanDir inventories segment files: names maps live numbers, tmps maps
+// numbers with a .tmp survivor file. Stray checkpoint temp files are
+// removed.
+func (s *SegmentStore) scanDir() (names, tmps map[int]bool, err error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: scan dir: %w", err)
+	}
+	names, tmps = make(map[int]bool), make(map[int]bool)
+	for _, ent := range ents {
+		name := ent.Name()
+		if strings.HasPrefix(name, checkpointName+".tmp") {
+			os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		if base, ok := strings.CutSuffix(name, ".tmp"); ok {
+			if num, ok := segNum(base); ok {
+				tmps[num] = true
+			}
+			continue
+		}
+		if num, ok := segNum(name); ok {
+			names[num] = true
+		}
+	}
+	return names, tmps, nil
+}
+
+func (s *SegmentStore) readCheckpoint() (segCheckpoint, bool, error) {
+	var cp segCheckpoint
+	data, err := os.ReadFile(filepath.Join(s.dir, checkpointName))
+	if errors.Is(err, os.ErrNotExist) {
+		return cp, false, nil
+	}
+	if err != nil {
+		return cp, false, fmt.Errorf("store: read checkpoint: %w", err)
+	}
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return cp, false, fmt.Errorf("%w: checkpoint: %v", ErrCorrupt, err)
+	}
+	if cp.Version != checkpointVersion {
+		return cp, false, fmt.Errorf("%w: checkpoint has version %d, want %d", ErrCorrupt, cp.Version, checkpointVersion)
+	}
+	return cp, true, nil
+}
+
+// replaySegment reads one segment into the in-memory mirror, folding
+// records above coveredSeq into the statistics. A torn or corrupt record
+// is truncated away when the segment is the newest (tail = the only
+// place a crash can tear); anywhere else it is refused as corruption.
+func (s *SegmentStore) replaySegment(num int, coveredSeq uint64, newest bool) (segMeta, uint64, error) {
+	path := filepath.Join(s.dir, segName(num))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return segMeta{}, 0, fmt.Errorf("store: replay %s: %w", segName(num), err)
+	}
+	meta := segMeta{num: num}
+	maxSeq := uint64(0)
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		good := false
+		if len(rest) >= recordHeader {
+			bodyLen := int(binary.LittleEndian.Uint32(rest[0:4]))
+			if bodyLen > 0 && bodyLen <= maxRecordBytes && recordHeader+bodyLen <= len(rest) {
+				body := rest[recordHeader : recordHeader+bodyLen]
+				if crc32.ChecksumIEEE(body) == binary.LittleEndian.Uint32(rest[4:8]) {
+					seq := binary.LittleEndian.Uint64(rest[8:16])
+					var v assertion.Violation
+					if err := json.Unmarshal(body, &v); err != nil {
+						return segMeta{}, 0, fmt.Errorf("%w: %s record at offset %d: %v", ErrCorrupt, segName(num), off, err)
+					}
+					if seq > coveredSeq {
+						s.foldStats(v)
+					}
+					if seq > maxSeq {
+						maxSeq = seq
+					}
+					s.appendEntry(segEntry{seq: seq, v: v})
+					meta.records++
+					off += recordHeader + bodyLen
+					good = true
+				}
+			}
+		}
+		if good {
+			continue
+		}
+		if !newest {
+			return segMeta{}, 0, fmt.Errorf("%w: %s damaged at offset %d", ErrCorrupt, segName(num), off)
+		}
+		// Torn tail: the crash interrupted the final write. Drop it.
+		if err := os.Truncate(path, int64(off)); err != nil {
+			return segMeta{}, 0, fmt.Errorf("store: truncate torn tail of %s: %w", segName(num), err)
+		}
+		data = data[:off]
+		break
+	}
+	meta.bytes = int64(len(data))
+	return meta, maxSeq, nil
+}
+
+// appendEntry adds one record to the in-memory mirror, doubling the
+// backing array when full. The runtime grows large slices by only
+// ~1.25x, so a long append stream would re-allocate — and page-fault,
+// zero and copy — about 5x the mirror's final size through the hot
+// path; doubling caps that at ~2x (a measurable share of the per-append
+// cost in BENCH_6.json).
+func (s *SegmentStore) appendEntry(e segEntry) {
+	if len(s.entries) == cap(s.entries) {
+		grown := make([]segEntry, len(s.entries), max(1024, 2*cap(s.entries)))
+		copy(grown, s.entries)
+		s.entries = grown
+	}
+	s.entries = append(s.entries, e)
+}
+
+// foldStats applies one violation to the aggregate statistics — the
+// same update Append performs, reused by replay.
+func (s *SegmentStore) foldStats(v assertion.Violation) {
+	st, ok := s.stats[v.Assertion]
+	if !ok {
+		st = assertion.Stats{FirstSample: v.SampleIndex, MaxSev: math.Inf(-1)}
+	}
+	st.Fired++
+	st.TotalSev += v.Severity
+	if v.Severity > st.MaxSev {
+		st.MaxSev = v.Severity
+	}
+	st.LastSample = v.SampleIndex
+	s.stats[v.Assertion] = st
+}
+
+// rebuildIndex recomputes the sparse per-assertion/stream posting lists
+// from the entry mirror.
+func (s *SegmentStore) rebuildIndex() {
+	s.byAssert = make(map[string][]int32)
+	s.byStream = make(map[string][]int32)
+	for i, e := range s.entries {
+		s.indexEntry(int32(i), e.v)
+	}
+}
+
+func (s *SegmentStore) indexEntry(idx int32, v assertion.Violation) {
+	s.byAssert[v.Assertion] = append(s.byAssert[v.Assertion], idx)
+	if v.Stream != "" {
+		s.byStream[v.Stream] = append(s.byStream[v.Stream], idx)
+	}
+}
+
+func (s *SegmentStore) openSegment(num int) error {
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(num)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: open segment: %w", err)
+	}
+	s.active = f
+	s.activeNum = num
+	s.activeBytes = 0
+	s.activeRecs = 0
+	return nil
+}
+
+// Append implements ViolationStore. The record lands in the pending
+// buffer; Sync (or the 64 KiB threshold, or a segment roll) hands it to
+// the OS.
+func (s *SegmentStore) Append(v assertion.Violation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	body, err := assertion.AppendViolationJSON(s.scratch[:0], v)
+	if err != nil {
+		return err
+	}
+	s.scratch = body[:0] // keep the capacity for the next encode
+
+	seq := s.appendSeq + 1
+	var hdr [recordHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	s.pending = append(s.pending, hdr[:]...)
+	s.pending = append(s.pending, body...)
+	s.pendingRecs++
+	s.appendSeq = seq
+
+	s.foldStats(v)
+	s.totalFired++
+	idx := int32(len(s.entries))
+	s.appendEntry(segEntry{seq: seq, v: v})
+	s.indexEntry(idx, v)
+
+	return s.maybeFlushRollLocked()
+}
+
+// maybeFlushRollLocked flushes when the pending buffer is large and
+// rolls when the active segment (flushed + pending) has reached the
+// threshold.
+func (s *SegmentStore) maybeFlushRollLocked() error {
+	if s.activeBytes+int64(len(s.pending)) >= s.segBytes {
+		return s.rollLocked()
+	}
+	if len(s.pending) >= flushThreshold {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// flushLocked writes the pending buffer to the active segment with one
+// write syscall; after it returns, those records survive a process
+// crash.
+func (s *SegmentStore) flushLocked() error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	if _, err := s.active.Write(s.pending); err != nil {
+		return fmt.Errorf("store: write segment: %w", err)
+	}
+	s.activeBytes += int64(len(s.pending))
+	s.activeRecs += s.pendingRecs
+	s.pending = s.pending[:0]
+	s.pendingRecs = 0
+	return nil
+}
+
+// rollLocked seals the active segment and starts the next one. The
+// sealed file is flushed here (so every record is already past write(2))
+// but fsynced and closed on a background goroutine: the file is
+// immutable from this point, and an in-line fsync of a segment-sized
+// file stalls the append path for as long as the disk needs to drain it.
+// sealBarrierLocked collects the outcome at the next durability point.
+func (s *SegmentStore) rollLocked() error {
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	sealed, num := s.active, s.activeNum
+	s.sealWG.Add(1)
+	go func() {
+		defer s.sealWG.Done()
+		var err error
+		if !s.noSync {
+			err = sealed.Sync()
+		}
+		if cerr := sealed.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			s.sealMu.Lock()
+			if s.sealErr == nil {
+				s.sealErr = fmt.Errorf("store: seal %s: %w", segName(num), err)
+			}
+			s.sealMu.Unlock()
+		}
+	}()
+	s.finalized = append(s.finalized, segMeta{num: s.activeNum, records: s.activeRecs, bytes: s.activeBytes})
+	return s.openSegment(s.activeNum + 1)
+}
+
+// sealBarrierLocked waits for every background seal to finish and
+// returns the first seal failure, if any. Durability points (checkpoint,
+// compaction, Clear, Close) must pass this barrier before promising that
+// sealed segments are on stable storage.
+func (s *SegmentStore) sealBarrierLocked() error {
+	s.sealWG.Wait()
+	s.sealMu.Lock()
+	defer s.sealMu.Unlock()
+	return s.sealErr
+}
+
+// Sync implements ViolationStore: flush the pending buffer to the OS.
+func (s *SegmentStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.flushLocked()
+}
+
+// manifestLocked lists the live segments, active last.
+func (s *SegmentStore) manifestLocked() []Segment {
+	out := make([]Segment, 0, len(s.finalized)+1)
+	for _, m := range s.finalized {
+		out = append(out, Segment{Name: segName(m.num), Records: m.records, Bytes: m.bytes})
+	}
+	out = append(out, Segment{Name: segName(s.activeNum), Records: s.activeRecs, Bytes: s.activeBytes})
+	return out
+}
+
+// checkpointLocked makes the store durable: flush, fsync the active
+// segment, and atomically replace the checkpoint file with the current
+// statistics, manifest and sequence high-water mark.
+func (s *SegmentStore) checkpointLocked() (Checkpoint, error) {
+	if err := s.flushLocked(); err != nil {
+		return Checkpoint{}, err
+	}
+	if err := s.sealBarrierLocked(); err != nil {
+		return Checkpoint{}, err
+	}
+	if !s.noSync {
+		if err := s.active.Sync(); err != nil {
+			return Checkpoint{}, fmt.Errorf("store: fsync segment: %w", err)
+		}
+	}
+	cp := segCheckpoint{
+		Version:   checkpointVersion,
+		AppendSeq: s.appendSeq,
+		Stats:     make(map[string]assertion.Stats, len(s.stats)),
+		Dropped:   s.dropped,
+		Compacted: s.compacted,
+		Segments:  s.manifestLocked(),
+	}
+	for name, st := range s.stats {
+		cp.Stats[name] = st
+	}
+	if err := s.writeCheckpointFile(cp); err != nil {
+		return Checkpoint{}, err
+	}
+	return s.wireCheckpointLocked(true), nil
+}
+
+// wireCheckpointLocked builds the StoreCheckpoint handed to callers.
+func (s *SegmentStore) wireCheckpointLocked(durable bool) Checkpoint {
+	return Checkpoint{
+		Backend:    segmentBackend,
+		Durable:    durable && !s.noSync,
+		Dir:        s.dir,
+		Entries:    len(s.entries),
+		TotalFired: s.totalFired,
+		AppendSeq:  s.appendSeq,
+		Segments:   s.manifestLocked(),
+	}
+}
+
+func (s *SegmentStore) writeCheckpointFile(cp segCheckpoint) error {
+	data, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode checkpoint: %w", err)
+	}
+	tmp := filepath.Join(s.dir, checkpointName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: write checkpoint: %w", err)
+	}
+	_, err = f.Write(append(data, '\n'))
+	if err == nil && !s.noSync {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(s.dir, checkpointName))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: write checkpoint: %w", err)
+	}
+	if !s.noSync {
+		return syncDir(s.dir)
+	}
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: fsync dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: fsync dir: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint implements ViolationStore.
+func (s *SegmentStore) Checkpoint() (Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.wireCheckpointLocked(true), nil
+	}
+	return s.checkpointLocked()
+}
+
+// Violations implements ViolationStore.
+func (s *SegmentStore) Violations() []assertion.Violation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]assertion.Violation, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = e.v
+	}
+	return out
+}
+
+// ByAssertion implements ViolationStore, served from the sparse index.
+func (s *SegmentStore) ByAssertion(name string) []assertion.Violation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idxs := s.byAssert[name]
+	if len(idxs) == 0 {
+		return nil
+	}
+	out := make([]assertion.Violation, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.entries[idx].v
+	}
+	return out
+}
+
+// Query implements ViolationStore. When the query names an assertion or
+// stream, candidates come from the sparse posting lists instead of a
+// full scan.
+func (s *SegmentStore) Query(q Query) []assertion.Violation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []assertion.Violation
+	scan := func(idxs []int32) {
+		for _, idx := range idxs {
+			if v := s.entries[idx].v; q.Matches(v) {
+				out = append(out, v)
+			}
+		}
+	}
+	switch {
+	case q.Assertion != "":
+		scan(s.byAssert[q.Assertion])
+	case q.Stream != "":
+		scan(s.byStream[q.Stream])
+	default:
+		for _, e := range s.entries {
+			if q.Matches(e.v) {
+				out = append(out, e.v)
+			}
+		}
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[len(out)-q.Limit:]
+	}
+	return out
+}
+
+// Stats implements ViolationStore.
+func (s *SegmentStore) Stats(name string) (assertion.Stats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.stats[name]
+	if ok && math.IsInf(st.MaxSev, -1) {
+		st.MaxSev = 0
+	}
+	return st, ok
+}
+
+// StatsAll implements ViolationStore.
+func (s *SegmentStore) StatsAll() map[string]assertion.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsAllLocked()
+}
+
+func (s *SegmentStore) statsAllLocked() map[string]assertion.Stats {
+	out := make(map[string]assertion.Stats, len(s.stats))
+	for name, st := range s.stats {
+		if math.IsInf(st.MaxSev, -1) {
+			st.MaxSev = 0
+		}
+		out[name] = st
+	}
+	return out
+}
+
+// TotalFired implements ViolationStore.
+func (s *SegmentStore) TotalFired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalFired
+}
+
+// Dropped implements ViolationStore. The on-disk log has no size bound
+// of its own, so this is nonzero only when a legacy snapshot carrying a
+// drop count was restored.
+func (s *SegmentStore) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Compacted implements ViolationStore.
+func (s *SegmentStore) Compacted() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compacted
+}
+
+// Compact implements ViolationStore with the same retention semantics as
+// the in-memory backend, rewriting the segment files crash-safely.
+func (s *SegmentStore) Compact(minIngestUnix int64, maxPerAssertion int) (int, error) {
+	if minIngestUnix <= 0 && maxPerAssertion <= 0 {
+		return 0, nil
+	}
+	return s.compact(minIngestUnix, assertion.CompactionBudget(maxPerAssertion, nil))
+}
+
+// CompactBudgets implements ViolationStore.
+func (s *SegmentStore) CompactBudgets(budgets map[string]int) (int, error) {
+	if len(budgets) == 0 {
+		return 0, nil
+	}
+	return s.compact(0, assertion.CompactionBudget(0, budgets))
+}
+
+// compact rewrites the live segments with only the surviving records.
+// The protocol is crash-safe at every step: survivors are written to
+// .tmp files under NEW segment numbers (original sequence numbers
+// preserved), fsync'd, then a checkpoint naming the final files is
+// written, then the .tmp files are renamed into place and the old
+// segments deleted. recover() completes whichever half was interrupted:
+// before the checkpoint the old segments are still authoritative (orphan
+// .tmp files are discarded); after it, the survivors are (missing
+// renames are promoted, manifest-absent old segments dropped).
+func (s *SegmentStore) compact(minIngestUnix int64, budget func(string) (int, bool)) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if err := s.flushLocked(); err != nil {
+		return 0, err
+	}
+	// Compaction rewrites and then deletes the sealed generation; settle
+	// any background seals (and surface their failures) before touching it.
+	if err := s.sealBarrierLocked(); err != nil {
+		return 0, err
+	}
+
+	vs := make([]assertion.Violation, len(s.entries))
+	for i, e := range s.entries {
+		vs[i] = e.v
+	}
+	mask := assertion.PlanCompaction(vs, minIngestUnix, budget)
+	survivors := make([]segEntry, 0, len(s.entries))
+	for i, keep := range mask {
+		if keep {
+			survivors = append(survivors, s.entries[i])
+		}
+	}
+	evicted := len(s.entries) - len(survivors)
+	if evicted == 0 {
+		return 0, nil
+	}
+
+	// Write survivors into fresh segment files (numbers above every
+	// existing one), respecting the roll threshold.
+	firstNew := s.activeNum + 1
+	var newMetas []segMeta
+	var buf []byte
+	num := firstNew
+	records := 0
+	writeOut := func() error {
+		path := filepath.Join(s.dir, segName(num)+".tmp")
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		if !s.noSync {
+			f, err := os.OpenFile(path, os.O_WRONLY, 0)
+			if err != nil {
+				return fmt.Errorf("store: compact: %w", err)
+			}
+			err = f.Sync()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("store: compact fsync: %w", err)
+			}
+		}
+		newMetas = append(newMetas, segMeta{num: num, records: records, bytes: int64(len(buf))})
+		num++
+		records = 0
+		buf = buf[:0]
+		return nil
+	}
+	for _, e := range survivors {
+		body, err := assertion.AppendViolationJSON(nil, e.v)
+		if err != nil {
+			return 0, fmt.Errorf("store: compact encode: %w", err)
+		}
+		var hdr [recordHeader]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+		binary.LittleEndian.PutUint64(hdr[8:16], e.seq)
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, body...)
+		records++
+		if int64(len(buf)) >= s.segBytes {
+			if err := writeOut(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	// Always emit a final segment, even when empty: the store needs an
+	// active segment to append to.
+	if err := writeOut(); err != nil {
+		return 0, err
+	}
+
+	// Checkpoint naming the final files commits the compaction.
+	cp := segCheckpoint{
+		Version:   checkpointVersion,
+		AppendSeq: s.appendSeq,
+		Stats:     make(map[string]assertion.Stats, len(s.stats)),
+		Dropped:   s.dropped,
+		Compacted: s.compacted + int64(evicted),
+	}
+	for name, st := range s.stats {
+		cp.Stats[name] = st
+	}
+	for _, m := range newMetas {
+		cp.Segments = append(cp.Segments, Segment{Name: segName(m.num), Records: m.records, Bytes: m.bytes})
+	}
+	if err := s.writeCheckpointFile(cp); err != nil {
+		return 0, err
+	}
+
+	for _, m := range newMetas {
+		final := filepath.Join(s.dir, segName(m.num))
+		if err := os.Rename(final+".tmp", final); err != nil {
+			return 0, fmt.Errorf("store: compact rename: %w", err)
+		}
+	}
+	if !s.noSync {
+		if err := syncDir(s.dir); err != nil {
+			return 0, err
+		}
+	}
+
+	// Retire the old generation.
+	oldActive := s.active
+	old := append([]segMeta{}, s.finalized...)
+	old = append(old, segMeta{num: s.activeNum})
+	oldActive.Close()
+	for _, m := range old {
+		if err := os.Remove(filepath.Join(s.dir, segName(m.num))); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return 0, fmt.Errorf("store: compact cleanup: %w", err)
+		}
+	}
+
+	// Adopt the new generation: the last new segment becomes active.
+	last := newMetas[len(newMetas)-1]
+	s.finalized = nil
+	for _, m := range newMetas[:len(newMetas)-1] {
+		s.finalized = append(s.finalized, m)
+	}
+	if err := s.openSegment(last.num); err != nil {
+		return 0, err
+	}
+	s.activeBytes = last.bytes
+	s.activeRecs = last.records
+
+	s.entries = survivors
+	s.rebuildIndex()
+	s.compacted += int64(evicted)
+	return evicted, nil
+}
+
+// Export implements ViolationStore as a cheap checkpoint: the snapshot
+// carries the statistics and the store manifest, never the violation
+// log — the segment files are the durable log and recover themselves on
+// Open.
+func (s *SegmentStore) Export() assertion.RecorderSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var cp Checkpoint
+	if s.closed {
+		cp = s.wireCheckpointLocked(true)
+	} else {
+		var err error
+		cp, err = s.checkpointLocked()
+		if err != nil {
+			// The snapshot is still shape-correct; Durable false tells
+			// the reader the disk state may lag it.
+			cp = s.wireCheckpointLocked(false)
+			cp.Durable = false
+		}
+	}
+	return assertion.RecorderSnapshot{
+		Stats:      s.statsAllLocked(),
+		LogDropped: s.dropped,
+		Compacted:  s.compacted,
+		Store:      &cp,
+	}
+}
+
+// Replace implements ViolationStore. A snapshot that itself came from a
+// segment store is a no-op: the segment files already recovered the
+// state on Open, and the snapshot carries no violations to restore. A
+// legacy in-memory snapshot (violation log embedded) migrates into the
+// store: the log is rewritten as segments and the statistics adopted
+// wholesale.
+func (s *SegmentStore) Replace(snap assertion.RecorderSnapshot) error {
+	if snap.Store != nil && snap.Store.Backend == segmentBackend {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.clearLocked(); err != nil {
+		return err
+	}
+	for name, st := range snap.Stats {
+		s.stats[name] = st
+		s.totalFired += st.Fired
+	}
+	s.dropped = snap.LogDropped
+	s.compacted = snap.Compacted
+	for _, v := range snap.Violations {
+		seq := s.appendSeq + 1
+		body, err := assertion.AppendViolationJSON(s.scratch[:0], v)
+		if err != nil {
+			return err
+		}
+		s.scratch = body[:0]
+		var hdr [recordHeader]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+		binary.LittleEndian.PutUint64(hdr[8:16], seq)
+		s.pending = append(s.pending, hdr[:]...)
+		s.pending = append(s.pending, body...)
+		s.pendingRecs++
+		s.appendSeq = seq
+		idx := int32(len(s.entries))
+		s.appendEntry(segEntry{seq: seq, v: v})
+		s.indexEntry(idx, v)
+		if err := s.maybeFlushRollLocked(); err != nil {
+			return err
+		}
+	}
+	// The checkpoint's AppendSeq covers every migrated record, so a
+	// recovery will not fold them into the adopted statistics twice.
+	_, err := s.checkpointLocked()
+	return err
+}
+
+// Clear implements ViolationStore: every segment and the checkpoint are
+// deleted and the store restarts empty.
+func (s *SegmentStore) Clear() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.clearLocked()
+}
+
+func (s *SegmentStore) clearLocked() error {
+	// Settle background seals before deleting their files; whatever they
+	// reported no longer matters once the store is reset.
+	s.sealWG.Wait()
+	s.sealMu.Lock()
+	s.sealErr = nil
+	s.sealMu.Unlock()
+	if s.active != nil {
+		s.active.Close()
+		s.active = nil
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: clear: %w", err)
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		_, isSeg := segNum(strings.TrimSuffix(name, ".tmp"))
+		if isSeg || name == checkpointName || strings.HasPrefix(name, checkpointName+".tmp") {
+			if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+				return fmt.Errorf("store: clear: %w", err)
+			}
+		}
+	}
+	s.pending = s.pending[:0]
+	s.pendingRecs = 0
+	s.finalized = nil
+	s.entries = nil
+	s.byAssert = make(map[string][]int32)
+	s.byStream = make(map[string][]int32)
+	s.stats = make(map[string]assertion.Stats)
+	s.totalFired = 0
+	s.appendSeq = 0
+	s.dropped = 0
+	s.compacted = 0
+	return s.openSegment(1)
+}
+
+// Info implements ViolationStore.
+func (s *SegmentStore) Info() Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bytes := s.activeBytes + int64(len(s.pending))
+	for _, m := range s.finalized {
+		bytes += m.bytes
+	}
+	return Info{
+		Backend:  segmentBackend,
+		Entries:  len(s.entries),
+		Segments: len(s.finalized) + 1,
+		Bytes:    bytes,
+	}
+}
+
+// Close implements ViolationStore: a final checkpoint, then the active
+// segment is closed. Appends after Close fail with ErrClosed; queries
+// keep working from the in-memory mirror.
+func (s *SegmentStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	_, err := s.checkpointLocked()
+	if cerr := s.active.Close(); err == nil {
+		err = cerr
+	}
+	s.closed = true
+	return err
+}

@@ -1,0 +1,51 @@
+// Package store is the violation storage seam: the pluggable backend a
+// Recorder (and the collector's per-shard recorders) keep their queryable
+// violation log and aggregate statistics in.
+//
+// Two backends implement ViolationStore:
+//
+//   - MemStore — the in-memory default: a bounded ring-buffer log with
+//     O(1) eviction plus lock-free per-assertion statistics, extracted
+//     from the original assertion.Recorder internals. Fast, but a crash
+//     loses everything since the last wire snapshot.
+//   - SegmentStore (this package) — an append-only on-disk backend:
+//     length-prefixed, CRC-checked segment files holding one JSON
+//     violation per record, a sparse per-assertion/stream index for
+//     queries, fsync'd segment rolls and checkpoints, crash-safe
+//     compaction with the same retention semantics as
+//     Recorder.Compact/CompactBudgets, and exact crash recovery by
+//     segment replay.
+//
+// The interface and the in-memory backend are declared in
+// internal/assertion and aliased here: Go's import graph forbids
+// assertion -> store (every backend needs the Violation and Stats
+// types), while Recorder must still accept any backend. Aliasing makes
+// the two packages share one set of types, so a *store.SegmentStore is a
+// valid assertion.ViolationStore with no adapter.
+package store
+
+import "omg/internal/assertion"
+
+// ViolationStore is the storage seam interface; see
+// assertion.ViolationStore for the contract.
+type ViolationStore = assertion.ViolationStore
+
+// Query selects retained violations from a store.
+type Query = assertion.StoreQuery
+
+// Info describes a store's current shape for metrics.
+type Info = assertion.StoreInfo
+
+// Checkpoint is a store's durable recovery point: manifest plus
+// high-water marks.
+type Checkpoint = assertion.StoreCheckpoint
+
+// Segment describes one live segment file in a checkpoint manifest.
+type Segment = assertion.StoreSegment
+
+// MemStore is the in-memory backend.
+type MemStore = assertion.MemStore
+
+// NewMemStore returns an in-memory store keeping at most limit
+// violations in its log (0 or negative = unbounded).
+func NewMemStore(limit int) *MemStore { return assertion.NewMemStore(limit) }

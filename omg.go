@@ -80,6 +80,8 @@ type (
 	SamplingSink = assertion.SamplingSink
 	// RotatingFileSink writes size- and age-rotated JSONL files.
 	RotatingFileSink = assertion.RotatingFileSink
+	// JSONLConfig is a JSONLSink's queue depth and close-time fsync policy.
+	JSONLConfig = assertion.JSONLConfig
 	// RotateConfig is a RotatingFileSink's size/age/retention policy.
 	RotateConfig = assertion.RotateConfig
 	// SinkFactory builds a Sink from string parameters; backends register
@@ -87,6 +89,23 @@ type (
 	SinkFactory = assertion.SinkFactory
 	// RecorderSnapshot is a JSON-serialisable copy of a Recorder's state.
 	RecorderSnapshot = assertion.RecorderSnapshot
+
+	// ViolationStore is the pluggable storage seam under a Recorder:
+	// append, query, stats, compaction, durable checkpoint. MemStore is
+	// the in-memory implementation; internal/store's SegmentStore is the
+	// crash-recoverable on-disk one (omg-server -store=disk).
+	ViolationStore = assertion.ViolationStore
+	// MemStore is the bounded in-memory ViolationStore.
+	MemStore = assertion.MemStore
+	// StoreQuery selects violations by assertion, stream and ingest-time
+	// window with a newest-N limit.
+	StoreQuery = assertion.StoreQuery
+	// StoreInfo describes a store's backend, size and segment count.
+	StoreInfo = assertion.StoreInfo
+	// StoreCheckpoint is a store's durable manifest + statistics mark.
+	StoreCheckpoint = assertion.StoreCheckpoint
+	// StoreSegment describes one on-disk segment in a checkpoint manifest.
+	StoreSegment = assertion.StoreSegment
 
 	// HTTPSink exports violation batches to an omg-server collector over
 	// HTTP with bounded queueing, coalescing, retries and drop counting.
@@ -117,6 +136,13 @@ var ErrSinkClosed = assertion.ErrSinkClosed
 // NewJSONLSink returns an asynchronous JSONL sink over w with the given
 // queue depth (<= 0 uses the default of 1024).
 func NewJSONLSink(w io.Writer, depth int) *JSONLSink { return assertion.NewJSONLSink(w, depth) }
+
+// NewJSONLSinkConfig returns an asynchronous JSONL sink shaped by cfg —
+// queue depth plus SyncOnClose, which fsyncs file-backed writers before
+// Close returns.
+func NewJSONLSinkConfig(w io.Writer, cfg JSONLConfig) *JSONLSink {
+	return assertion.NewJSONLSinkConfig(w, cfg)
+}
 
 // AppendViolationJSON appends v's JSON object to dst without reflection
 // or allocation (given capacity), byte-identical to json.Marshal(v) — the
@@ -183,6 +209,26 @@ func NewCollector(limit int) *Collector { return export.NewCollector(limit) }
 // NewCollectorConfig returns a collector shaped by cfg — sharded ingest,
 // retention policy, live tail. Close it when done.
 func NewCollectorConfig(cfg CollectorConfig) *Collector { return export.NewCollectorConfig(cfg) }
+
+// OpenCollector returns a collector with its violation store chosen by
+// cfg.Store: StoreMem (the default) or StoreDisk, which recovers and
+// appends to crash-recoverable segment files under cfg.DataDir.
+func OpenCollector(cfg CollectorConfig) (*Collector, error) { return export.OpenCollector(cfg) }
+
+// Store backends for CollectorConfig.Store / omg-server -store.
+const (
+	StoreMem  = export.StoreMem
+	StoreDisk = export.StoreDisk
+)
+
+// NewMemStore returns an in-memory ViolationStore keeping at most limit
+// violations (0 = unbounded); aggregate statistics stay complete past
+// eviction.
+func NewMemStore(limit int) *MemStore { return assertion.NewMemStore(limit) }
+
+// NewRecorderWithStore returns a Recorder persisting through s instead of
+// the default in-memory store.
+func NewRecorderWithStore(s ViolationStore) *Recorder { return assertion.NewRecorderWithStore(s) }
 
 // ShardFor routes a key to one of n shards with FNV-1a — the routing seam
 // MonitorPool uses for streams and the collector uses for batch sources.

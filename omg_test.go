@@ -127,6 +127,45 @@ func TestFacadeCCMAB(t *testing.T) {
 	c.Update(arms[0], 1)
 }
 
+func TestFacadeViolationStore(t *testing.T) {
+	// A Recorder over an explicit MemStore, queried through the seam.
+	var s omg.ViolationStore = omg.NewMemStore(0)
+	rec := omg.NewRecorderWithStore(s)
+	rec.Record(omg.Violation{Assertion: "lights", Stream: "cam-0", Severity: 2})
+	rec.Record(omg.Violation{Assertion: "flicker", Stream: "cam-1", Severity: 1})
+	got := s.Query(omg.StoreQuery{Assertion: "lights"})
+	if len(got) != 1 || got[0].Stream != "cam-0" {
+		t.Fatalf("store query = %+v", got)
+	}
+	if info := s.Info(); info.Entries != 2 {
+		t.Fatalf("store info = %+v", info)
+	}
+
+	// A disk-backed collector via the facade survives reopen.
+	dir := t.TempDir()
+	c, err := omg.OpenCollector(omg.CollectorConfig{Store: omg.StoreDisk, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Ingest(omg.ViolationBatch{Source: "edge", Seq: 1, Violations: []omg.Violation{
+		{Assertion: "lights", Stream: "cam-0", SampleIndex: 1, Severity: 2},
+	}})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err = omg.OpenCollector(omg.CollectorConfig{Store: omg.StoreDisk, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.TotalFired() != 1 {
+		t.Fatalf("recovered %d violations, want 1", c.TotalFired())
+	}
+	if _, dup := c.Ingest(omg.ViolationBatch{Source: "edge", Seq: 1}); !dup {
+		t.Fatal("dedup mark lost across reopen")
+	}
+}
+
 func TestFacadeRegistryNames(t *testing.T) {
 	reg := omg.NewRegistry()
 	for i := 0; i < 5; i++ {
