@@ -10,9 +10,20 @@
 //	POST /v1/violations        ingest one wire batch (exactly-once per source+seq)
 //	GET  /v1/summary           per-assertion firing counts + totals
 //	GET  /v1/violations/query  retained violations, ?assertion= ?stream= ?limit=
-//	GET  /v1/violations/tail   SSE live tail, ?assertion= ?stream=
-//	GET  /healthz              liveness
+//	GET  /v1/violations/tail   SSE live tail, ?assertion= ?stream= (violation + weaklabel events)
+//	GET  /v1/labels/next       lease the next labeling batch, ?budget= ?puller=
+//	POST /v1/labels/feedback   post labels back: releases leases, rewards the selector
+//	GET  /v1/labels/stats      label loop summary
+//	GET  /healthz              liveness (503 once shutdown has begun)
 //	GET  /metrics              Prometheus text format
+//
+// The labels endpoints close the paper's active-learning loop (§3): the
+// collector assembles per-sample candidates from the retained violations,
+// ranks them with -label-selector (BAL by default; ccmab, uncertainty,
+// uniform-ma, random), and leases budgeted, per-assertion-diverse batches
+// for -lease-ttl so two pullers never hold the same sample. With
+// -store=disk the selector's round state, the leases and the labeled set
+// persist under -data-dir and survive SIGKILL.
 //
 // Ingest fan-in scales with -shards: batches route by source, so
 // concurrent senders append to independent recorders. -retain-age and
@@ -42,6 +53,9 @@
 //	           [-snapshot state.json] [-snapshot-every DUR]
 //	           [-log violations.jsonl]
 //	           [-store mem|disk] [-data-dir DIR] [-segment-bytes N]
+//	           [-label-selector bal|ccmab|uncertainty|uniform-ma|random]
+//	           [-label-seed N] [-label-budget N] [-lease-ttl DUR]
+//	           [-drain DUR]
 package main
 
 import (
@@ -61,6 +75,7 @@ import (
 
 	"omg/internal/assertion"
 	"omg/internal/export"
+	"omg/internal/labelsvc"
 )
 
 func main() {
@@ -76,6 +91,11 @@ func main() {
 	storeKind := flag.String("store", export.StoreMem, "violation store backend: mem (in-memory) or disk (crash-recoverable segment files under -data-dir)")
 	dataDir := flag.String("data-dir", "", "data directory for -store=disk (created if missing)")
 	segmentBytes := flag.Int64("segment-bytes", 0, "target size of one on-disk segment file for -store=disk (0 = 64 MiB default)")
+	labelSelector := flag.String("label-selector", "bal", "label-selection strategy: bal, ccmab, uncertainty, uniform-ma or random")
+	labelSeed := flag.Int64("label-seed", 1, "seed for the label selector's per-round RNG derivation")
+	labelBudget := flag.Int("label-budget", 16, "default /v1/labels/next batch size when the pull names no ?budget=")
+	leaseTTL := flag.Duration("lease-ttl", 5*time.Minute, "how long a served label candidate stays exclusively leased to its puller")
+	drain := flag.Duration("drain", 0, "after a shutdown signal, keep the listener answering (with /healthz reporting 503) this long so load balancers drain the instance first")
 	flag.Parse()
 	if *retain < 0 {
 		log.Fatalf("-retain must be >= 0")
@@ -92,6 +112,15 @@ func main() {
 	if *storeKind == export.StoreDisk && *dataDir == "" {
 		log.Fatalf("-store=disk requires -data-dir")
 	}
+	if *labelBudget < 1 {
+		log.Fatalf("-label-budget must be >= 1")
+	}
+	if *leaseTTL <= 0 {
+		log.Fatalf("-lease-ttl must be positive")
+	}
+	if *drain < 0 {
+		log.Fatalf("-drain must be >= 0")
+	}
 
 	c, err := export.OpenCollector(export.CollectorConfig{
 		Retain:             *retain,
@@ -102,6 +131,12 @@ func main() {
 		Store:              *storeKind,
 		DataDir:            *dataDir,
 		SegmentBytes:       *segmentBytes,
+		Labels: labelsvc.Config{
+			Selector:      *labelSelector,
+			Seed:          *labelSeed,
+			DefaultBudget: *labelBudget,
+			LeaseTTL:      *leaseTTL,
+		},
 	})
 	if err != nil {
 		log.Fatalf("open collector: %v", err)
@@ -179,6 +214,13 @@ func main() {
 	select {
 	case sig := <-stop:
 		log.Printf("received %s; shutting down", sig)
+		if *drain > 0 {
+			// Flip /healthz to 503 (Quiesce marks the collector closing)
+			// and keep serving so load balancers notice and stop routing
+			// here before the listener goes away.
+			c.Quiesce()
+			time.Sleep(*drain)
+		}
 	case err := <-errCh:
 		// A serve failure must exit through the same persist sequence as
 		// SIGTERM: everything ingested so far (and the dedup marks) still

@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strconv"
 	"strings"
@@ -19,6 +20,7 @@ import (
 
 	"omg/internal/assertion"
 	"omg/internal/export"
+	"omg/internal/labelsvc"
 )
 
 // serverBin and monitorBin are built once by TestMain; empty when the go
@@ -538,5 +540,308 @@ func TestEndToEndMonitorRotateInterval(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "JSONL violation log written") {
 		t.Fatalf("log line missing:\n%s", out)
+	}
+}
+
+// labelViolations builds a deterministic labeling pool for one stream:
+// every sample fires "lights" (severity cycling 1..5) and even samples
+// additionally fire the consistency-generated "track:flicker".
+func labelViolations(stream string, n int) []assertion.Violation {
+	var out []assertion.Violation
+	for i := 0; i < n; i++ {
+		out = append(out, assertion.Violation{Assertion: "lights", Stream: stream, SampleIndex: i, Severity: 1 + float64(i%5)})
+		if i%2 == 0 {
+			out = append(out, assertion.Violation{Assertion: "track:flicker", Stream: stream, SampleIndex: i, Severity: 2})
+		}
+	}
+	return out
+}
+
+func pullLabels(t *testing.T, baseURL string, budget int, puller string) export.LabelsNextResponse {
+	t.Helper()
+	var out export.LabelsNextResponse
+	body := getRaw(t, baseURL, fmt.Sprintf("/v1/labels/next?budget=%d&puller=%s", budget, puller))
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decode labels batch: %v\n%s", err, body)
+	}
+	return out
+}
+
+func postFeedback(t *testing.T, baseURL string, req export.LabelsFeedbackRequest) export.LabelsFeedbackResponse {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/labels/feedback", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback returned %s", resp.Status)
+	}
+	var out export.LabelsFeedbackResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func responseKeys(r export.LabelsNextResponse) []labelsvc.SampleKey {
+	keys := make([]labelsvc.SampleKey, len(r.Candidates))
+	for i, c := range r.Candidates {
+		keys[i] = c.SampleKey
+	}
+	return keys
+}
+
+func batchKeys(b labelsvc.Batch) []labelsvc.SampleKey {
+	keys := make([]labelsvc.SampleKey, len(b.Candidates))
+	for i, c := range b.Candidates {
+		keys[i] = c.SampleKey
+	}
+	return keys
+}
+
+// sliceSource adapts a fixed violation slice to labelsvc.ViolationSource,
+// standing in for the collector when driving a reference service.
+type sliceSource []assertion.Violation
+
+func (s sliceSource) Violations() []assertion.Violation { return s }
+
+// TestEndToEndLabelLoop drives the paper's active-learning loop over HTTP
+// — two edge sources ingest, two pullers lease disjoint batches, labels
+// post back — and holds the served selection to the exact trace an
+// in-process labelsvc over the same pool and seed produces: the BAL round
+// state behind /v1/labels/next is deterministic, not merely plausible.
+func TestEndToEndLabelLoop(t *testing.T) {
+	needBinaries(t)
+	baseURL, server := startServer(t, "-label-seed", "42", "-label-budget", "4")
+	defer stopServer(t, server)
+
+	vs1 := labelViolations("cam-0", 10)
+	vs2 := labelViolations("cam-1", 10)
+	postWireBatch(t, baseURL, export.Batch{Version: export.WireVersion, Source: "edge-01", Seq: 1, Violations: vs1})
+	postWireBatch(t, baseURL, export.Batch{Version: export.WireVersion, Source: "edge-02", Seq: 1, Violations: vs2})
+
+	// The reference trace: same seed, same pool, same pull sequence.
+	pool := append(append(sliceSource{}, vs1...), vs2...)
+	ref, err := labelsvc.New(pool, labelsvc.Config{Seed: 42, DefaultBudget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.ObserveBatch("edge-01", vs1)
+	ref.ObserveBatch("edge-02", vs2)
+
+	refNext := func(budget int, puller string) labelsvc.Batch {
+		t.Helper()
+		b, err := ref.Next(budget, puller)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	got1 := pullLabels(t, baseURL, 4, "alice")
+	want1 := refNext(4, "alice")
+	if got1.Selector != "bal" || got1.Round != want1.Round || got1.Count != 4 {
+		t.Fatalf("first pull: selector=%q round=%d count=%d, want bal/%d/4",
+			got1.Selector, got1.Round, got1.Count, want1.Round)
+	}
+	if !reflect.DeepEqual(responseKeys(got1), batchKeys(want1)) {
+		t.Fatalf("served batch diverges from the bandit reference trace:\n got %+v\nwant %+v",
+			responseKeys(got1), batchKeys(want1))
+	}
+	for _, c := range got1.Candidates {
+		if len(c.Severities) == 0 || c.TopAssertion == "" || c.LeaseUntilUnix == 0 {
+			t.Fatalf("candidate missing features or lease: %+v", c)
+		}
+	}
+
+	got2 := pullLabels(t, baseURL, 4, "bob")
+	want2 := refNext(4, "bob")
+	if !reflect.DeepEqual(responseKeys(got2), batchKeys(want2)) {
+		t.Fatalf("second pull diverges from the reference trace:\n got %+v\nwant %+v",
+			responseKeys(got2), batchKeys(want2))
+	}
+	seen := map[labelsvc.SampleKey]bool{}
+	for _, k := range responseKeys(got1) {
+		seen[k] = true
+	}
+	for _, k := range responseKeys(got2) {
+		if seen[k] {
+			t.Fatalf("sample %+v leased to both pullers", k)
+		}
+	}
+
+	// Label alice's batch; the same feedback feeds the reference.
+	fb := export.LabelsFeedbackRequest{Version: export.WireVersion}
+	for _, c := range got1.Candidates {
+		fb.Labels = append(fb.Labels, labelsvc.Feedback{SampleKey: c.SampleKey, Label: "error", ModelCorrect: false})
+	}
+	res := postFeedback(t, baseURL, fb)
+	if res.Applied != 4 || res.Duplicates != 0 {
+		t.Fatalf("feedback applied=%d dup=%d, want 4/0", res.Applied, res.Duplicates)
+	}
+	if _, err := ref.ApplyFeedback(fb.Labels); err != nil {
+		t.Fatal(err)
+	}
+
+	// The loop continues in lockstep: labeled and leased samples are
+	// never re-served, and round three still matches the reference.
+	got3 := pullLabels(t, baseURL, 4, "alice")
+	want3 := refNext(4, "alice")
+	if !reflect.DeepEqual(responseKeys(got3), batchKeys(want3)) {
+		t.Fatalf("post-feedback pull diverges from the reference trace:\n got %+v\nwant %+v",
+			responseKeys(got3), batchKeys(want3))
+	}
+	for _, k := range responseKeys(got3) {
+		if seen[k] {
+			t.Fatalf("sample %+v re-served while labeled or leased", k)
+		}
+	}
+
+	var stats labelsvc.Stats
+	if err := json.Unmarshal(getRaw(t, baseURL, "/v1/labels/stats"), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Labeled != 4 || stats.ErrorsFound != 4 || stats.Served != 12 || stats.Round != 3 {
+		t.Fatalf("stats = %+v, want labeled=4 errors=4 served=12 round=3", stats)
+	}
+	metrics := getMetrics(t, baseURL)
+	for _, m := range []string{
+		"omg_collector_labels_served_total 12",
+		"omg_collector_labels_feedback_total 4",
+		"omg_collector_labels_round 3",
+	} {
+		if !strings.Contains(metrics, m) {
+			t.Fatalf("metrics missing %q:\n%s", m, metrics)
+		}
+	}
+}
+
+// TestEndToEndLabelStateSurvivesKill SIGKILLs a -store=disk server mid-
+// loop and requires the labels endpoints to answer byte-identically after
+// restart: selector round state, leases and the labeled set all recover.
+func TestEndToEndLabelStateSurvivesKill(t *testing.T) {
+	needBinaries(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	diskArgs := []string{"-store", "disk", "-data-dir", dataDir, "-label-seed", "7"}
+	baseURL, server := startServer(t, diskArgs...)
+
+	postWireBatch(t, baseURL, export.Batch{Version: export.WireVersion, Source: "edge-01", Seq: 1, Violations: labelViolations("cam-0", 8)})
+	postWireBatch(t, baseURL, export.Batch{Version: export.WireVersion, Source: "edge-02", Seq: 1, Violations: labelViolations("cam-1", 8)})
+
+	b1 := pullLabels(t, baseURL, 4, "alice")
+	if b1.Count != 4 {
+		t.Fatalf("pre-crash pull count = %d, want 4", b1.Count)
+	}
+	res := postFeedback(t, baseURL, export.LabelsFeedbackRequest{Labels: []labelsvc.Feedback{
+		{SampleKey: b1.Candidates[0].SampleKey, Label: "error", ModelCorrect: false},
+		{SampleKey: b1.Candidates[1].SampleKey, Label: "ok", ModelCorrect: true},
+	}})
+	if res.Applied != 2 {
+		t.Fatalf("feedback applied = %d, want 2", res.Applied)
+	}
+	wantStats := getRaw(t, baseURL, "/v1/labels/stats")
+
+	// SIGKILL: no shutdown hook runs; recovery must come entirely from
+	// the labels.json state file persisted on every mutation.
+	server.Process.Kill()
+	server.Wait()
+
+	baseURL2, server2 := startServer(t, diskArgs...)
+	defer stopServer(t, server2)
+	if got := getRaw(t, baseURL2, "/v1/labels/stats"); !bytes.Equal(got, wantStats) {
+		t.Fatalf("label stats changed across the crash:\n got %s\nwant %s", got, wantStats)
+	}
+
+	// The two unlabeled candidates from alice's batch are still leased to
+	// her after the crash: a second puller must not receive them.
+	stillLeased := map[labelsvc.SampleKey]bool{
+		b1.Candidates[2].SampleKey: true,
+		b1.Candidates[3].SampleKey: true,
+	}
+	b2 := pullLabels(t, baseURL2, 16, "bob")
+	if b2.Count == 0 {
+		t.Fatal("post-crash pull served nothing")
+	}
+	for _, k := range responseKeys(b2) {
+		if stillLeased[k] {
+			t.Fatalf("sample %+v double-leased after crash recovery", k)
+		}
+	}
+}
+
+// TestEndToEndMonitorReplayFeedsLabelLoop replays the seed domain through
+// omg-monitor's HTTP exporter and labels the resulting pool over the
+// collector's endpoints — the whole deployment loop in one pass.
+func TestEndToEndMonitorReplayFeedsLabelLoop(t *testing.T) {
+	needBinaries(t)
+	baseURL, server := startServer(t, "-label-seed", "42")
+	defer stopServer(t, server)
+
+	out, err := exec.Command(monitorBin,
+		"-frames", "200", "-sink", "http", "-export-url", baseURL, "-export-batch", "32",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("omg-monitor failed: %v\n%s", err, out)
+	}
+	if recordedTotal(t, out) == 0 {
+		t.Fatal("the night-street domain should fire violations")
+	}
+
+	got := pullLabels(t, baseURL, 8, "labeler")
+	if got.Count == 0 || got.Round != 1 {
+		t.Fatalf("replayed pool served count=%d round=%d, want >0 in round 1", got.Count, got.Round)
+	}
+	fb := export.LabelsFeedbackRequest{Version: export.WireVersion}
+	for _, c := range got.Candidates {
+		if c.TopAssertion == "" || c.MaxSeverity <= 0 {
+			t.Fatalf("candidate missing assembled features: %+v", c)
+		}
+		fb.Labels = append(fb.Labels, labelsvc.Feedback{SampleKey: c.SampleKey, ModelCorrect: false})
+	}
+	if res := postFeedback(t, baseURL, fb); res.Applied != got.Count {
+		t.Fatalf("feedback applied = %d, want %d", res.Applied, got.Count)
+	}
+	var stats labelsvc.Stats
+	if err := json.Unmarshal(getRaw(t, baseURL, "/v1/labels/stats"), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Labeled != got.Count || stats.ErrorsFound != int64(got.Count) {
+		t.Fatalf("stats = %+v, want %d labeled errors", stats, got.Count)
+	}
+}
+
+// TestEndToEndHealthzDrainsOnShutdown: with -drain, a SIGTERM'd server
+// keeps its listener answering while /healthz reports 503, so load
+// balancers can drain the instance before the port goes away.
+func TestEndToEndHealthzDrainsOnShutdown(t *testing.T) {
+	needBinaries(t)
+	baseURL, server := startServer(t, "-drain", "2s")
+	if err := server.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	saw503 := false
+	for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+		resp, err := http.Get(baseURL + "/healthz")
+		if err != nil {
+			break // listener already closed
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			saw503 = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !saw503 {
+		t.Fatal("healthz never reported 503 during the shutdown drain")
+	}
+	if err := server.Wait(); err != nil {
+		t.Fatalf("omg-server exited uncleanly after the drain: %v", err)
 	}
 }

@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -33,6 +34,9 @@ func main() {
 		Retain:             10000,
 		Shards:             4,
 		RetainPerAssertion: 500,
+		// The active-learning loop: BAL ranks the retained violations and
+		// /v1/labels/next leases the most informative samples to labelers.
+		Labels: omg.LabelConfig{Selector: "bal", Seed: 1, DefaultBudget: 5},
 	})
 	defer collector.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -155,6 +159,39 @@ func main() {
 		fmt.Printf("  recent jump on %s at sample %d (severity %.1f)\n",
 			v.Stream, v.SampleIndex, v.Severity)
 	}
+
+	// 6. The active-learning loop: a labeler pulls the most informative
+	// samples — the collector's BAL selector ranks every retained
+	// violation by its per-assertion severity vector and leases a
+	// budgeted, assertion-diverse batch — then posts the labels back,
+	// which releases the leases and feeds the selector's next round.
+	var batch omg.LabelsNextResponse
+	getJSON(baseURL+omg.LabelsNextPath+"?puller=ops", &batch)
+	fmt.Printf("label round %d (%s): %d samples leased for labeling\n",
+		batch.Round, batch.Selector, batch.Count)
+	feedback := omg.LabelsFeedbackRequest{Version: omg.WireVersion}
+	for _, cand := range batch.Candidates {
+		fmt.Printf("  %s sample %d from %s: %s (severity %.1f)\n",
+			cand.Stream, cand.Sample, cand.Source, cand.TopAssertion, cand.MaxSeverity)
+		feedback.Labels = append(feedback.Labels, omg.LabelFeedback{
+			SampleKey:    cand.SampleKey,
+			Label:        "sensor-fault",
+			ModelCorrect: false, // every leased spike was a real fault
+		})
+	}
+	body, err := json.Marshal(feedback)
+	if err != nil {
+		panic(err)
+	}
+	resp, err := http.Post(baseURL+omg.LabelsFeedbackPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	var stats omg.LabelStats
+	getJSON(baseURL+omg.LabelsStatsPath, &stats)
+	fmt.Printf("label loop: %d labeled (%d model errors found), round %d of selector %s\n",
+		stats.Labeled, stats.ErrorsFound, stats.Round, stats.Selector)
 
 	srv.Close()
 }

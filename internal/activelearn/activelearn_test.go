@@ -140,3 +140,25 @@ func TestRunAll(t *testing.T) {
 		t.Fatalf("curves = %+v", curves)
 	}
 }
+
+func TestViolationsBridgesAssessedPool(t *testing.T) {
+	cands := []bandit.Candidate{
+		{Index: 0, Severities: assertion.Vector{2, 0}},
+		{Index: 3, Severities: assertion.Vector{0, 0}},
+		{Index: 5, Severities: assertion.Vector{1, 4, 9}}, // 9 has no name: dropped
+	}
+	got := Violations(cands, []string{"lights", "track:flicker"}, "pool")
+	want := []assertion.Violation{
+		{Assertion: "lights", Stream: "pool", SampleIndex: 0, Severity: 2},
+		{Assertion: "lights", Stream: "pool", SampleIndex: 5, Severity: 1},
+		{Assertion: "track:flicker", Stream: "pool", SampleIndex: 5, Severity: 4},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d violations, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("violation %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package activelearn
+
+import (
+	"omg/internal/assertion"
+	"omg/internal/bandit"
+)
+
+// Violations bridges an assessed pool onto the wire: one violation per
+// positive severity in each candidate's feature vector, named by the
+// assertion axis names[m], stamped with the candidate's pool index as
+// SampleIndex and the given stream. Feeding the result through an export
+// sink reproduces exactly the per-sample severity vectors the collector's
+// label service reassembles — which is how a Domain's Assess output
+// reaches the remote half of the active-learning loop (the collector
+// groups by (stream, sample) and takes per-assertion maxima, so the round
+// trip is lossless for a single assessment).
+func Violations(cands []bandit.Candidate, names []string, stream string) []assertion.Violation {
+	var out []assertion.Violation
+	for _, c := range cands {
+		for m, sev := range c.Severities {
+			if sev <= 0 || m >= len(names) {
+				continue
+			}
+			out = append(out, assertion.Violation{
+				Assertion:   names[m],
+				Stream:      stream,
+				SampleIndex: c.Index,
+				Severity:    sev,
+			})
+		}
+	}
+	return out
+}

@@ -1,6 +1,9 @@
 package consistency
 
-import "sort"
+import (
+	"sort"
+	"strings"
+)
 
 // ProposalKind classifies a weak-label proposal (paper §4.2: "OMG will
 // propose to remove, modify, or add predictions").
@@ -15,6 +18,28 @@ const (
 	// RemoveOutput proposes removing a transient (appear) output.
 	RemoveOutput ProposalKind = "remove-output"
 )
+
+// ProposalKindForAssertion maps a generated assertion's name back to the
+// correction rule that repairs its violations, inverting the naming
+// scheme of Generator.Assertions ("<name>:attr:<key>" → ModifyAttr with
+// the attribute key, "<name>:flicker" → AddOutput, "<name>:appear" →
+// RemoveOutput). It lets a remote consumer — e.g. the collector's label
+// service, which sees only violation records — attach the paper's §4.2
+// weak-label semantics to a violation without access to the generator or
+// the model outputs. ok is false for assertion names this package did
+// not generate.
+func ProposalKindForAssertion(name string) (kind ProposalKind, attrKey string, ok bool) {
+	if i := strings.LastIndex(name, ":attr:"); i >= 0 && i+len(":attr:") < len(name) {
+		return ModifyAttr, name[i+len(":attr:"):], true
+	}
+	if strings.HasSuffix(name, ":flicker") && len(name) > len(":flicker") {
+		return AddOutput, "", true
+	}
+	if strings.HasSuffix(name, ":appear") && len(name) > len(":appear") {
+		return RemoveOutput, "", true
+	}
+	return "", "", false
+}
 
 // Proposal is one weak label generated from a consistency violation.
 type Proposal[Y any] struct {

@@ -199,3 +199,40 @@ func TestAppearEventsExposedDetails(t *testing.T) {
 		t.Fatalf("samples = %v", evs[0].Samples)
 	}
 }
+
+func TestProposalKindForAssertion(t *testing.T) {
+	cases := []struct {
+		name    string
+		kind    ProposalKind
+		attrKey string
+		ok      bool
+	}{
+		{"track:attr:color", ModifyAttr, "color", true},
+		{"track:attr:gender", ModifyAttr, "gender", true},
+		{"track:flicker", AddOutput, "", true},
+		{"track:appear", RemoveOutput, "", true},
+		{"a:b:attr:key", ModifyAttr, "key", true},
+		{"track:attr:", "", "", false}, // empty key: not a generated name
+		{"flicker", "", "", false},     // no base name
+		{"appear", "", "", false},
+		{"lights", "", "", false},
+		{"", "", "", false},
+	}
+	for _, c := range cases {
+		kind, key, ok := ProposalKindForAssertion(c.name)
+		if kind != c.kind || key != c.attrKey || ok != c.ok {
+			t.Errorf("ProposalKindForAssertion(%q) = (%q,%q,%v), want (%q,%q,%v)",
+				c.name, kind, key, ok, c.kind, c.attrKey, c.ok)
+		}
+	}
+}
+
+// The mapping must invert the actual generated names end to end.
+func TestProposalKindForAssertionInvertsGenerator(t *testing.T) {
+	g := MustNew(faceConfig(1.0))
+	for _, a := range g.Assertions() {
+		if _, _, ok := ProposalKindForAssertion(a.Name()); !ok {
+			t.Errorf("generated assertion %q not recognised", a.Name())
+		}
+	}
+}

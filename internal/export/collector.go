@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"omg/internal/assertion"
+	"omg/internal/labelsvc"
 )
 
 // maxIngestBytes bounds one ingest request body; larger bodies are
@@ -66,6 +67,11 @@ type CollectorConfig struct {
 	// as is Retain by the disk one (its log is bounded by the retention
 	// policy, not a ring size).
 	SegmentBytes int64
+	// Labels tunes the collector-hosted label-selection service (selector
+	// kind, seed, lease TTL, batch budgets). The zero value runs the BAL
+	// loop with defaults. For a disk-backed collector, Labels.StatePath
+	// defaults to DataDir/labels.json so the loop survives kill -9.
+	Labels labelsvc.Config
 }
 
 // Collector is the ingest side of networked monitoring: it applies wire
@@ -89,7 +95,13 @@ type Collector struct {
 	mu      sync.Mutex
 	sources map[string]*sourceState
 
-	tail *tailHub
+	tail   *tailHub
+	labels *labelsvc.Service
+
+	// closing flips when shutdown begins (Quiesce/Close): /healthz
+	// answers 503 from then on so load balancers drain the instance
+	// before the listener goes away.
+	closing atomic.Bool
 
 	batches    atomic.Int64
 	duplicates atomic.Int64
@@ -139,6 +151,13 @@ func NewCollectorConfig(cfg CollectorConfig) *Collector {
 	per := perShard(cfg.Retain, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
 		c.recs = append(c.recs, assertion.NewRecorder(per))
+	}
+	var err error
+	if c.labels, err = labelsvc.New(c, c.cfg.Labels); err != nil {
+		// This constructor has no error return: an invalid label config
+		// (unknown selector, unreadable state file) falls back to the
+		// default loop. OpenCollector surfaces the same error instead.
+		c.labels, _ = labelsvc.New(c, labelsvc.Config{})
 	}
 	c.startJanitor()
 	return c
@@ -225,6 +244,7 @@ func (c *Collector) AttachSink(s assertion.Sink) {
 // while the sink stays attached so ingests still in flight during the
 // drain keep reaching the durable log. Idempotent; Close calls it.
 func (c *Collector) Quiesce() {
+	c.closing.Store(true)
 	c.quiesceOnce.Do(func() {
 		close(c.stop)
 		c.janitor.Wait()
@@ -257,6 +277,9 @@ func (c *Collector) Close() error {
 			if e := s.Close(); err == nil {
 				err = e
 			}
+		}
+		if e := c.labels.Close(); err == nil {
+			err = e
 		}
 		if e := c.closeStores(); err == nil {
 			err = e
@@ -310,6 +333,7 @@ func (c *Collector) apply(b Batch) int {
 		v.IngestUnix = now
 		rec.Record(v)
 		c.tail.publish(v)
+		c.publishWeakLabel(v)
 	}
 	if c.durable() {
 		// One write syscall flushes the whole batch to the OS: after the
@@ -317,6 +341,11 @@ func (c *Collector) apply(b Batch) int {
 		// crash.
 		rec.SyncStore()
 	}
+	// The label service learns about the batch only after every violation
+	// has landed on the shard (and, for disk shards, synced): its
+	// stream→source bindings then persist before the sender sees the ack,
+	// so a post-crash revival knows every acked stream's source.
+	c.labels.ObserveBatch(b.Source, b.Violations)
 	c.batches.Add(1)
 	c.ingested.Add(int64(len(b.Violations)))
 	return len(b.Violations)
@@ -507,6 +536,8 @@ func (c *Collector) Snapshot() Snapshot {
 		Duplicates: c.duplicates.Load(),
 		Rejected:   c.rejected.Load(),
 	}
+	labels := c.labels.StateSnapshot()
+	s.Labels = &labels
 	if len(c.recs) == 1 {
 		s.Recorder = c.recs[0].Snapshot()
 	} else {
@@ -583,6 +614,14 @@ func (c *Collector) Restore(s Snapshot) {
 		c.duplicates.Store(s.Duplicates)
 		c.rejected.Store(s.Rejected)
 	}
+	if s.Labels != nil {
+		// For a disk-backed collector the label state file recovered at
+		// OpenCollector is authoritative; a (possibly stale) snapshot can
+		// only advance the loop, never roll it back.
+		if !c.durable() || s.Labels.Round > c.labels.Round() {
+			c.labels.RestoreState(*s.Labels)
+		}
+	}
 	c.ingested.Store(int64(c.TotalFired()))
 }
 
@@ -640,7 +679,10 @@ type QueryResponse struct {
 //	GET  /v1/summary           per-assertion firing counts + totals
 //	GET  /v1/violations/query  retained violations, ?assertion= ?stream= ?limit=
 //	GET  /v1/violations/tail   SSE live tail, ?assertion= ?stream=
-//	GET  /healthz              liveness
+//	GET  /v1/labels/next       lease the next labeling batch, ?budget= ?puller=
+//	POST /v1/labels/feedback   post labels, release leases, reward the selector
+//	GET  /v1/labels/stats      label loop summary
+//	GET  /healthz              liveness (503 once shutdown has begun)
 //	GET  /metrics              Prometheus text format
 func (c *Collector) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -648,12 +690,26 @@ func (c *Collector) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/summary", c.handleSummary)
 	mux.HandleFunc("GET /v1/violations/query", c.handleQuery)
 	mux.HandleFunc("GET "+TailPath, c.handleTail)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET "+LabelsNextPath, c.handleLabelsNext)
+	mux.HandleFunc("POST "+LabelsFeedbackPath, c.handleLabelsFeedback)
+	mux.HandleFunc("GET "+LabelsStatsPath, c.handleLabelsStats)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	return mux
+}
+
+// handleHealthz reports liveness — and, once shutdown has begun, reports
+// 503 so load balancers stop routing to an instance that is draining.
+// Before this fix the endpoint answered 200 to the very end, so a
+// balancer could send a request straight into the closing listener.
+func (c *Collector) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if c.closing.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "shutting down")
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -715,7 +771,11 @@ func (c *Collector) handleQuery(w http.ResponseWriter, r *http.Request) {
 		vs = c.Violations()
 	}
 	if stream := q.Get("stream"); stream != "" {
-		kept := vs[:0]
+		// Filter into a fresh slice — never compact vs in place. vs can
+		// alias storage a backend owns (a ViolationStore is free to return
+		// its live slice), and the old `kept := vs[:0]` rewrite corrupted
+		// those retained violations for every later reader.
+		kept := make([]assertion.Violation, 0, len(vs))
 		for _, v := range vs {
 			if v.Stream == stream {
 				kept = append(kept, v)
@@ -754,6 +814,12 @@ func (c *Collector) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	info := c.StoreInfo()
 	gauge("omg_collector_segments", "Live segment files in the violation store (0 for the in-memory backend).", int64(info.Segments))
 	gauge("omg_collector_segments_bytes", "Bytes held in violation store segment files (0 for the in-memory backend).", info.Bytes)
+	served, feedback, errorsFound := c.labels.Counters()
+	counter("omg_collector_labels_served_total", "Label candidates served to pullers.", served)
+	counter("omg_collector_labels_feedback_total", "Labels posted back by pullers.", feedback)
+	counter("omg_collector_labels_errors_found_total", "Posted labels that confirmed a real model error.", errorsFound)
+	gauge("omg_collector_labels_leases", "Unexpired label leases.", int64(c.labels.ActiveLeases()))
+	gauge("omg_collector_labels_round", "Completed label selection rounds.", int64(c.labels.Round()))
 
 	summary := c.Summary()
 	names := make([]string, 0, len(summary))

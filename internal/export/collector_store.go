@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 
 	"omg/internal/assertion"
+	"omg/internal/bandit"
+	"omg/internal/labelsvc"
 	"omg/internal/store"
 )
 
@@ -29,6 +31,10 @@ const marksName = "marks.log"
 // maxMarksBytes triggers a compaction of the marks log: above it the log
 // is rewritten as one line per source.
 const maxMarksBytes = 1 << 20
+
+// labelsName is the label service's state file inside DataDir (see
+// labelsvc.Config.StatePath).
+const labelsName = "labels.json"
 
 // markLine is one marks-log entry. Src/Seq are the dedup mark the entry
 // advances ("" for pure counter updates, e.g. rejected requests);
@@ -55,6 +61,11 @@ type markLine struct {
 func OpenCollector(cfg CollectorConfig) (*Collector, error) {
 	switch cfg.Store {
 	case "", StoreMem:
+		// Unlike NewCollectorConfig (which silently falls back), surface a
+		// bad label-selector name so a typo'd flag fails loudly.
+		if _, err := bandit.NewRoundSelector(cfg.Labels.Selector, 0); err != nil {
+			return nil, err
+		}
 		return NewCollectorConfig(cfg), nil
 	case StoreDisk:
 	default:
@@ -80,6 +91,18 @@ func OpenCollector(cfg CollectorConfig) (*Collector, error) {
 		c.closeStores()
 		return nil, err
 	}
+	// The label loop's state file lives beside the shards so selector
+	// state, leases and labels recover with the violations they rank.
+	labelsCfg := cfg.Labels
+	if labelsCfg.StatePath == "" {
+		labelsCfg.StatePath = filepath.Join(cfg.DataDir, labelsName)
+	}
+	labels, err := labelsvc.New(c, labelsCfg)
+	if err != nil {
+		c.closeStores()
+		return nil, err
+	}
+	c.labels = labels
 	c.ingested.Store(int64(c.TotalFired()))
 	c.startJanitor()
 	return c, nil

@@ -1,0 +1,411 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"omg/internal/assertion"
+	"omg/internal/consistency"
+	"omg/internal/labelsvc"
+)
+
+// labelBatch builds one source's batch: every sample fires "lights",
+// every even sample additionally fires the consistency-generated
+// "track:flicker" (so weak labels appear on half the candidates).
+func labelBatch(source, stream string, seq uint64, n int) Batch {
+	b := Batch{Version: WireVersion, Source: source, Seq: seq}
+	for i := 0; i < n; i++ {
+		b.Violations = append(b.Violations, assertion.Violation{
+			Assertion: "lights", Stream: stream, SampleIndex: i, Severity: 1 + float64(i%5),
+		})
+		if i%2 == 0 {
+			b.Violations = append(b.Violations, assertion.Violation{
+				Assertion: "track:flicker", Stream: stream, SampleIndex: i, Severity: 2,
+			})
+		}
+	}
+	return b
+}
+
+func postJSON(t *testing.T, url string, body any, wantStatus int) []byte {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s = %s, want %d: %s", url, resp.Status, wantStatus, out)
+	}
+	return out
+}
+
+func pullBatch(t *testing.T, base string, budget int, puller string) LabelsNextResponse {
+	t.Helper()
+	var out LabelsNextResponse
+	url := fmt.Sprintf("%s%s?budget=%d&puller=%s", base, LabelsNextPath, budget, puller)
+	if err := json.Unmarshal(getBody(t, url, http.StatusOK), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func respKeys(t *testing.T, r LabelsNextResponse) map[labelsvc.SampleKey]bool {
+	t.Helper()
+	keys := make(map[labelsvc.SampleKey]bool, len(r.Candidates))
+	for _, c := range r.Candidates {
+		if keys[c.SampleKey] {
+			t.Fatalf("candidate %+v served twice in one batch", c.SampleKey)
+		}
+		keys[c.SampleKey] = true
+	}
+	return keys
+}
+
+func TestLabelsHTTPLoop(t *testing.T) {
+	c := NewCollector(0)
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	postBatch(t, srv.URL, labelBatch("edge-01", "cam-0", 1, 10))
+	postBatch(t, srv.URL, labelBatch("edge-02", "cam-1", 1, 10))
+
+	first := pullBatch(t, srv.URL, 6, "alice")
+	if first.Version != WireVersion || first.Round != 1 || first.Selector != "bal" {
+		t.Fatalf("first pull header = %+v", first)
+	}
+	if first.Count != 6 || len(first.Candidates) != 6 {
+		t.Fatalf("first pull served %d/%d candidates, want 6", first.Count, len(first.Candidates))
+	}
+	firstKeys := respKeys(t, first)
+	sawWeak, sawSource := false, false
+	for _, cand := range first.Candidates {
+		if cand.Source != "" {
+			sawSource = true
+		}
+		if len(cand.WeakLabels) > 0 {
+			sawWeak = true
+			wl := cand.WeakLabels[0]
+			if wl.Kind != consistency.AddOutput || wl.Assertion != "track:flicker" {
+				t.Fatalf("weak label = %+v", wl)
+			}
+		}
+		if cand.LeaseUntilUnix == 0 || len(cand.Severities) == 0 {
+			t.Fatalf("served candidate missing lease or severities: %+v", cand)
+		}
+	}
+	if !sawSource {
+		t.Fatal("no candidate resolved its source binding")
+	}
+	if !sawWeak && len(first.Candidates) > 3 {
+		// With per-assertion diversity and half the pool firing
+		// track:flicker, a 6-wide batch must include a flicker candidate.
+		t.Fatal("no candidate carried a weak label")
+	}
+
+	// A concurrent second puller gets a disjoint lease set.
+	second := pullBatch(t, srv.URL, 6, "bob")
+	for k := range respKeys(t, second) {
+		if firstKeys[k] {
+			t.Fatalf("sample %+v leased to both pullers", k)
+		}
+	}
+
+	// Post labels for alice's whole batch: all real model errors.
+	fb := LabelsFeedbackRequest{Version: WireVersion}
+	for _, cand := range first.Candidates {
+		fb.Labels = append(fb.Labels, labelsvc.Feedback{SampleKey: cand.SampleKey, Label: "bad", ModelCorrect: false})
+	}
+	var fbResp LabelsFeedbackResponse
+	if err := json.Unmarshal(postJSON(t, srv.URL+LabelsFeedbackPath, fb, http.StatusOK), &fbResp); err != nil {
+		t.Fatal(err)
+	}
+	if fbResp.Applied != 6 || fbResp.Duplicates != 0 {
+		t.Fatalf("feedback = %+v", fbResp)
+	}
+	// Re-posting is an idempotent duplicate.
+	if err := json.Unmarshal(postJSON(t, srv.URL+LabelsFeedbackPath, fb, http.StatusOK), &fbResp); err != nil {
+		t.Fatal(err)
+	}
+	if fbResp.Applied != 0 || fbResp.Duplicates != 6 {
+		t.Fatalf("duplicate feedback = %+v", fbResp)
+	}
+
+	var stats labelsvc.Stats
+	if err := json.Unmarshal(getBody(t, srv.URL+LabelsStatsPath, http.StatusOK), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Labeled != 6 || stats.ErrorsFound != 6 || stats.Served != 12 || stats.Round != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	// Labeled samples never come back; bob's unlabeled leases stay his.
+	third := pullBatch(t, srv.URL, 16, "alice")
+	for k := range respKeys(t, third) {
+		if firstKeys[k] {
+			t.Fatalf("labeled sample %+v re-served", k)
+		}
+		if _, ok := respKeys(t, second)[k]; ok {
+			t.Fatalf("leased sample %+v re-served", k)
+		}
+	}
+}
+
+func TestLabelsFeedbackRejectsBadRequests(t *testing.T) {
+	c := NewCollector(0)
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	postJSON(t, srv.URL+LabelsFeedbackPath, LabelsFeedbackRequest{Version: 99}, http.StatusBadRequest)
+	resp, err := http.Post(srv.URL+LabelsFeedbackPath, "application/json", bytes.NewReader([]byte("not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed feedback = %s", resp.Status)
+	}
+
+	if got := getBody(t, srv.URL+LabelsNextPath+"?budget=-1", http.StatusBadRequest); len(got) == 0 {
+		t.Fatal("bad budget must explain itself")
+	}
+}
+
+func TestTailWeakLabelEvents(t *testing.T) {
+	c := NewCollector(0)
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	sc, closeTail := tailConn(t, srv.URL+TailPath)
+	defer closeTail()
+	waitForTailClients(t, c, 1)
+
+	postBatch(t, srv.URL, Batch{Version: WireVersion, Source: "edge", Seq: 1, Violations: []assertion.Violation{
+		{Assertion: "track:flicker", Stream: "cam-0", SampleIndex: 4, Severity: 2},
+	}})
+
+	event, _ := nextEvent(t, sc)
+	if event != "violation" {
+		t.Fatalf("first event = %q, want violation", event)
+	}
+	event, data := nextEvent(t, sc)
+	if event != "weaklabel" {
+		t.Fatalf("second event = %q (%s), want weaklabel", event, data)
+	}
+	var ev WeakLabelEvent
+	if err := json.Unmarshal([]byte(data), &ev); err != nil {
+		t.Fatalf("weaklabel payload: %v (%s)", err, data)
+	}
+	want := WeakLabelEvent{Kind: consistency.AddOutput, Assertion: "track:flicker", Stream: "cam-0", Sample: 4, Severity: 2}
+	if ev != want {
+		t.Fatalf("weaklabel = %+v, want %+v", ev, want)
+	}
+}
+
+func TestHealthzTurns503OnceShutdownBegins(t *testing.T) {
+	c := NewCollector(0)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	getBody(t, srv.URL+"/healthz", http.StatusOK)
+	c.Quiesce()
+	// The listener is still up mid-drain — exactly when a balancer must
+	// be told to stop routing here.
+	if got := string(getBody(t, srv.URL+"/healthz", http.StatusServiceUnavailable)); got == "" {
+		t.Fatal("draining healthz must explain itself")
+	}
+	c.Close()
+	getBody(t, srv.URL+"/healthz", http.StatusServiceUnavailable)
+}
+
+// leakyStore hands out its live retained slice from Violations — the
+// worst case the query path must tolerate without corrupting the log.
+type leakyStore struct {
+	assertion.ViolationStore
+	mu sync.Mutex
+	vs []assertion.Violation
+}
+
+func (s *leakyStore) Append(v assertion.Violation) error {
+	s.mu.Lock()
+	s.vs = append(s.vs, v)
+	s.mu.Unlock()
+	return s.ViolationStore.Append(v)
+}
+
+func (s *leakyStore) Violations() []assertion.Violation { return s.vs }
+
+func TestQueryStreamFilterDoesNotCorruptRetainedLog(t *testing.T) {
+	c := NewCollector(0)
+	defer c.Close()
+	c.recs[0] = assertion.NewRecorderWithStore(&leakyStore{ViolationStore: assertion.NewMemStore(0)})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	b := Batch{Version: WireVersion, Source: "edge", Seq: 1}
+	for i := 0; i < 6; i++ {
+		stream := "cam-0"
+		if i%2 == 1 {
+			stream = "cam-1"
+		}
+		b.Violations = append(b.Violations, assertion.Violation{
+			Assertion: "a", Stream: stream, SampleIndex: i, Severity: 1,
+		})
+	}
+	postBatch(t, srv.URL, b)
+
+	before := getBody(t, srv.URL+"/v1/violations/query", http.StatusOK)
+	var filtered QueryResponse
+	if err := json.Unmarshal(getBody(t, srv.URL+"/v1/violations/query?stream=cam-1", http.StatusOK), &filtered); err != nil {
+		t.Fatal(err)
+	}
+	if filtered.Count != 3 {
+		t.Fatalf("stream filter kept %d, want 3", filtered.Count)
+	}
+	for _, v := range filtered.Violations {
+		if v.Stream != "cam-1" {
+			t.Fatalf("stream filter leaked %+v", v)
+		}
+	}
+	// The regression: the old in-place compaction rewrote the store's
+	// retained slice, so the unfiltered re-query came back mangled.
+	after := getBody(t, srv.URL+"/v1/violations/query", http.StatusOK)
+	if !bytes.Equal(before, after) {
+		t.Fatalf("stream-filtered query corrupted the retained log:\nbefore %s\nafter  %s", before, after)
+	}
+}
+
+func TestSnapshotCarriesLabelState(t *testing.T) {
+	c := NewCollector(0)
+	defer c.Close()
+	c.Ingest(labelBatch("edge-01", "cam-0", 1, 8))
+	if _, err := c.Labels().Next(4, "alice"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := c.Snapshot()
+	if snap.Labels == nil || snap.Labels.Round != 1 || len(snap.Labels.Leases) != 4 {
+		t.Fatalf("snapshot labels = %+v", snap.Labels)
+	}
+
+	// The label state round-trips through the snapshot file unchanged.
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := WriteSnapshotFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Labels == nil || !reflect.DeepEqual(*out.Labels, *snap.Labels) {
+		t.Fatalf("label state mangled by snapshot file:\n%+v\n%+v", out.Labels, snap.Labels)
+	}
+
+	// A fresh collector restoring the snapshot continues the same loop.
+	c2 := NewCollector(0)
+	defer c2.Close()
+	c2.Ingest(labelBatch("edge-01", "cam-0", 1, 8))
+	c2.Restore(out)
+	got := c2.Labels().StateSnapshot()
+	if !reflect.DeepEqual(got, *snap.Labels) {
+		t.Fatalf("restored label state diverged:\n%+v\n%+v", got, *snap.Labels)
+	}
+}
+
+func TestDiskCollectorLabelLoopSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := CollectorConfig{Store: StoreDisk, DataDir: dir, Labels: labelsvc.Config{Seed: 7}}
+	c1, err := OpenCollector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Ingest(labelBatch("edge-01", "cam-0", 1, 10))
+	c1.Ingest(labelBatch("edge-02", "cam-1", 1, 10))
+	b1, err := c1.Labels().Next(4, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Labels().ApplyFeedback([]labelsvc.Feedback{
+		{SampleKey: b1.Candidates[0].SampleKey, Label: "bad", ModelCorrect: false},
+		{SampleKey: b1.Candidates[1].SampleKey, Label: "fine", ModelCorrect: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := c1.Labels().StateSnapshot()
+	wantStats, err := json.Marshal(c1.Labels().Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw1, err := os.ReadFile(filepath.Join(dir, labelsName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// kill -9: c1 is abandoned without Close. Every mutation persisted
+	// itself, so a reopen over the same DataDir revives the exact loop.
+	c2, err := OpenCollector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got := c2.Labels().StateSnapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("label state after restart diverged:\n%+v\n%+v", got, want)
+	}
+	gotStats, err := json.Marshal(c2.Labels().Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotStats, wantStats) {
+		t.Fatalf("stats after restart:\n%s\n%s", gotStats, wantStats)
+	}
+	raw2, err := os.ReadFile(filepath.Join(dir, labelsName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatal("reopening rewrote the label state file")
+	}
+
+	// The loop continues: unlabeled leases from before the crash are
+	// still held, labeled samples never come back.
+	b2, err := c2.Labels().Next(16, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leased := make(map[labelsvc.SampleKey]bool)
+	for _, cand := range b1.Candidates {
+		leased[cand.SampleKey] = true
+	}
+	for _, cand := range b2.Candidates {
+		if leased[cand.SampleKey] {
+			t.Fatalf("sample %+v re-served across restart", cand.SampleKey)
+		}
+	}
+}
+
+func TestOpenCollectorRejectsUnknownSelector(t *testing.T) {
+	if _, err := OpenCollector(CollectorConfig{Labels: labelsvc.Config{Selector: "thompson"}}); err == nil {
+		t.Fatal("unknown selector must fail OpenCollector")
+	}
+	if _, err := OpenCollector(CollectorConfig{Store: StoreDisk, DataDir: t.TempDir(), Labels: labelsvc.Config{Selector: "thompson"}}); err == nil {
+		t.Fatal("unknown selector must fail the disk backend too")
+	}
+}

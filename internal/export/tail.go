@@ -23,9 +23,10 @@ var tailHeartbeat = 15 * time.Second
 // optional assertion/stream filters. The buffer decouples the subscriber
 // from ingest — publish never blocks on a slow client, it drops the
 // event for that client and counts the loss. The buffered events are
-// pre-encoded JSON: publish encodes each violation exactly once and every
-// subscriber shares the same bytes, so fan-out cost no longer grows with
-// the client count.
+// fully rendered SSE frames ("event: <type>\ndata: <json>\n\n"): publish
+// renders each event exactly once and every subscriber shares the same
+// bytes, so fan-out cost does not grow with the client count and the hub
+// can carry event types beyond violations (weaklabel).
 type tailClient struct {
 	ch        chan []byte
 	assertion string // "" = all assertions
@@ -80,35 +81,48 @@ func (h *tailHub) unsubscribe(cl *tailClient) {
 	h.mu.Unlock()
 }
 
-// publish offers v to every matching subscriber without ever blocking: a
-// client whose buffer is full loses this event, and the loss is counted
-// per client and hub-wide instead of stalling ingest. The violation is
-// encoded at most once — lazily, when the first subscriber matches — and
-// the resulting bytes are shared by every matching client, replacing the
-// old marshal-per-client fan-out.
+// publish offers v to every matching subscriber as an `event: violation`
+// frame without ever blocking: a client whose buffer is full loses this
+// event, and the loss is counted per client and hub-wide instead of
+// stalling ingest.
 func (h *tailHub) publish(v assertion.Violation) {
+	h.publishEvent("violation", v.Assertion, v.Stream, func() ([]byte, error) {
+		return assertion.AppendViolationJSON(nil, v)
+	})
+}
+
+// publishEvent fans one typed SSE event out to every subscriber whose
+// assertion/stream filters match. The frame is rendered at most once —
+// lazily, when the first subscriber matches — and the resulting bytes are
+// shared by every matching client, replacing the old marshal-per-client
+// fan-out. encode returning an error (NaN/Inf payload) drops the event
+// for everyone.
+func (h *tailHub) publishEvent(event, assertionName, stream string, encode func() ([]byte, error)) {
 	if h.n.Load() == 0 {
 		return
 	}
-	var data []byte // encoded on first match, then shared
+	var frame []byte // rendered on first match, then shared
 	h.mu.Lock()
 	for cl := range h.clients {
-		if cl.assertion != "" && cl.assertion != v.Assertion {
+		if cl.assertion != "" && cl.assertion != assertionName {
 			continue
 		}
-		if cl.stream != "" && cl.stream != v.Stream {
+		if cl.stream != "" && cl.stream != stream {
 			continue
 		}
-		if data == nil {
-			var err error
-			if data, err = assertion.AppendViolationJSON(nil, v); err != nil {
-				// JSON cannot represent this violation (NaN/Inf); no
-				// subscriber can receive it.
+		if frame == nil {
+			data, err := encode()
+			if err != nil {
 				break
 			}
+			frame = append(frame, "event: "...)
+			frame = append(frame, event...)
+			frame = append(frame, "\ndata: "...)
+			frame = append(frame, data...)
+			frame = append(frame, "\n\n"...)
 		}
 		select {
-		case cl.ch <- data:
+		case cl.ch <- frame:
 		default:
 			cl.dropped.Add(1)
 			h.dropped.Add(1)
@@ -132,7 +146,9 @@ func (h *tailHub) droppedTotal() int64 { return h.dropped.Load() }
 
 // handleTail serves GET /v1/violations/tail as a Server-Sent Events
 // stream: one `event: violation` per ingested violation (after
-// ?assertion= and ?stream= filters), `event: dropped` whenever this
+// ?assertion= and ?stream= filters), one `event: weaklabel` per
+// violation of a consistency-generated assertion carrying its §4.2
+// corrective proposal, `event: dropped` whenever this
 // subscriber's bounded buffer has lost events since the last report, a
 // keep-alive comment on idle, and `event: end` when the collector shuts
 // down. Slow consumers lose events, never stall ingest.
@@ -164,8 +180,8 @@ func (c *Collector) handleTail(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprint(w, "event: end\ndata: collector shutting down\n\n")
 			fl.Flush()
 			return
-		case data := <-cl.ch:
-			fmt.Fprintf(w, "event: violation\ndata: %s\n\n", data)
+		case frame := <-cl.ch:
+			w.Write(frame)
 			if d := cl.dropped.Load(); d > reported {
 				reported = d
 				fmt.Fprintf(w, "event: dropped\ndata: {\"dropped\":%d}\n\n", d)

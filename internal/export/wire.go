@@ -23,12 +23,20 @@ import (
 	"time"
 
 	"omg/internal/assertion"
+	"omg/internal/labelsvc"
 )
 
-// WireVersion is the version stamped on every batch and snapshot. A
-// receiver rejects payloads from a different version instead of guessing
+// WireVersion is the version stamped on every batch and snapshot.
+// Version 2 adds the collector's label-service state to snapshots; the
+// batch shape is unchanged, so receivers accept any version in
+// [MinWireVersion, WireVersion] and reject the rest instead of guessing
 // at their shape.
-const WireVersion = 1
+const WireVersion = 2
+
+// MinWireVersion is the oldest wire version a receiver still accepts.
+// Version-1 batches and snapshots decode unchanged (they simply carry no
+// label state), so mixed-version fleets keep working across the upgrade.
+const MinWireVersion = 1
 
 // IngestPath is the collector endpoint HTTPSink posts batches to.
 const IngestPath = "/v1/violations"
@@ -76,6 +84,11 @@ type Snapshot struct {
 	// omg_collector_rejected_requests_total does not reset across
 	// restarts. Absent in PR-3 snapshots (omitempty), which restore as 0.
 	Rejected int64 `json:"rejected,omitempty"`
+
+	// Labels is the label service's full state (wire version 2). Nil in
+	// version-1 snapshots: restoring one leaves the labeling loop where
+	// the collector's own state file (or a fresh start) put it.
+	Labels *labelsvc.State `json:"labels,omitempty"`
 }
 
 // wireBufPool recycles the scratch buffers the wire encoders build batch
@@ -134,8 +147,8 @@ func DecodeBatch(r io.Reader) (Batch, error) {
 	if err := json.NewDecoder(r).Decode(&b); err != nil {
 		return Batch{}, fmt.Errorf("export: decode batch: %w", err)
 	}
-	if b.Version != WireVersion {
-		return Batch{}, fmt.Errorf("%w: batch has version %d, want %d", ErrWireVersion, b.Version, WireVersion)
+	if b.Version < MinWireVersion || b.Version > WireVersion {
+		return Batch{}, fmt.Errorf("%w: batch has version %d, want %d..%d", ErrWireVersion, b.Version, MinWireVersion, WireVersion)
 	}
 	return b, nil
 }
@@ -210,8 +223,8 @@ func ReadSnapshotFile(path string) (Snapshot, error) {
 	if err := json.NewDecoder(f).Decode(&s); err != nil {
 		return Snapshot{}, fmt.Errorf("export: decode snapshot %s: %w", path, err)
 	}
-	if s.Version != WireVersion {
-		return Snapshot{}, fmt.Errorf("%w: snapshot %s has version %d, want %d", ErrWireVersion, path, s.Version, WireVersion)
+	if s.Version < MinWireVersion || s.Version > WireVersion {
+		return Snapshot{}, fmt.Errorf("%w: snapshot %s has version %d, want %d..%d", ErrWireVersion, path, s.Version, MinWireVersion, WireVersion)
 	}
 	return s, nil
 }

@@ -43,8 +43,23 @@ func TestDecodeBatchRejectsWrongVersion(t *testing.T) {
 	if !errors.Is(err, ErrWireVersion) {
 		t.Fatalf("version 99 should fail with ErrWireVersion, got %v", err)
 	}
+	if _, err := DecodeBatch(strings.NewReader(`{"version":0,"violations":[]}`)); !errors.Is(err, ErrWireVersion) {
+		t.Fatalf("version 0 should fail with ErrWireVersion, got %v", err)
+	}
 	if _, err := DecodeBatch(strings.NewReader(`not json`)); err == nil {
 		t.Fatal("malformed JSON must be an error")
+	}
+}
+
+func TestDecodeBatchAcceptsOlderVersions(t *testing.T) {
+	// Version-1 senders stay valid across the version-2 bump: the batch
+	// shape did not change.
+	b, err := DecodeBatch(strings.NewReader(`{"version":1,"source":"edge","seq":3,"violations":[{"assertion":"a"}]}`))
+	if err != nil {
+		t.Fatalf("version 1 batch must decode: %v", err)
+	}
+	if b.Version != 1 || b.Source != "edge" || len(b.Violations) != 1 {
+		t.Fatalf("version 1 batch mangled: %+v", b)
 	}
 }
 
@@ -139,10 +154,24 @@ func TestWriteSnapshotFileOverwriteSurvivesEncodeError(t *testing.T) {
 
 func TestReadSnapshotFileRejectsWrongVersion(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "state.json")
-	if err := os.WriteFile(path, []byte(`{"version":2,"recorder":{}}`), 0o644); err != nil {
+	if err := os.WriteFile(path, []byte(`{"version":99,"recorder":{}}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ReadSnapshotFile(path); !errors.Is(err, ErrWireVersion) {
 		t.Fatalf("want ErrWireVersion, got %v", err)
+	}
+}
+
+func TestReadSnapshotFileAcceptsOlderVersions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := os.WriteFile(path, []byte(`{"version":1,"recorder":{},"last_seq":{"e":5}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("version 1 snapshot must read: %v", err)
+	}
+	if s.LastSeq["e"] != 5 || s.Labels != nil {
+		t.Fatalf("version 1 snapshot mangled: %+v", s)
 	}
 }

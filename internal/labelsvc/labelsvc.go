@@ -1,0 +1,827 @@
+// Package labelsvc is the collector-served half of the paper's
+// active-learning loop (§3): it turns the fleet's retained violation
+// history into a ranked labeling queue. Violations ingested across all
+// sources are grouped into per-sample candidates keyed by (source,
+// stream, sample), each carrying a per-assertion severity feature vector;
+// a bandit selector (BAL by default) ranks them round by round; budgeted,
+// per-assertion-diverse batches are leased to label pullers; and posted
+// labels feed the selector's round state. Consistency-generated
+// assertions additionally carry the §4.2 corrective weak-label proposal
+// for their violations.
+//
+// Every selection is a deterministic function of (seed, round, candidate
+// pool, algorithm state): the selector runs the bandit.RoundSelector
+// reseed-per-round protocol, and all cross-round state — selector
+// algorithm state, leases, labeled set, stream→source bindings — is a
+// plain JSON State persisted atomically on every mutation. Reviving a
+// Service from that State after kill -9 continues the loop byte
+// identically.
+package labelsvc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"omg/internal/assertion"
+	"omg/internal/bandit"
+	"omg/internal/consistency"
+)
+
+// ErrClosed is returned by mutating calls after Close.
+var ErrClosed = errors.New("labelsvc: service closed")
+
+// StateVersion versions the persisted State schema.
+const StateVersion = 1
+
+// ViolationSource supplies the retained violation history candidates are
+// assembled from — in production, export.Collector's merged view.
+type ViolationSource interface {
+	Violations() []assertion.Violation
+}
+
+// Config tunes a Service. The zero value selects BAL with seed 1, a
+// 5-minute lease TTL, batches of 16 (max 256), and no state file.
+type Config struct {
+	// Selector is the ranking strategy: one of bandit.RoundSelectorKinds
+	// ("bal", "ccmab", "uncertainty", "uniform-ma", "random"); "" = "bal".
+	Selector string
+	// Seed bases the per-round RNG derivation.
+	Seed int64
+	// LeaseTTL is how long a served sample stays exclusively leased to
+	// its puller before becoming selectable again.
+	LeaseTTL time.Duration
+	// DefaultBudget is the batch size when a pull names none.
+	DefaultBudget int
+	// MaxBudget caps any single pull.
+	MaxBudget int
+	// StatePath, when non-empty, is the JSON file the service's State is
+	// atomically persisted to on every mutation and revived from at
+	// construction (the labeling loop's crash-recovery seam).
+	StatePath string
+	// Now overrides the clock (tests). Defaults to time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Selector == "" {
+		c.Selector = "bal"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 5 * time.Minute
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 16
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 256
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// SampleKey identifies one data point across the fleet. Source is the
+// exporting edge's wire source name, resolved through the service's
+// persisted stream→source bindings (violations themselves carry only the
+// stream); identity for leasing and labeling is (stream, sample).
+type SampleKey struct {
+	Source string `json:"source,omitempty"`
+	Stream string `json:"stream,omitempty"`
+	Sample int    `json:"sample"`
+}
+
+// key2 is the internal identity — the fields present on every violation.
+type key2 struct {
+	stream string
+	sample int
+}
+
+func (k SampleKey) key2() key2 { return key2{k.Stream, k.Sample} }
+
+// WeakLabel is the §4.2 corrective proposal attached to a candidate
+// because a consistency-generated assertion fired on it.
+type WeakLabel struct {
+	// Kind is the correction rule: modify-attr, add-output, remove-output.
+	Kind consistency.ProposalKind `json:"kind"`
+	// Assertion is the generated assertion that fired.
+	Assertion string `json:"assertion"`
+	// AttrKey is the attribute to rewrite (modify-attr only).
+	AttrKey string `json:"attr_key,omitempty"`
+	// Severity is the candidate's severity for that assertion.
+	Severity float64 `json:"severity"`
+}
+
+// Candidate is one labelable sample with its assembled feature vector.
+type Candidate struct {
+	SampleKey
+	// Severities maps assertion name → the sample's maximum observed
+	// severity for it (the bandit's per-arm context).
+	Severities map[string]float64 `json:"severities"`
+	// TopAssertion is the assertion with the highest severity
+	// (lexicographic tie-break); the diversity interleave groups by it.
+	TopAssertion string `json:"top_assertion"`
+	// MaxSeverity is the severity of TopAssertion.
+	MaxSeverity float64 `json:"max_severity"`
+	// WeakLabels carries corrective proposals from consistency-generated
+	// assertions that fired on this sample.
+	WeakLabels []WeakLabel `json:"weak_labels,omitempty"`
+	// LeaseUntilUnix is set on served candidates: the lease expiry.
+	LeaseUntilUnix int64 `json:"lease_until_unix,omitempty"`
+}
+
+// Batch is one served labeling round.
+type Batch struct {
+	Round          int         `json:"round"`
+	Selector       string      `json:"selector"`
+	Budget         int         `json:"budget"`
+	LeaseTTLMillis int64       `json:"lease_ttl_ms"`
+	Candidates     []Candidate `json:"candidates"`
+}
+
+// Feedback is one posted label.
+type Feedback struct {
+	SampleKey
+	// Label is the human label (opaque to the service).
+	Label string `json:"label,omitempty"`
+	// ModelCorrect reports whether the model's original output was in
+	// fact correct (the assertion flagged a false positive). Labeling a
+	// real model error (ModelCorrect=false) is the bandit's reward.
+	ModelCorrect bool `json:"model_correct,omitempty"`
+}
+
+// FeedbackResult summarises one feedback post.
+type FeedbackResult struct {
+	// Applied counts newly labeled samples; Duplicates counts samples
+	// already labeled (idempotent re-posts).
+	Applied    int `json:"applied"`
+	Duplicates int `json:"duplicates"`
+	Round      int `json:"round"`
+}
+
+// Lease records one sample's exclusive assignment to a puller.
+type Lease struct {
+	SampleKey
+	Puller      string `json:"puller,omitempty"`
+	Round       int    `json:"round"`
+	ExpiresUnix int64  `json:"expires_unix"`
+}
+
+// LabeledSample is one completed label in the persisted State.
+type LabeledSample struct {
+	SampleKey
+	Label        string `json:"label,omitempty"`
+	ModelCorrect bool   `json:"model_correct,omitempty"`
+	Round        int    `json:"round,omitempty"`
+}
+
+// State is the service's full persistent state: plain JSON, written
+// atomically on every mutation, sufficient to revive the loop exactly.
+type State struct {
+	Version  int                       `json:"version"`
+	Selector bandit.RoundSelectorState `json:"selector"`
+	Round    int                       `json:"round"`
+	Served   int64                     `json:"served"`
+	Feedback int64                     `json:"feedback"`
+	// ErrorsFound counts labels that confirmed a real model error.
+	ErrorsFound int64 `json:"errors_found"`
+	// Labeled and Leases are sorted by (stream, sample) for stable bytes.
+	Labeled []LabeledSample `json:"labeled,omitempty"`
+	Leases  []Lease         `json:"leases,omitempty"`
+	// StreamSources maps stream → last exporting source, the join that
+	// completes SampleKey.Source.
+	StreamSources map[string]string `json:"stream_sources,omitempty"`
+}
+
+// Stats is the service's observable summary (GET /v1/labels/stats).
+type Stats struct {
+	Selector    string `json:"selector"`
+	Seed        int64  `json:"seed"`
+	Round       int    `json:"round"`
+	Pool        int    `json:"pool"`
+	Candidates  int    `json:"candidates"`
+	Assertions  int    `json:"assertions"`
+	Labeled     int    `json:"labeled"`
+	Leased      int    `json:"leased"`
+	Served      int64  `json:"served"`
+	Feedback    int64  `json:"feedback"`
+	ErrorsFound int64  `json:"errors_found"`
+}
+
+// assembly is the candidate pool derived from one generation of the
+// violation history; cached until the next ingest invalidates it.
+type assembly struct {
+	gen   uint64
+	names []string
+	cands []Candidate
+	vecs  []assertion.Vector
+	byKey map[key2]int
+}
+
+// Service is the label-selection engine. All methods are safe for
+// concurrent use.
+type Service struct {
+	mu  sync.Mutex
+	cfg Config
+	src ViolationSource
+	sel *bandit.RoundSelector
+
+	round       int
+	served      int64
+	feedback    int64
+	errorsFound int64
+	labeled     map[key2]LabeledSample
+	leases      map[key2]Lease
+	streamSrc   map[string]string
+
+	gen    uint64
+	asm    *assembly
+	closed bool
+}
+
+// New builds a Service over the given violation source. If cfg.StatePath
+// names an existing state file the persisted loop is revived from it
+// (the file's selector kind and seed win over cfg, so a restarted server
+// continues the same deterministic trace regardless of flag drift).
+func New(src ViolationSource, cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	sel, err := bandit.NewRoundSelector(cfg.Selector, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:       cfg,
+		src:       src,
+		sel:       sel,
+		labeled:   make(map[key2]LabeledSample),
+		leases:    make(map[key2]Lease),
+		streamSrc: make(map[string]string),
+	}
+	if cfg.StatePath != "" {
+		raw, err := os.ReadFile(cfg.StatePath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+		case err != nil:
+			return nil, fmt.Errorf("labelsvc: read state: %w", err)
+		default:
+			var st State
+			if err := json.Unmarshal(raw, &st); err != nil {
+				return nil, fmt.Errorf("labelsvc: decode state %s: %w", cfg.StatePath, err)
+			}
+			s.restoreLocked(st)
+		}
+	}
+	return s, nil
+}
+
+// ObserveBatch notifies the service that a batch from the named source
+// was ingested: it refreshes the stream→source bindings and invalidates
+// the cached candidate pool. New bindings are persisted before returning
+// so a post-crash revival still knows every acked stream's source.
+func (s *Service) ObserveBatch(source string, vs []assertion.Violation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.gen++
+	if source == "" {
+		return
+	}
+	changed := false
+	for _, v := range vs {
+		if v.Stream == "" {
+			continue
+		}
+		if s.streamSrc[v.Stream] != source {
+			s.streamSrc[v.Stream] = source
+			changed = true
+		}
+	}
+	if changed {
+		s.saveLocked()
+	}
+}
+
+// Next leases the next budgeted batch of candidates to puller. A budget
+// of 0 means the configured default; the configured maximum always caps
+// it. Samples already labeled or under an unexpired lease are never
+// served, so two concurrent pullers get disjoint batches. An empty pool
+// yields an empty batch without advancing the round.
+func (s *Service) Next(budget int, puller string) (Batch, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Batch{}, ErrClosed
+	}
+	if budget <= 0 {
+		budget = s.cfg.DefaultBudget
+	}
+	if budget > s.cfg.MaxBudget {
+		budget = s.cfg.MaxBudget
+	}
+	now := s.cfg.Now()
+	s.expireLocked(now)
+	asm := s.assembleLocked()
+	avail, positions := s.availableLocked(asm)
+	batch := Batch{
+		Round:          s.round,
+		Selector:       s.sel.Name(),
+		Budget:         budget,
+		LeaseTTLMillis: s.cfg.LeaseTTL.Milliseconds(),
+	}
+	if len(avail) == 0 {
+		return batch, nil
+	}
+
+	round := s.round + 1
+	picks := s.sel.Select(bandit.RoundState{
+		Round:       round,
+		Budget:      overProvision(budget, len(avail)),
+		Candidates:  avail,
+		FiredCounts: bandit.FiredCounts(avail, len(asm.names)),
+	})
+	chosen := diversify(asm, positions, picks, budget)
+
+	expires := now.Add(s.cfg.LeaseTTL).Unix()
+	batch.Round = round
+	batch.Candidates = make([]Candidate, 0, len(chosen))
+	for _, pos := range chosen {
+		c := asm.cands[pos] // copy; the cached pool stays lease-free
+		c.LeaseUntilUnix = expires
+		batch.Candidates = append(batch.Candidates, c)
+		s.leases[c.key2()] = Lease{
+			SampleKey:   c.SampleKey,
+			Puller:      puller,
+			Round:       round,
+			ExpiresUnix: expires,
+		}
+	}
+	s.round = round
+	s.served += int64(len(batch.Candidates))
+	s.saveLocked()
+	return batch, nil
+}
+
+// overProvision asks the selector for twice the budget (bounded by the
+// pool) so the diversity interleave has surplus ranking to draw from
+// when the top of the ranking collapses onto one assertion.
+func overProvision(budget, pool int) int {
+	b := 2 * budget
+	if b > pool {
+		b = pool
+	}
+	return b
+}
+
+// ApplyFeedback applies posted labels: marks samples labeled, releases their
+// leases, counts confirmed model errors, and feeds the reward back into
+// reward-driven selectors. Re-posting an already-labeled sample is an
+// idempotent duplicate. Labels for samples the service never served are
+// accepted too (volunteered labels still shrink the pool).
+func (s *Service) ApplyFeedback(items []Feedback) (FeedbackResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return FeedbackResult{}, ErrClosed
+	}
+	asm := s.assembleLocked()
+	res := FeedbackResult{Round: s.round}
+	for _, f := range items {
+		k := f.key2()
+		if _, dup := s.labeled[k]; dup {
+			res.Duplicates++
+			continue
+		}
+		rec := LabeledSample{SampleKey: f.SampleKey, Label: f.Label, ModelCorrect: f.ModelCorrect}
+		if l, ok := s.leases[k]; ok {
+			rec.Round = l.Round
+			rec.Source = l.Source
+			delete(s.leases, k)
+		} else if src, ok := s.streamSrc[f.Stream]; ok && rec.Source == "" {
+			rec.Source = src
+		}
+		s.labeled[k] = rec
+		res.Applied++
+		s.feedback++
+		reward := 0.0
+		if !f.ModelCorrect {
+			s.errorsFound++
+			reward = 1
+		}
+		if pos, ok := asm.byKey[k]; ok {
+			s.sel.Reward(bandit.ContextFromSeverities(asm.vecs[pos], len(asm.names)), reward)
+		}
+	}
+	if res.Applied > 0 {
+		s.saveLocked()
+	}
+	return res, nil
+}
+
+// Stats reports the service's current summary.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(s.cfg.Now())
+	asm := s.assembleLocked()
+	avail, _ := s.availableLocked(asm)
+	return Stats{
+		Selector:    s.sel.Name(),
+		Seed:        s.selSeed(),
+		Round:       s.round,
+		Pool:        len(avail),
+		Candidates:  len(asm.cands),
+		Assertions:  len(asm.names),
+		Labeled:     len(s.labeled),
+		Leased:      len(s.leases),
+		Served:      s.served,
+		Feedback:    s.feedback,
+		ErrorsFound: s.errorsFound,
+	}
+}
+
+func (s *Service) selSeed() int64 { return s.sel.StateSnapshot().Seed }
+
+// Pool returns the currently selectable candidates in canonical order
+// (tests and diagnostics).
+func (s *Service) Pool() []Candidate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(s.cfg.Now())
+	asm := s.assembleLocked()
+	_, positions := s.availableLocked(asm)
+	out := make([]Candidate, len(positions))
+	for i, pos := range positions {
+		out[i] = asm.cands[pos]
+	}
+	return out
+}
+
+// StateSnapshot exports the full persistent state (sorted, deep-copied).
+func (s *Service) StateSnapshot() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stateLocked()
+}
+
+// RestoreState replaces the service's state with a snapshot, e.g. when a
+// memory-backed collector restores a boot snapshot.
+func (s *Service) RestoreState(st State) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.restoreLocked(st)
+	s.saveLocked()
+}
+
+// Round returns the number of completed selection rounds.
+func (s *Service) Round() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.round
+}
+
+// ActiveLeases returns the number of unexpired leases.
+func (s *Service) ActiveLeases() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(s.cfg.Now())
+	return len(s.leases)
+}
+
+// Counters returns the served/feedback/errors-found totals (metrics).
+func (s *Service) Counters() (served, feedback, errorsFound int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served, s.feedback, s.errorsFound
+}
+
+// Close persists the final state and rejects further mutations.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	err := s.saveLocked()
+	s.closed = true
+	return err
+}
+
+func (s *Service) stateLocked() State {
+	st := State{
+		Version:     StateVersion,
+		Selector:    s.sel.StateSnapshot(),
+		Round:       s.round,
+		Served:      s.served,
+		Feedback:    s.feedback,
+		ErrorsFound: s.errorsFound,
+	}
+	for _, rec := range s.labeled {
+		st.Labeled = append(st.Labeled, rec)
+	}
+	sort.Slice(st.Labeled, func(i, j int) bool {
+		a, b := st.Labeled[i], st.Labeled[j]
+		if a.Stream != b.Stream {
+			return a.Stream < b.Stream
+		}
+		return a.Sample < b.Sample
+	})
+	for _, l := range s.leases {
+		st.Leases = append(st.Leases, l)
+	}
+	sort.Slice(st.Leases, func(i, j int) bool {
+		a, b := st.Leases[i], st.Leases[j]
+		if a.Stream != b.Stream {
+			return a.Stream < b.Stream
+		}
+		return a.Sample < b.Sample
+	})
+	if len(s.streamSrc) > 0 {
+		st.StreamSources = make(map[string]string, len(s.streamSrc))
+		for k, v := range s.streamSrc {
+			st.StreamSources[k] = v
+		}
+	}
+	return st
+}
+
+func (s *Service) restoreLocked(st State) {
+	if st.Selector.Kind != "" {
+		if sel, err := bandit.NewRoundSelectorFromState(st.Selector); err == nil {
+			s.sel = sel
+		}
+	}
+	s.round = st.Round
+	s.served = st.Served
+	s.feedback = st.Feedback
+	s.errorsFound = st.ErrorsFound
+	s.labeled = make(map[key2]LabeledSample, len(st.Labeled))
+	for _, rec := range st.Labeled {
+		s.labeled[rec.key2()] = rec
+	}
+	s.leases = make(map[key2]Lease, len(st.Leases))
+	for _, l := range st.Leases {
+		s.leases[l.key2()] = l
+	}
+	s.streamSrc = make(map[string]string, len(st.StreamSources))
+	for k, v := range st.StreamSources {
+		s.streamSrc[k] = v
+	}
+	s.asm = nil
+	s.gen++
+}
+
+// saveLocked atomically persists the state file: temp + fsync + rename +
+// parent-dir fsync, the same durability contract as the collector's
+// snapshot and marks files.
+func (s *Service) saveLocked() error {
+	if s.cfg.StatePath == "" {
+		return nil
+	}
+	raw, err := json.Marshal(s.stateLocked())
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	dir := filepath.Dir(s.cfg.StatePath)
+	tmp, err := os.CreateTemp(dir, ".labels-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(raw); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, s.cfg.StatePath)
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+func (s *Service) expireLocked(now time.Time) {
+	cut := now.Unix()
+	for k, l := range s.leases {
+		if l.ExpiresUnix <= cut {
+			delete(s.leases, k)
+		}
+	}
+}
+
+// assembleLocked builds (or reuses) the candidate pool for the current
+// ingest generation: one candidate per (stream, sample) with its
+// max-severity-per-assertion feature vector, in canonical (stream,
+// sample) order so selection is deterministic.
+func (s *Service) assembleLocked() *assembly {
+	if s.asm != nil && s.asm.gen == s.gen {
+		return s.asm
+	}
+	gen := s.gen
+	vs := s.src.Violations()
+	byKey := make(map[key2]int)
+	var cands []Candidate
+	nameSet := make(map[string]bool)
+	for _, v := range vs {
+		if v.Severity <= 0 {
+			continue
+		}
+		nameSet[v.Assertion] = true
+		k := key2{v.Stream, v.SampleIndex}
+		idx, ok := byKey[k]
+		if !ok {
+			idx = len(cands)
+			byKey[k] = idx
+			cands = append(cands, Candidate{
+				SampleKey:  SampleKey{Source: s.streamSrc[v.Stream], Stream: v.Stream, Sample: v.SampleIndex},
+				Severities: make(map[string]float64, 4),
+			})
+		}
+		if v.Severity > cands[idx].Severities[v.Assertion] {
+			cands[idx].Severities[v.Assertion] = v.Severity
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Stream != cands[j].Stream {
+			return cands[i].Stream < cands[j].Stream
+		}
+		return cands[i].Sample < cands[j].Sample
+	})
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	nameIdx := make(map[string]int, len(names))
+	for i, n := range names {
+		nameIdx[n] = i
+	}
+	vecs := make([]assertion.Vector, len(cands))
+	for i := range cands {
+		c := &cands[i]
+		byKey[c.key2()] = i
+		vec := make(assertion.Vector, len(names))
+		for name, sev := range c.Severities {
+			vec[nameIdx[name]] = sev
+			if sev > c.MaxSeverity || (sev == c.MaxSeverity && (c.TopAssertion == "" || name < c.TopAssertion)) {
+				c.MaxSeverity = sev
+				c.TopAssertion = name
+			}
+		}
+		vecs[i] = vec
+		for _, name := range names {
+			sev, fired := c.Severities[name]
+			if !fired {
+				continue
+			}
+			if kind, attrKey, ok := consistency.ProposalKindForAssertion(name); ok {
+				c.WeakLabels = append(c.WeakLabels, WeakLabel{
+					Kind:      kind,
+					Assertion: name,
+					AttrKey:   attrKey,
+					Severity:  sev,
+				})
+			}
+		}
+	}
+	s.asm = &assembly{gen: gen, names: names, cands: cands, vecs: vecs, byKey: byKey}
+	return s.asm
+}
+
+// availableLocked filters the pool down to selectable candidates:
+// unlabeled and not under an active lease. positions[i] is the assembly
+// index backing avail[i]; avail[i].Index is set to the same value so a
+// selector's picks translate directly.
+func (s *Service) availableLocked(asm *assembly) (avail []bandit.Candidate, positions []int) {
+	for i := range asm.cands {
+		k := asm.cands[i].key2()
+		if _, ok := s.labeled[k]; ok {
+			continue
+		}
+		if _, ok := s.leases[k]; ok {
+			continue
+		}
+		avail = append(avail, bandit.Candidate{
+			Index:       i,
+			Severities:  asm.vecs[i],
+			Uncertainty: asm.cands[i].MaxSeverity,
+		})
+		positions = append(positions, i)
+	}
+	return avail, positions
+}
+
+// diversify makes a batch per-assertion-diverse. It maps a selector's
+// ranked picks (positions into the available slice) back to assembly
+// positions, interleaves them round-robin across dominant assertions —
+// preserving rank order within each assertion — truncated to budget, and
+// then guarantees representation: every assertion that still has an
+// available candidate gets at least one slot when the budget allows,
+// evicting the tail of the most-represented group. Fully deterministic,
+// so crash recovery and the reference trace reproduce it exactly.
+func diversify(asm *assembly, positions []int, picks []int, budget int) []int {
+	var groupOrder []string
+	groups := make(map[string][]int)
+	for _, p := range picks {
+		if p < 0 || p >= len(positions) {
+			continue
+		}
+		pos := positions[p]
+		top := asm.cands[pos].TopAssertion
+		if _, ok := groups[top]; !ok {
+			groupOrder = append(groupOrder, top)
+		}
+		groups[top] = append(groups[top], pos)
+	}
+	out := make([]int, 0, budget)
+	for len(out) < budget {
+		advanced := false
+		for _, g := range groupOrder {
+			if len(out) >= budget {
+				break
+			}
+			if q := groups[g]; len(q) > 0 {
+				out = append(out, q[0])
+				groups[g] = q[1:]
+				advanced = true
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	if len(out) < budget {
+		// The ranking was exhausted before the budget: nothing to evict,
+		// nothing unrepresented that the selector could have offered.
+		return out
+	}
+	count := make(map[string]int)
+	inBatch := make(map[int]bool, len(out))
+	for _, pos := range out {
+		count[asm.cands[pos].TopAssertion]++
+		inBatch[pos] = true
+	}
+	for _, name := range asm.names {
+		if count[name] > 0 {
+			continue
+		}
+		// Highest-severity available candidate dominated by this
+		// assertion (canonical order breaks ties).
+		best := -1
+		for _, pos := range positions {
+			if inBatch[pos] || asm.cands[pos].TopAssertion != name {
+				continue
+			}
+			if best < 0 || asm.cands[pos].MaxSeverity > asm.cands[best].MaxSeverity {
+				best = pos
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		// Evict the last occurrence of the most-represented group, but
+		// never a group's only entry.
+		evictGroup, maxN := "", 1
+		for g, n := range count {
+			if n > maxN || (n == maxN && evictGroup != "" && g < evictGroup) {
+				evictGroup, maxN = g, n
+			}
+		}
+		if evictGroup == "" {
+			break // all groups are singletons; the budget is spoken for
+		}
+		for j := len(out) - 1; j >= 0; j-- {
+			if asm.cands[out[j]].TopAssertion == evictGroup {
+				count[evictGroup]--
+				delete(inBatch, out[j])
+				out[j] = best
+				inBatch[best] = true
+				count[name]++
+				break
+			}
+		}
+	}
+	return out
+}

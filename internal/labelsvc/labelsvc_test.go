@@ -1,0 +1,449 @@
+package labelsvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"omg/internal/assertion"
+	"omg/internal/bandit"
+)
+
+// fakeSource is a mutable in-memory violation history.
+type fakeSource struct {
+	mu sync.Mutex
+	vs []assertion.Violation
+}
+
+func (f *fakeSource) Violations() []assertion.Violation {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]assertion.Violation(nil), f.vs...)
+}
+
+func (f *fakeSource) add(vs ...assertion.Violation) {
+	f.mu.Lock()
+	f.vs = append(f.vs, vs...)
+	f.mu.Unlock()
+}
+
+func v(a, stream string, sample int, sev float64) assertion.Violation {
+	return assertion.Violation{Assertion: a, Stream: stream, SampleIndex: sample, Severity: sev}
+}
+
+// seedSource builds a pool of n samples across two streams and two
+// assertions with varying severities.
+func seedSource(n int) *fakeSource {
+	f := &fakeSource{}
+	for i := 0; i < n; i++ {
+		stream := fmt.Sprintf("cam-%d", i%2)
+		if i%3 != 0 {
+			f.add(v("lights", stream, i, 1+float64(i%7)))
+		}
+		if i%4 != 0 {
+			f.add(v("track:flicker", stream, i, 0.5+float64(i%5)))
+		}
+	}
+	return f
+}
+
+func fixedNow() func() time.Time {
+	t0 := time.Unix(1700000000, 0)
+	return func() time.Time { return t0 }
+}
+
+func mustNew(t *testing.T, src ViolationSource, cfg Config) *Service {
+	t.Helper()
+	if cfg.Now == nil {
+		cfg.Now = fixedNow()
+	}
+	s, err := New(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func batchKeys(b Batch) []SampleKey {
+	out := make([]SampleKey, len(b.Candidates))
+	for i, c := range b.Candidates {
+		out[i] = c.SampleKey
+	}
+	return out
+}
+
+func TestAssemblyGroupsMaxSeverityAndWeakLabels(t *testing.T) {
+	src := &fakeSource{}
+	src.add(
+		v("lights", "cam-0", 7, 2),
+		v("lights", "cam-0", 7, 5), // same key: max wins
+		v("track:attr:color", "cam-0", 7, 1),
+		v("lights", "cam-1", 7, 3), // different stream: distinct candidate
+		v("zero", "cam-0", 8, 0),   // non-positive severity: ignored
+	)
+	s := mustNew(t, src, Config{})
+	pool := s.Pool()
+	if len(pool) != 2 {
+		t.Fatalf("pool = %d candidates, want 2: %+v", len(pool), pool)
+	}
+	c := pool[0] // canonical order: cam-0 before cam-1
+	if c.Stream != "cam-0" || c.Sample != 7 {
+		t.Fatalf("first candidate = %+v", c.SampleKey)
+	}
+	if c.Severities["lights"] != 5 || c.TopAssertion != "lights" || c.MaxSeverity != 5 {
+		t.Fatalf("candidate features = %+v", c)
+	}
+	if len(c.WeakLabels) != 1 || c.WeakLabels[0].Kind != "modify-attr" || c.WeakLabels[0].AttrKey != "color" {
+		t.Fatalf("weak labels = %+v", c.WeakLabels)
+	}
+	if got := s.Stats(); got.Candidates != 2 || got.Assertions != 2 || got.Pool != 2 {
+		t.Fatalf("stats = %+v", got)
+	}
+}
+
+func TestNextLeasesAreDisjointAndExpire(t *testing.T) {
+	t0 := time.Unix(1700000000, 0)
+	now := t0
+	src := seedSource(40)
+	s := mustNew(t, src, Config{LeaseTTL: time.Minute, Now: func() time.Time { return now }})
+
+	b1, err := s.Next(10, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s.Next(10, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1.Candidates) != 10 || len(b2.Candidates) != 10 {
+		t.Fatalf("batch sizes %d/%d, want 10/10", len(b1.Candidates), len(b2.Candidates))
+	}
+	seen := make(map[key2]string)
+	for _, c := range b1.Candidates {
+		seen[c.key2()] = "alice"
+	}
+	for _, c := range b2.Candidates {
+		if who, dup := seen[c.key2()]; dup {
+			t.Fatalf("sample %+v leased to both %s and bob", c.SampleKey, who)
+		}
+	}
+	if got := s.ActiveLeases(); got != 20 {
+		t.Fatalf("active leases = %d, want 20", got)
+	}
+	// After the TTL passes the leases lapse and the samples are
+	// selectable again.
+	now = t0.Add(2 * time.Minute)
+	if got := s.ActiveLeases(); got != 0 {
+		t.Fatalf("active leases after expiry = %d, want 0", got)
+	}
+	b3, err := s.Next(200, "carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := s.Stats().Candidates
+	if len(b3.Candidates) != total {
+		t.Fatalf("post-expiry pull got %d of %d candidates", len(b3.Candidates), total)
+	}
+}
+
+func TestFeedbackShrinksPoolAndDetectsDuplicates(t *testing.T) {
+	src := seedSource(30)
+	s := mustNew(t, src, Config{})
+	before := s.Stats()
+	b, _ := s.Next(5, "p")
+	fb := make([]Feedback, 0, len(b.Candidates))
+	for i, c := range b.Candidates {
+		fb = append(fb, Feedback{SampleKey: c.SampleKey, Label: "ok", ModelCorrect: i%2 == 0})
+	}
+	res, err := s.ApplyFeedback(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 5 || res.Duplicates != 0 {
+		t.Fatalf("feedback result = %+v", res)
+	}
+	res2, _ := s.ApplyFeedback(fb)
+	if res2.Applied != 0 || res2.Duplicates != 5 {
+		t.Fatalf("re-post result = %+v", res2)
+	}
+	after := s.Stats()
+	if after.Pool != before.Pool-5 || after.Labeled != 5 || after.Leased != 0 {
+		t.Fatalf("stats after feedback = %+v (before %+v)", after, before)
+	}
+	// ModelCorrect=false labels count as found errors: i%2==0 → 3 correct,
+	// 2 errors out of 5... indexes 0,2,4 correct; 1,3 errors.
+	if after.ErrorsFound != 2 {
+		t.Fatalf("errors found = %d, want 2", after.ErrorsFound)
+	}
+	// Labeled samples never come back, even after lease expiry.
+	b2, _ := s.Next(1000, "p")
+	for _, c := range b2.Candidates {
+		for _, done := range fb {
+			if c.key2() == done.key2() {
+				t.Fatalf("labeled sample %+v served again", c.SampleKey)
+			}
+		}
+	}
+}
+
+func TestBatchesArePerAssertionDiverse(t *testing.T) {
+	// Assertion "hot" has strictly higher severities than "cold", so a
+	// pure severity ranking (uncertainty) would fill the whole batch with
+	// "hot" samples; the diversity interleave must include "cold" ones.
+	src := &fakeSource{}
+	for i := 0; i < 20; i++ {
+		src.add(v("hot", "s", i, 100+float64(i)))
+	}
+	for i := 100; i < 120; i++ {
+		src.add(v("cold", "s", i, 1+float64(i)/1000))
+	}
+	s := mustNew(t, src, Config{Selector: "uncertainty"})
+	b, err := s.Next(10, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTop := map[string]int{}
+	for _, c := range b.Candidates {
+		byTop[c.TopAssertion]++
+	}
+	if byTop["hot"] == 0 || byTop["cold"] == 0 {
+		t.Fatalf("batch not diverse: %v", byTop)
+	}
+	if len(b.Candidates) != 10 {
+		t.Fatalf("budget not filled: %d", len(b.Candidates))
+	}
+}
+
+func TestEmptyPoolYieldsEmptyBatchWithoutRoundAdvance(t *testing.T) {
+	s := mustNew(t, &fakeSource{}, Config{})
+	b, err := s.Next(0, "p")
+	if err != nil || len(b.Candidates) != 0 || b.Round != 0 {
+		t.Fatalf("batch = %+v err = %v", b, err)
+	}
+	if s.Round() != 0 {
+		t.Fatalf("round advanced on empty pool")
+	}
+}
+
+func TestObserveBatchBindsSources(t *testing.T) {
+	src := &fakeSource{}
+	vs := []assertion.Violation{v("lights", "cam-0", 1, 2)}
+	src.add(vs...)
+	s := mustNew(t, src, Config{})
+	s.ObserveBatch("edge-07", vs)
+	pool := s.Pool()
+	if len(pool) != 1 || pool[0].Source != "edge-07" {
+		t.Fatalf("pool = %+v, want source edge-07", pool)
+	}
+}
+
+// TestCrashRecoveryIsByteIdentical is the tentpole property: a service
+// revived from its state file after an unclean death (no Close) serves
+// exactly what the uninterrupted twin would have.
+func TestCrashRecoveryIsByteIdentical(t *testing.T) {
+	for _, kind := range bandit.RoundSelectorKinds {
+		t.Run(kind, func(t *testing.T) {
+			srcA, srcB := seedSource(60), seedSource(60)
+			cfg := Config{Selector: kind, Seed: 42, Now: fixedNow()}
+			cont := mustNew(t, srcA, cfg)
+			cfgB := cfg
+			cfgB.StatePath = filepath.Join(t.TempDir(), "labels.json")
+			crash := mustNew(t, srcB, cfgB)
+
+			step := func(a, b Batch) {
+				t.Helper()
+				ja, _ := json.Marshal(a)
+				jb, _ := json.Marshal(b)
+				if string(ja) != string(jb) {
+					t.Fatalf("batches diverged:\n%s\n%s", ja, jb)
+				}
+			}
+
+			b1a, _ := cont.Next(8, "p")
+			b1b, _ := crash.Next(8, "p")
+			step(b1a, b1b)
+
+			fb := []Feedback{
+				{SampleKey: b1a.Candidates[0].SampleKey, Label: "car", ModelCorrect: false},
+				{SampleKey: b1a.Candidates[1].SampleKey, Label: "ok", ModelCorrect: true},
+			}
+			cont.ApplyFeedback(fb)
+			crash.ApplyFeedback(fb)
+
+			// kill -9: drop the service without Close and revive from disk.
+			revived := mustNew(t, srcB, cfgB)
+			sa, _ := json.Marshal(cont.StateSnapshot())
+			sb, _ := json.Marshal(revived.StateSnapshot())
+			if string(sa) != string(sb) {
+				t.Fatalf("state diverged after revival:\n%s\n%s", sa, sb)
+			}
+
+			b2a, _ := cont.Next(8, "p")
+			b2b, _ := revived.Next(8, "p")
+			step(b2a, b2b)
+		})
+	}
+}
+
+// TestBALReferenceTrace drives the public protocol by hand against
+// internal/bandit and asserts the service's selections match it round
+// for round — the deterministic reference trace the e2e tests rely on.
+func TestBALReferenceTrace(t *testing.T) {
+	src := seedSource(80)
+	const seed, budget = 7, 9
+	s := mustNew(t, src, Config{Selector: "bal", Seed: seed})
+	ref, err := bandit.NewRoundSelector("bal", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 1; round <= 3; round++ {
+		// Reconstruct the reference round input independently: the
+		// assertion axis comes from the full violation history (the
+		// service assembles over everything ever ingested), the available
+		// pool from the public Pool view.
+		names := map[string]bool{}
+		for _, viol := range src.Violations() {
+			if viol.Severity > 0 {
+				names[viol.Assertion] = true
+			}
+		}
+		sorted := make([]string, 0, len(names))
+		for n := range names {
+			sorted = append(sorted, n)
+		}
+		sort.Strings(sorted)
+		nameIdx := map[string]int{}
+		for i, n := range sorted {
+			nameIdx[n] = i
+		}
+		pool := s.Pool()
+		avail := make([]bandit.Candidate, len(pool))
+		for i, c := range pool {
+			vec := make(assertion.Vector, len(sorted))
+			for n, sev := range c.Severities {
+				vec[nameIdx[n]] = sev
+			}
+			avail[i] = bandit.Candidate{Index: i, Severities: vec, Uncertainty: c.MaxSeverity}
+		}
+		picks := ref.Select(bandit.RoundState{
+			Round:       round,
+			Budget:      overProvision(budget, len(avail)),
+			Candidates:  avail,
+			FiredCounts: bandit.FiredCounts(avail, len(sorted)),
+		})
+		// Snapshot the service's internal pool mapping before Next
+		// mutates lease state, then apply the shared deterministic
+		// diversity pass to the reference ranking.
+		s.mu.Lock()
+		asm := s.assembleLocked()
+		_, positions := s.availableLocked(asm)
+		s.mu.Unlock()
+		wantPos := diversify(asm, positions, picks, budget)
+		wantKeys := make([]SampleKey, len(wantPos))
+		for i, pos := range wantPos {
+			wantKeys[i] = asm.cands[pos].SampleKey
+		}
+
+		got, err := s.Next(budget, "ref")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Round != round {
+			t.Fatalf("round = %d, want %d", got.Round, round)
+		}
+		if !reflect.DeepEqual(batchKeys(got), wantKeys) {
+			t.Fatalf("round %d: service %v vs reference %v", round, batchKeys(got), wantKeys)
+		}
+		// Matching the reference's BAL state proves the persisted round
+		// state is the bandit's, not a lookalike.
+		if !reflect.DeepEqual(s.StateSnapshot().Selector.BAL, ref.StateSnapshot().BAL) {
+			t.Fatalf("round %d: BAL state diverged from reference", round)
+		}
+	}
+}
+
+func TestClosedServiceRejectsMutations(t *testing.T) {
+	s := mustNew(t, seedSource(10), Config{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Next(1, "p"); err != ErrClosed {
+		t.Fatalf("Next after close: %v", err)
+	}
+	if _, err := s.ApplyFeedback(nil); err != ErrClosed {
+		t.Fatalf("feedback after close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestConcurrentPullFeedbackIngest(t *testing.T) {
+	src := seedSource(200)
+	s := mustNew(t, src, Config{Now: nil, LeaseTTL: time.Hour})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	leased := make(map[key2]string)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			who := fmt.Sprintf("puller-%d", w)
+			for i := 0; i < 10; i++ {
+				b, err := s.Next(4, who)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				for _, c := range b.Candidates {
+					if prev, dup := leased[c.key2()]; dup {
+						t.Errorf("sample %+v double-leased to %s and %s", c.SampleKey, prev, who)
+					}
+					leased[c.key2()] = who
+				}
+				mu.Unlock()
+				var fb []Feedback
+				for _, c := range b.Candidates {
+					fb = append(fb, Feedback{SampleKey: c.SampleKey, Label: "x"})
+				}
+				if _, err := s.ApplyFeedback(fb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1000; i < 1100; i++ {
+			vs := []assertion.Violation{v("lights", "cam-9", i, 2)}
+			src.add(vs...)
+			s.ObserveBatch("edge-9", vs)
+		}
+	}()
+	wg.Wait()
+}
+
+func TestStateSnapshotRestoreRoundTrip(t *testing.T) {
+	s := mustNew(t, seedSource(30), Config{Seed: 5})
+	s.ObserveBatch("edge-1", []assertion.Violation{v("lights", "cam-0", 2, 1)})
+	b, _ := s.Next(4, "p")
+	s.ApplyFeedback([]Feedback{{SampleKey: b.Candidates[0].SampleKey, Label: "y"}})
+	st := s.StateSnapshot()
+
+	other := mustNew(t, seedSource(30), Config{Seed: 99})
+	other.RestoreState(st)
+	got, _ := json.Marshal(other.StateSnapshot())
+	want, _ := json.Marshal(st)
+	if string(got) != string(want) {
+		t.Fatalf("restore round-trip:\n%s\n%s", got, want)
+	}
+}

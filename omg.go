@@ -29,6 +29,7 @@ import (
 	"omg/internal/bandit"
 	"omg/internal/consistency"
 	"omg/internal/export"
+	"omg/internal/labelsvc"
 )
 
 // Core assertion types.
@@ -127,8 +128,75 @@ type (
 // WireVersion is the version stamped on every exported batch and snapshot.
 const WireVersion = export.WireVersion
 
+// MinWireVersion is the oldest wire version a collector still accepts,
+// so mixed-version fleets keep exporting across rollouts.
+const MinWireVersion = export.MinWireVersion
+
 // TailPath is the collector's SSE live-tail endpoint.
 const TailPath = export.TailPath
+
+// Collector label-loop endpoints (paper §3 served over HTTP): pullers
+// lease budgeted candidate batches from LabelsNextPath, post labels back
+// to LabelsFeedbackPath, and read loop progress from LabelsStatsPath.
+const (
+	LabelsNextPath     = export.LabelsNextPath
+	LabelsFeedbackPath = export.LabelsFeedbackPath
+	LabelsStatsPath    = export.LabelsStatsPath
+)
+
+// Collector-served active-learning loop: the label service assembles
+// per-sample candidates from the retained violations, ranks them with a
+// crash-recoverable bandit selector, and leases batches to pullers.
+type (
+	// LabelService is the collector's label-selection engine
+	// (Collector.Labels exposes it for in-process driving).
+	LabelService = labelsvc.Service
+	// LabelConfig shapes the label service via CollectorConfig.Labels:
+	// selector kind, seed, budgets, lease TTL, state path.
+	LabelConfig = labelsvc.Config
+	// LabelSampleKey identifies one data point: (source, stream, sample).
+	LabelSampleKey = labelsvc.SampleKey
+	// LabelCandidate is one selectable sample with its per-assertion
+	// severity vector and any corrective weak labels.
+	LabelCandidate = labelsvc.Candidate
+	// LabelBatch is one leased selection round.
+	LabelBatch = labelsvc.Batch
+	// LabelFeedback is one human label posted back to the loop.
+	LabelFeedback = labelsvc.Feedback
+	// LabelStats summarises the loop's progress.
+	LabelStats = labelsvc.Stats
+	// LabelsNextResponse is the JSON body GET /v1/labels/next serves.
+	LabelsNextResponse = export.LabelsNextResponse
+	// LabelsFeedbackRequest is the JSON body POST /v1/labels/feedback
+	// accepts.
+	LabelsFeedbackRequest = export.LabelsFeedbackRequest
+	// LabelsFeedbackResponse is POST /v1/labels/feedback's answer.
+	LabelsFeedbackResponse = export.LabelsFeedbackResponse
+	// TailWeakLabelEvent is the payload of the SSE tail's `event:
+	// weaklabel` frames — a §4.2 corrective proposal per ingested
+	// consistency-assertion violation.
+	TailWeakLabelEvent = export.WeakLabelEvent
+
+	// RoundSelector is the crash-recoverable round-driving wrapper over
+	// the §3 selectors: its algorithm state serialises as
+	// RoundSelectorState and every round's randomness re-derives from
+	// (seed, round), so a revived selector replays identically.
+	RoundSelector = bandit.RoundSelector
+	// RoundSelectorState is a RoundSelector's persistent form.
+	RoundSelectorState = bandit.RoundSelectorState
+)
+
+// NewRoundSelector builds a crash-recoverable selector by kind — "bal"
+// (default when kind is empty), "ccmab", "uncertainty", "uniform-ma" or
+// "random" — the same names omg-server's -label-selector accepts.
+func NewRoundSelector(kind string, seed int64) (*RoundSelector, error) {
+	return bandit.NewRoundSelector(kind, seed)
+}
+
+// RoundSelectorKinds lists the RoundSelector kind names.
+func RoundSelectorKinds() []string {
+	return append([]string(nil), bandit.RoundSelectorKinds...)
+}
 
 // ErrSinkClosed is returned by a Sink's Record method after Close.
 var ErrSinkClosed = assertion.ErrSinkClosed
