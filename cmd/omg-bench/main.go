@@ -10,7 +10,8 @@
 //	                          # sinkbench (JSONL vs loopback HTTP export),
 //	                          # fanin (sharded vs single-recorder collector),
 //	                          # store (mem vs on-disk segment violation store),
-//	                          # labels (candidate assembly + label serving)
+//	                          # labels (candidate assembly + label serving),
+//	                          # obs (instrumented vs uninstrumented hot paths)
 //	omg-bench -quick          # reduced sizes (CI smoke run)
 //	omg-bench -root DIR       # repository root for Table 2 (default .)
 package main
@@ -26,12 +27,13 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1..table4, table6, figure3, figure4a, figure4b, figure5, sinkbench, fanin, observe, store, labels)")
+	only := flag.String("only", "", "run a single experiment (table1..table4, table6, figure3, figure4a, figure4b, figure5, sinkbench, fanin, observe, store, labels, obs)")
 	quick := flag.Bool("quick", false, "use reduced experiment sizes")
 	root := flag.String("root", ".", "repository root (for Table 2 LOC measurement)")
 	benchOut := flag.String("bench-out", "BENCH_5.json", "where the observe experiment writes its machine-readable results (empty disables)")
 	storeBenchOut := flag.String("store-bench-out", "BENCH_6.json", "where the store experiment writes its machine-readable results (empty disables)")
 	labelBenchOut := flag.String("label-bench-out", "BENCH_7.json", "where the labels experiment writes its machine-readable results (empty disables)")
+	obsBenchOut := flag.String("obs-bench-out", "BENCH_8.json", "where the obs experiment writes its machine-readable results (empty disables)")
 	flag.Parse()
 
 	scale := experiments.FullScale()
@@ -63,6 +65,7 @@ func main() {
 		{"observe", func() (string, error) { return renderObserveBench(*quick, *benchOut) }},
 		{"store", func() (string, error) { return renderStoreBench(*quick, *storeBenchOut) }},
 		{"labels", func() (string, error) { return renderLabelBench(*quick, *labelBenchOut) }},
+		{"obs", func() (string, error) { return renderObsBench(*quick, *obsBenchOut) }},
 	}
 
 	matched := false

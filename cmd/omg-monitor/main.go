@@ -15,6 +15,11 @@
 // With -sink=http, -log is optional and tees a local JSONL copy beside
 // the export.
 //
+// -metrics-addr starts an edge-side Prometheus /metrics listener so the
+// source fleet is scrapeable (observe latency, shard queue depth and
+// wait, export delivery telemetry); -debug-addr serves net/http/pprof on
+// a separate gated listener for live profiling.
+//
 // Usage:
 //
 //	omg-monitor [-frames N] [-seed S] [-log violations.jsonl]
@@ -24,12 +29,15 @@
 //	            [-sample-every N] [-per-stream-recorders]
 //	            [-export-url http://collector:9077] [-export-batch N]
 //	            [-export-retries N]
+//	            [-metrics-addr :9078] [-debug-addr :9079]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"sync"
@@ -38,6 +46,7 @@ import (
 	"omg/internal/consistency"
 	"omg/internal/domains/nightstreet"
 	"omg/internal/export"
+	"omg/internal/obs"
 )
 
 func main() {
@@ -55,6 +64,8 @@ func main() {
 	exportURL := flag.String("export-url", "", "collector base URL, e.g. http://collector:9077 (-sink=http)")
 	exportBatch := flag.Int("export-batch", 256, "violations coalesced per exported batch (-sink=http)")
 	exportRetries := flag.Int("export-retries", 3, "retries per failed batch before its violations count as dropped (-sink=http)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics on this address (host:port; port 0 picks a free port)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (gated: off unless set)")
 	flag.Parse()
 	if *streams < 1 {
 		log.Fatalf("-streams must be >= 1")
@@ -171,6 +182,58 @@ func main() {
 	}
 	pool := assertion.NewMonitorPool(suite, popts...)
 
+	// Edge telemetry: the pool's queue depth and (for -sink=http) the
+	// exporter's delivery counters read live at scrape time, alongside the
+	// stage histograms the instrumented packages registered at init.
+	reg := obs.Default()
+	reg.NewGaugeFunc("omg_pool_queue_depth",
+		"Samples queued on shard queues or in flight with a pool worker.",
+		func() float64 { return float64(pool.Pending()) })
+	if httpSink != nil {
+		reg.NewGaugeFunc("omg_export_queue_depth",
+			"Violations buffered in the HTTP exporter, not yet shipped.",
+			func() float64 { return float64(httpSink.Stats().Queued) })
+		reg.NewCounterFunc("omg_export_delivered_total",
+			"Violations acknowledged by the collector.",
+			func() float64 { return float64(httpSink.Delivered()) })
+		reg.NewCounterFunc("omg_export_retries_total",
+			"Failed batch ship attempts that were retried.",
+			func() float64 { return float64(httpSink.Retries()) })
+		reg.NewCounterFunc("omg_export_dropped_total",
+			"Violations dropped after exhausting batch retries.",
+			func() float64 { return float64(httpSink.Dropped()) })
+	}
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("listen metrics %s: %v", *metricsAddr, err)
+		}
+		// The resolved-address line is the handshake scripts and tests
+		// scrape to learn the port when -metrics-addr ends in :0.
+		fmt.Printf("omg-monitor metrics on http://%s/metrics\n", ln.Addr())
+		go func() {
+			srv := &http.Server{Handler: mux}
+			if err := srv.Serve(ln); err != nil {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+	}
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("listen debug %s: %v", *debugAddr, err)
+		}
+		fmt.Printf("omg-monitor debug on http://%s/debug/pprof/\n", ln.Addr())
+		go func() {
+			srv := &http.Server{Handler: obs.NewDebugMux()}
+			if err := srv.Serve(ln); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
+
 	// Corrective action: a real deployment might disengage an autopilot;
 	// here we count high-severity events. Actions may run concurrently
 	// across shards, hence the mutex.
@@ -231,8 +294,9 @@ func main() {
 		}
 	}
 	if httpSink != nil {
-		fmt.Printf("exported %d violations in %d batches to %s (%d retries, %d dropped)\n",
-			httpSink.Delivered(), httpSink.Batches(), *exportURL, httpSink.Retries(), httpSink.Dropped())
+		st := httpSink.Stats()
+		fmt.Printf("exported %d violations in %d batches to %s (%d retries, %d dropped, %d queued)\n",
+			st.Delivered, st.Batches, *exportURL, st.Retries, st.Dropped, st.Queued)
 	}
 	if sink != nil && *logPath != "" {
 		fmt.Printf("JSONL violation log written to %s\n", *logPath)

@@ -4,14 +4,21 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strconv"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"omg/internal/assertion"
+	"omg/internal/obs"
 )
 
 // monitorBin is the omg-monitor binary built once by TestMain; empty when
@@ -139,6 +146,141 @@ func TestEndToEndBadSinkFlags(t *testing.T) {
 		if out, err := exec.Command(bin, args...).CombinedOutput(); err == nil {
 			t.Fatalf("%v: expected non-zero exit; output:\n%s", args, out)
 		}
+	}
+}
+
+// TestEndToEndEdgeMetricsAndDebug scrapes a live omg-monitor's
+// -metrics-addr and -debug-addr listeners while its HTTP export is held
+// mid-flight by a gated collector, so the edge telemetry is read at a
+// deterministic moment instead of racing the run to completion.
+func TestEndToEndEdgeMetricsAndDebug(t *testing.T) {
+	bin := needBinary(t)
+
+	// A stand-in collector that accepts every batch but blocks the first
+	// delivery until the test has finished scraping — keeping the monitor
+	// alive (it cannot drain its exporter) without sleeps.
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	firstBatch := make(chan struct{})
+	collector := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		gateOnce.Do(func() { close(firstBatch) })
+		<-gate
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer collector.Close()
+
+	cmd := exec.Command(bin,
+		"-frames", "300", "-streams", "2",
+		"-sink", "http", "-export-url", collector.URL,
+		"-export-retries", "10",
+		"-metrics-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0",
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The handshake lines name the bound ports (-metrics-addr/-debug-addr
+	// ended in :0); everything after them is the exit summary, collected
+	// for the final assertions.
+	sc := bufio.NewScanner(stdout)
+	metricsRe := regexp.MustCompile(`omg-monitor metrics on (http://\S+/metrics)`)
+	debugRe := regexp.MustCompile(`omg-monitor debug on (http://\S+/debug/pprof/)`)
+	var metricsURL, debugURL string
+	var tail strings.Builder
+	tailDone := make(chan struct{})
+	for sc.Scan() {
+		line := sc.Text()
+		if m := metricsRe.FindStringSubmatch(line); m != nil {
+			metricsURL = m[1]
+		}
+		if m := debugRe.FindStringSubmatch(line); m != nil {
+			debugURL = m[1]
+		}
+		if metricsURL != "" && debugURL != "" {
+			break
+		}
+	}
+	if metricsURL == "" || debugURL == "" {
+		t.Fatalf("handshake lines missing (metrics=%q debug=%q)", metricsURL, debugURL)
+	}
+	go func() {
+		defer close(tailDone)
+		for sc.Scan() {
+			tail.WriteString(sc.Text())
+			tail.WriteByte('\n')
+		}
+	}()
+
+	select {
+	case <-firstBatch:
+	case <-time.After(30 * time.Second):
+		t.Fatal("monitor never shipped a batch to the gated collector")
+	}
+
+	// Edge /metrics: strictly parseable, with the pool and exporter
+	// telemetry the fleet dashboards scrape.
+	resp, err := http.Get(metricsURL)
+	if err != nil {
+		t.Fatalf("scrape edge metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("edge /metrics returned %s", resp.Status)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("edge /metrics rejected by strict parser: %v\npage:\n%s", err, body)
+	}
+	for _, series := range []string{
+		"# TYPE omg_observe_seconds histogram",
+		"# TYPE omg_pool_queue_wait_seconds histogram",
+		"# TYPE omg_export_deliver_seconds histogram",
+		"# TYPE omg_pool_queue_depth gauge",
+		"# TYPE omg_export_queue_depth gauge",
+		"# TYPE omg_export_delivered_total counter",
+		"# TYPE omg_export_retries_total counter",
+		"# TYPE omg_export_dropped_total counter",
+	} {
+		if !strings.Contains(string(body), series) {
+			t.Errorf("edge /metrics is missing %q", series)
+		}
+	}
+
+	// The gated debug listener serves pprof.
+	resp, err = http.Get(debugURL + "cmdline")
+	if err != nil {
+		t.Fatalf("scrape pprof: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline returned %s", resp.Status)
+	}
+
+	// Release the collector; the monitor drains its export and exits
+	// cleanly, its summary naming the delivery stats. Stdout is read to
+	// EOF before Wait so no summary line is lost.
+	close(gate)
+	<-tailDone
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("omg-monitor failed: %v\n%s", err, tail.String())
+	}
+	out := tail.String()
+	if !regexp.MustCompile(`exported \d+ violations in \d+ batches .* \(\d+ retries, \d+ dropped, \d+ queued\)`).MatchString(out) {
+		t.Fatalf("export summary with sink stats missing from output:\n%s", out)
 	}
 }
 

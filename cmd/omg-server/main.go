@@ -55,7 +55,11 @@
 //	           [-store mem|disk] [-data-dir DIR] [-segment-bytes N]
 //	           [-label-selector bal|ccmab|uncertainty|uniform-ma|random]
 //	           [-label-seed N] [-label-budget N] [-lease-ttl DUR]
-//	           [-drain DUR]
+//	           [-drain DUR] [-debug-addr :PORT]
+//
+// -debug-addr serves net/http/pprof on a separate gated listener —
+// profiling stays off the public collector port and off entirely unless
+// the flag is set.
 package main
 
 import (
@@ -76,6 +80,7 @@ import (
 	"omg/internal/assertion"
 	"omg/internal/export"
 	"omg/internal/labelsvc"
+	"omg/internal/obs"
 )
 
 func main() {
@@ -96,6 +101,7 @@ func main() {
 	labelBudget := flag.Int("label-budget", 16, "default /v1/labels/next batch size when the pull names no ?budget=")
 	leaseTTL := flag.Duration("lease-ttl", 5*time.Minute, "how long a served label candidate stays exclusively leased to its puller")
 	drain := flag.Duration("drain", 0, "after a shutdown signal, keep the listener answering (with /healthz reporting 503) this long so load balancers drain the instance first")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (gated: off unless set)")
 	flag.Parse()
 	if *retain < 0 {
 		log.Fatalf("-retain must be >= 0")
@@ -204,6 +210,20 @@ func main() {
 	// The resolved address line is the startup handshake: scripts (and the
 	// e2e tests) scrape it to learn the port when -addr ends in :0.
 	fmt.Printf("omg-server listening on %s\n", ln.Addr())
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("listen debug %s: %v", *debugAddr, err)
+		}
+		fmt.Printf("omg-server debug on http://%s/debug/pprof/\n", dln.Addr())
+		go func() {
+			dsrv := &http.Server{Handler: obs.NewDebugMux(), ReadHeaderTimeout: 10 * time.Second}
+			if err := dsrv.Serve(dln); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()

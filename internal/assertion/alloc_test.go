@@ -3,6 +3,9 @@ package assertion
 import (
 	"io"
 	"testing"
+	"time"
+
+	"omg/internal/obs"
 )
 
 // The alloc-regression tests assert the hot path's allocation budget under
@@ -33,6 +36,52 @@ func TestAllocRegressionMonitorObserve(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("Monitor.Observe allocated %.1f times per sample, want 0", allocs)
+	}
+}
+
+// TestAllocRegressionMonitorObserveInstrumented re-asserts the zero-
+// allocation invariant with the PR-8 stage timer forced on for every
+// observation (sampling 1-in-1, not the 1-in-64 default): the histogram
+// path — time.Now, bucket index, atomic adds — must stay off the heap too.
+func TestAllocRegressionMonitorObserveInstrumented(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is meaningless under -race")
+	}
+	obs.SetHotSampleEvery(1)
+	defer obs.SetHotSampleEvery(64)
+	before := observeHist.Count()
+	m := NewMonitor(NewSuite(
+		New("noop", func([]Sample) float64 { return 0 }),
+		New("len", func(w []Sample) float64 { return -float64(len(w)) }),
+	), WithWindowSize(8)) // samples every Observe: rate snapshot at construction
+	for i := 0; i < 64; i++ {
+		m.Observe(Sample{Index: i, Time: float64(i)})
+	}
+	i := 64
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Observe(Sample{Index: i, Time: float64(i)})
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented Monitor.Observe allocated %.1f times per sample, want 0", allocs)
+	}
+	if observeHist.Count() <= before {
+		t.Fatal("observe histogram recorded nothing despite 1-in-1 sampling")
+	}
+}
+
+// TestAllocRegressionHistogramRecord asserts the instrumentation
+// primitive itself — the call every stage timer bottoms out in — is
+// allocation-free.
+func TestAllocRegressionHistogramRecord(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is meaningless under -race")
+	}
+	h := obs.NewRegistry().NewHistogram("alloc_test_seconds", "alloc gate")
+	d := 500 * time.Nanosecond
+	allocs := testing.AllocsPerRun(1000, func() { h.Record(d) })
+	if allocs != 0 {
+		t.Fatalf("obs.Histogram.Record allocated %.1f times per call, want 0", allocs)
 	}
 }
 

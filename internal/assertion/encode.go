@@ -138,6 +138,10 @@ func AppendViolationJSON(dst []byte, v Violation) ([]byte, error) {
 		dst = append(dst, `,"ingest_unix":`...)
 		dst = strconv.AppendInt(dst, v.IngestUnix, 10)
 	}
+	if v.ObservedUnixNano != 0 {
+		dst = append(dst, `,"observed_unix_nano":`...)
+		dst = strconv.AppendInt(dst, v.ObservedUnixNano, 10)
+	}
 	return append(dst, '}'), nil
 }
 

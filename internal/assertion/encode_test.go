@@ -32,25 +32,26 @@ func diffViolation(t *testing.T, v Violation) {
 // encoder against encoding/json over arbitrary violations: arbitrary
 // (including invalid-UTF-8 and HTML-unsafe) assertion and stream names,
 // negative indices, NaN/Inf/denormal severities and times, and the
-// omitempty edges (empty stream, zero ingest stamp).
+// omitempty edges (empty stream, zero ingest and observed stamps).
 func FuzzAppendViolationJSON(f *testing.F) {
-	f.Add("flicker", "cam-0", 7, 0.23, 1.5, int64(0))
-	f.Add("", "", 0, 0.0, 0.0, int64(0))
-	f.Add("a\"b\\c\nd", "<script>&amp;", -3, -1.5, 2.5, int64(-7))
-	f.Add("日本語の検査", "カメラ-1", 1<<40, 1e-7, 1e21, int64(1753800000))
-	f.Add("nan", "s", 1, math.NaN(), 1.0, int64(1))
-	f.Add("inf", "s", 1, 1.0, math.Inf(1), int64(1))
-	f.Add("neg-inf", "s", 1, math.Inf(-1), 1.0, int64(1))
-	f.Add("bad-utf8 \xff\xfe", "trunc \xc3", 2, 5e-7, 123456.789, int64(9))
-	f.Add("ctl \x00\x01\x1f\x7f", "seps \u2028\u2029", 2, -0.0, 1e300, int64(1))
-	f.Fuzz(func(t *testing.T, assertionName, stream string, idx int, tm, sev float64, ingest int64) {
+	f.Add("flicker", "cam-0", 7, 0.23, 1.5, int64(0), int64(0))
+	f.Add("", "", 0, 0.0, 0.0, int64(0), int64(0))
+	f.Add("a\"b\\c\nd", "<script>&amp;", -3, -1.5, 2.5, int64(-7), int64(-9))
+	f.Add("日本語の検査", "カメラ-1", 1<<40, 1e-7, 1e21, int64(1753800000), int64(1753800000123456789))
+	f.Add("nan", "s", 1, math.NaN(), 1.0, int64(1), int64(2))
+	f.Add("inf", "s", 1, 1.0, math.Inf(1), int64(1), int64(0))
+	f.Add("neg-inf", "s", 1, math.Inf(-1), 1.0, int64(1), int64(3))
+	f.Add("bad-utf8 \xff\xfe", "trunc \xc3", 2, 5e-7, 123456.789, int64(9), int64(1))
+	f.Add("ctl \x00\x01\x1f\x7f", "seps \u2028\u2029", 2, -0.0, 1e300, int64(1), int64(0))
+	f.Fuzz(func(t *testing.T, assertionName, stream string, idx int, tm, sev float64, ingest, observed int64) {
 		diffViolation(t, Violation{
-			Assertion:   assertionName,
-			Stream:      stream,
-			SampleIndex: idx,
-			Time:        tm,
-			Severity:    sev,
-			IngestUnix:  ingest,
+			Assertion:        assertionName,
+			Stream:           stream,
+			SampleIndex:      idx,
+			Time:             tm,
+			Severity:         sev,
+			IngestUnix:       ingest,
+			ObservedUnixNano: observed,
 		})
 	})
 }
@@ -61,12 +62,13 @@ func FuzzAppendViolationJSON(f *testing.F) {
 // an equal struct via encoding/json.
 func TestAppendViolationJSONCoversAllFields(t *testing.T) {
 	v := Violation{
-		Assertion:   "field-cover",
-		Stream:      "cam-1",
-		SampleIndex: 42,
-		Time:        1.25,
-		Severity:    3.5,
-		IngestUnix:  1753800000,
+		Assertion:        "field-cover",
+		Stream:           "cam-1",
+		SampleIndex:      42,
+		Time:             1.25,
+		Severity:         3.5,
+		IngestUnix:       1753800000,
+		ObservedUnixNano: 1753800000123456789,
 	}
 	data, err := AppendViolationJSON(nil, v)
 	if err != nil {

@@ -3,6 +3,8 @@ package assertion
 import (
 	"sync"
 	"sync/atomic"
+
+	"omg/internal/obs"
 )
 
 // Violation is one firing of one assertion on one sample: the unit the
@@ -23,6 +25,12 @@ type Violation struct {
 	// in-process). Retention's max-age policy keys on it; violations
 	// without a stamp are exempt from age eviction.
 	IngestUnix int64 `json:"ingest_unix,omitempty"`
+	// ObservedUnixNano is the wall-clock nanosecond an exporting sink
+	// accepted this violation from the observe path (zero for violations
+	// that never left the process). The collector subtracts it from its
+	// ingest clock to chart per-source end-to-end latency
+	// (omg_collector_e2e_age_seconds).
+	ObservedUnixNano int64 `json:"observed_unix_nano,omitempty"`
 }
 
 // Action is a corrective callback invoked when an assertion fires at or
@@ -75,6 +83,10 @@ type Monitor struct {
 	recorder *Recorder
 	observed atomic.Int64
 
+	// obsSample gates the observe histogram's clock reads; it is mutated
+	// under evalMu, which is what makes the non-atomic sampler safe here.
+	obsSample obs.Sampler
+
 	// actions is a copy-on-write snapshot: registration (rare) swaps in a
 	// fresh slice under actMu, the observe path (hot) reads the current
 	// snapshot with one atomic load and no copying.
@@ -120,6 +132,7 @@ func NewMonitor(suite *Suite, opts ...MonitorOption) *Monitor {
 	m.scratch = make([]Sample, m.windowSize)
 	m.vec = make(Vector, suite.Len())
 	m.actions.Store(&[]actionSpec{})
+	m.obsSample = obs.HotSampler()
 	return m
 }
 
@@ -215,6 +228,7 @@ func (m *Monitor) Observe(s Sample) Vector {
 func (m *Monitor) observeLocked(s Sample) (Vector, []Violation, []actionSpec) {
 	m.evalMu.Lock()
 	defer m.evalMu.Unlock()
+	start := observeHist.StartIf(m.obsSample.Next())
 	m.push(s)
 	m.observed.Add(1)
 
@@ -241,6 +255,7 @@ func (m *Monitor) observeLocked(s Sample) (Vector, []Violation, []actionSpec) {
 			fired = append(fired, v)
 		}
 	}
+	observeHist.Done(start)
 	return vec, fired, actions
 }
 

@@ -5,6 +5,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
+
+	"omg/internal/obs"
 )
 
 // ErrPoolClosed is returned by Enqueue, TryEnqueue and ObserveBatch after
@@ -58,6 +61,10 @@ type MonitorPool struct {
 	actMu   sync.Mutex
 	actions []actionSpec
 
+	// qwait gates the queue-wait histogram's clock reads; atomic because
+	// every producer goroutine ticks it.
+	qwait *obs.AtomicSampler
+
 	mu     sync.RWMutex // enqueue (read side) vs close (write side)
 	closed bool
 }
@@ -76,6 +83,9 @@ type poolShard struct {
 type shardItem struct {
 	s     Sample
 	chunk *[]Sample // nil => single sample
+	// enq is the sampled enqueue stamp behind the queue-wait histogram:
+	// zero for the unsampled majority, so most items never read the clock.
+	enq time.Time
 }
 
 // chunkPool recycles the per-shard []Sample chunks ObserveBatch ships over
@@ -210,6 +220,7 @@ func NewMonitorPool(suite *Suite, opts ...PoolOption) *MonitorPool {
 		perStream:      cfg.perStream,
 		perStreamLimit: cfg.perStreamLimit,
 		sink:           cfg.sink,
+		qwait:          obs.HotAtomicSampler(),
 	}
 	if p.rec != nil && p.sink != nil {
 		p.rec.ShareSink(p.sink)
@@ -238,6 +249,7 @@ func NewMonitorPool(suite *Suite, opts ...PoolOption) *MonitorPool {
 func (p *MonitorPool) runShard(i int) {
 	defer p.wg.Done()
 	for it := range p.queues[i] {
+		queueWaitHist.Done(it.enq)
 		if it.chunk == nil {
 			p.observeOn(i, it.s)
 			p.pending.add(-1)
@@ -344,7 +356,7 @@ func (p *MonitorPool) Enqueue(s Sample) error {
 		return ErrPoolClosed
 	}
 	p.pending.add(1)
-	p.queues[p.shardFor(s.Stream)] <- shardItem{s: s}
+	p.queues[p.shardFor(s.Stream)] <- shardItem{s: s, enq: queueWaitHist.StartIf(p.qwait.Next())}
 	return nil
 }
 
@@ -359,7 +371,7 @@ func (p *MonitorPool) TryEnqueue(s Sample) (bool, error) {
 	}
 	p.pending.add(1)
 	select {
-	case p.queues[p.shardFor(s.Stream)] <- shardItem{s: s}:
+	case p.queues[p.shardFor(s.Stream)] <- shardItem{s: s, enq: queueWaitHist.StartIf(p.qwait.Next())}:
 		return true, nil
 	default:
 		p.pending.add(-1)
@@ -385,7 +397,7 @@ func (p *MonitorPool) ObserveBatch(batch []Sample) error {
 	}
 	if len(batch) == 1 {
 		p.pending.add(1)
-		p.queues[p.shardFor(batch[0].Stream)] <- shardItem{s: batch[0]}
+		p.queues[p.shardFor(batch[0].Stream)] <- shardItem{s: batch[0], enq: queueWaitHist.StartIf(p.qwait.Next())}
 		return nil
 	}
 	chunks := getChunkIndex(len(p.queues))
@@ -404,7 +416,7 @@ func (p *MonitorPool) ObserveBatch(batch []Sample) error {
 			continue
 		}
 		(*chunks)[i] = nil
-		p.queues[i] <- shardItem{chunk: c}
+		p.queues[i] <- shardItem{chunk: c, enq: queueWaitHist.StartIf(p.qwait.Next())}
 	}
 	putChunkIndex(chunks)
 	return nil
@@ -674,6 +686,11 @@ func (p *MonitorPool) Violations() []Violation {
 
 // NumShards returns the number of shards.
 func (p *MonitorPool) NumShards() int { return len(p.shards) }
+
+// Pending returns how many samples are currently queued on shard queues
+// or in flight with a worker — the async pipeline's depth, the natural
+// value for a queue-depth gauge on an edge /metrics page.
+func (p *MonitorPool) Pending() int { return p.pending.count() }
 
 // Reset clears every stream monitor's sliding window (e.g. at a
 // deployment boundary) without clearing recorded violations.

@@ -117,6 +117,12 @@ func (w *waiter) wait() {
 	w.mu.Unlock()
 }
 
+func (w *waiter) count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
 // JSONLSink is the buffered asynchronous JSONL backend behind
 // Recorder.StreamTo. Violations are handed to a single worker goroutine
 // over a bounded channel; the worker coalesces whatever is queued into one
@@ -241,6 +247,7 @@ func (s *JSONLSink) run() {
 	// batches without allocating at all.
 	buf := make([]byte, 0, 4096)
 	for v := range s.ch {
+		start := sinkWriteHist.StartIf(true)
 		// Once a write has failed the sink only drains, so a dead sink
 		// costs no encoding work for the recorder's remaining lifetime.
 		// Encoding failures do NOT latch: one unmarshalable violation is
@@ -283,6 +290,7 @@ func (s *JSONLSink) run() {
 				}
 			}
 		}
+		sinkWriteHist.Done(start)
 		s.pending.add(-n)
 	}
 }

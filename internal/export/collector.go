@@ -15,6 +15,7 @@ import (
 
 	"omg/internal/assertion"
 	"omg/internal/labelsvc"
+	"omg/internal/obs"
 )
 
 // maxIngestBytes bounds one ingest request body; larger bodies are
@@ -328,9 +329,21 @@ func (c *Collector) Ingest(b Batch) (accepted int, duplicate bool) {
 // and updates the counters.
 func (c *Collector) apply(b Batch) int {
 	rec := c.recFor(b.Source)
-	now := time.Now().Unix()
+	now := time.Now()
+	nowUnix := now.Unix()
+	nowNano := now.UnixNano()
+	// The per-source age child is resolved at most once per batch, off
+	// the per-violation loop.
+	var age *obs.Histogram
 	for _, v := range b.Violations {
-		v.IngestUnix = now
+		if v.ObservedUnixNano > 0 {
+			if age == nil {
+				age = e2eAgeHist.With(b.Source)
+			}
+			// Record clamps a negative age (edge clock ahead of ours) to 0.
+			age.Record(time.Duration(nowNano - v.ObservedUnixNano))
+		}
+		v.IngestUnix = nowUnix
 		rec.Record(v)
 		c.tail.publish(v)
 		c.publishWeakLabel(v)
@@ -713,7 +726,9 @@ func (c *Collector) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
+	start := ingestDecodeHist.StartIf(true)
 	b, err := DecodeBatch(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+	ingestDecodeHist.Done(start)
 	if err != nil {
 		c.rejected.Add(1)
 		c.logMarks("", 0) // the rejected counter persists like the others
@@ -727,7 +742,9 @@ func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
+	start = ingestApplyHist.StartIf(true)
 	accepted, duplicate := c.Ingest(b)
+	ingestApplyHist.Done(start)
 	writeJSON(w, IngestResponse{Accepted: accepted, Duplicate: duplicate})
 }
 
@@ -832,6 +849,11 @@ func (c *Collector) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, name := range names {
 		fmt.Fprintf(&b, "omg_collector_assertion_fired_total{assertion=\"%s\"} %d\n", escapeLabel(name), summary[name])
 	}
+	// Stage latency histograms (ingest decode/apply, store append and
+	// fsync, tail broadcast, e2e violation age, ...) plus Go runtime
+	// health, from the process-wide instrument registry.
+	obs.Default().WriteMetrics(&b)
+	obs.WriteRuntimeMetrics(&b)
 	fmt.Fprint(w, b.String())
 }
 

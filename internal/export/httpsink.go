@@ -159,11 +159,17 @@ func (s *HTTPSink) Source() string { return s.cfg.Source }
 
 // Record queues one violation for export, blocking when the queue is full
 // (backpressure). It returns ErrSinkClosed once the sink has been closed.
+// Record stamps ObservedUnixNano (when the caller has not): it runs
+// synchronously on the observe path, so the stamp is the observe-side end
+// of the collector's end-to-end latency measurement.
 func (s *HTTPSink) Record(v assertion.Violation) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return assertion.ErrSinkClosed
+	}
+	if v.ObservedUnixNano == 0 {
+		v.ObservedUnixNano = time.Now().UnixNano()
 	}
 	s.addPending(1)
 	s.ch <- v
@@ -220,6 +226,35 @@ func (s *HTTPSink) Batches() int64 { return s.batches.Load() }
 // Retries returns how many delivery attempts were retries.
 func (s *HTTPSink) Retries() int64 { return s.retries.Load() }
 
+// HTTPSinkStats is a point-in-time snapshot of a sink's delivery
+// telemetry, for exit summaries and scrape-time gauges.
+type HTTPSinkStats struct {
+	// Delivered is how many violations the collector has acknowledged.
+	Delivered int64
+	// Batches is how many batches have been acknowledged.
+	Batches int64
+	// Retries is how many delivery attempts were retries.
+	Retries int64
+	// Dropped is how many violations were discarded after exhausting
+	// their batch's retry budget.
+	Dropped int64
+	// Queued is how many violations are waiting in the record queue
+	// right now (excluding the batch the shipper is delivering).
+	Queued int
+}
+
+// Stats returns a consistent-enough snapshot of the sink's delivery
+// counters for reporting; each field is individually atomic.
+func (s *HTTPSink) Stats() HTTPSinkStats {
+	return HTTPSinkStats{
+		Delivered: s.delivered.Load(),
+		Batches:   s.batches.Load(),
+		Retries:   s.retries.Load(),
+		Dropped:   s.dropped.Load(),
+		Queued:    len(s.ch),
+	}
+}
+
 func (s *HTTPSink) setErr(err error) {
 	if err == nil {
 		return
@@ -272,6 +307,8 @@ func (s *HTTPSink) run() {
 // dropped and the last failure is retained. The extended buffer is
 // returned so the shipper keeps its capacity across batches.
 func (s *HTTPSink) ship(buf []byte, violations []assertion.Violation) []byte {
+	start := deliverHist.StartIf(true)
+	defer deliverHist.Done(start)
 	body, err := AppendBatchJSON(buf, Batch{
 		Version:    WireVersion,
 		Source:     s.cfg.Source,

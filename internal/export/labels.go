@@ -57,6 +57,8 @@ type LabelsFeedbackResponse struct {
 }
 
 func (c *Collector) handleLabelsNext(w http.ResponseWriter, r *http.Request) {
+	start := labelsNextHist.StartIf(true)
+	defer labelsNextHist.Done(start)
 	q := r.URL.Query()
 	budget := 0
 	if raw := q.Get("budget"); raw != "" {

@@ -101,6 +101,8 @@ func (h *tailHub) publishEvent(event, assertionName, stream string, encode func(
 	if h.n.Load() == 0 {
 		return
 	}
+	start := tailBroadcastHist.StartIf(true)
+	defer tailBroadcastHist.Done(start)
 	var frame []byte // rendered on first match, then shared
 	h.mu.Lock()
 	for cl := range h.clients {

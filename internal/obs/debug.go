@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux returns the mux both binaries hang behind their gated
+// -debug-addr flag: the full net/http/pprof surface (index, profile,
+// heap, goroutine, trace, ...). It is a separate mux — never merged into
+// a public listener — so profiling stays opt-in and off the data plane.
+func NewDebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "/debug/pprof/", http.StatusFound)
+	})
+	return mux
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	cases := map[string]string{
+		"counter": `# HELP x_total Things.
+# TYPE x_total counter
+x_total 3
+`,
+		"gauge with labels and escapes": `# HELP q_depth Depth.
+# TYPE q_depth gauge
+q_depth{src="a\"b\\c\nd"} 1.5
+`,
+		"histogram": `# HELP h_seconds Latency.
+# TYPE h_seconds histogram
+h_seconds_bucket{le="0.1"} 2
+h_seconds_bucket{le="0.2"} 5
+h_seconds_bucket{le="+Inf"} 7
+h_seconds_sum 1.25
+h_seconds_count 7
+`,
+		"labeled histogram groups": `# HELP h_seconds Latency.
+# TYPE h_seconds histogram
+h_seconds_bucket{source="a",le="0.1"} 1
+h_seconds_bucket{source="a",le="+Inf"} 1
+h_seconds_sum{source="a"} 0.05
+h_seconds_count{source="a"} 1
+h_seconds_bucket{source="b",le="0.1"} 0
+h_seconds_bucket{source="b",le="+Inf"} 2
+h_seconds_sum{source="b"} 3
+h_seconds_count{source="b"} 2
+`,
+		"free comments and blank lines": `# a scrape page
+
+# HELP x_total T.
+# TYPE x_total counter
+x_total 0 1700000000000
+`,
+		"untyped": `# HELP odd One.
+# TYPE odd untyped
+odd -3.5e2
+`,
+	}
+	for name, in := range cases {
+		if err := ValidateExposition([]byte(in)); err != nil {
+			t.Errorf("%s: unexpected error: %v", name, err)
+		}
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]struct {
+		in   string
+		want string
+	}{
+		"sample without HELP/TYPE": {
+			in:   "x_total 3\n",
+			want: "before any HELP/TYPE",
+		},
+		"TYPE but no HELP": {
+			in:   "# TYPE x_total counter\nx_total 3\n",
+			want: "no HELP",
+		},
+		"HELP but no TYPE": {
+			in:   "# HELP x_total T.\nx_total 3\n",
+			want: "no TYPE",
+		},
+		"HELP after first sample": {
+			in:   "# HELP x T.\n# TYPE x gauge\nx 1\n# HELP x again\n",
+			want: "duplicate HELP",
+		},
+		"unknown type": {
+			in:   "# HELP x T.\n# TYPE x distribution\n",
+			want: "unknown metric type",
+		},
+		"duplicate series": {
+			in:   "# HELP x T.\n# TYPE x gauge\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n",
+			want: "duplicate series",
+		},
+		"negative counter": {
+			in:   "# HELP x_total T.\n# TYPE x_total counter\nx_total -1\n",
+			want: "invalid value",
+		},
+		"NaN counter": {
+			in:   "# HELP x_total T.\n# TYPE x_total counter\nx_total NaN\n",
+			want: "invalid value",
+		},
+		"bad value": {
+			in:   "# HELP x T.\n# TYPE x gauge\nx pickles\n",
+			want: "bad sample value",
+		},
+		"bad label syntax": {
+			in:   "# HELP x T.\n# TYPE x gauge\nx{a=1} 2\n",
+			want: "not quoted",
+		},
+		"bad escape": {
+			in:   "# HELP x T.\n# TYPE x gauge\nx{a=\"\\t\"} 2\n",
+			want: "invalid escape",
+		},
+		"unterminated label value": {
+			in:   "# HELP x T.\n# TYPE x gauge\nx{a=\"oops} 2\n",
+			want: "unterminated",
+		},
+		"histogram missing +Inf": {
+			in: `# HELP h Latency.
+# TYPE h histogram
+h_bucket{le="1"} 2
+h_sum 1
+h_count 2
+`,
+			want: `missing le="+Inf"`,
+		},
+		"histogram +Inf != count": {
+			in: `# HELP h Latency.
+# TYPE h histogram
+h_bucket{le="+Inf"} 3
+h_sum 1
+h_count 2
+`,
+			want: "!= _count",
+		},
+		"histogram buckets not cumulative": {
+			in: `# HELP h Latency.
+# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`,
+			want: "not cumulative",
+		},
+		"histogram missing sum": {
+			in: `# HELP h Latency.
+# TYPE h histogram
+h_bucket{le="+Inf"} 0
+h_count 0
+`,
+			want: "missing _sum",
+		},
+		"histogram plain series": {
+			in: `# HELP h Latency.
+# TYPE h histogram
+h 1
+`,
+			want: "plain series",
+		},
+		"histogram bucket without le": {
+			in: `# HELP h Latency.
+# TYPE h histogram
+h_bucket 1
+`,
+			want: "without le",
+		},
+		"bad le": {
+			in: `# HELP h Latency.
+# TYPE h histogram
+h_bucket{le="wide"} 1
+`,
+			want: "bad le value",
+		},
+	}
+	for name, c := range cases {
+		err := ValidateExposition([]byte(c.in))
+		if err == nil {
+			t.Errorf("%s: expected error containing %q, got nil", name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", name, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package store
+
+import "omg/internal/obs"
+
+// The disk backend's stage instruments, registered once on the
+// process-wide registry.
+var (
+	// appendHist times SegmentStore.Append — encode, index fold and any
+	// flush or roll it triggers. Sampled: Append is on the ingest path.
+	appendHist = obs.Default().NewHistogram(
+		"omg_store_append_seconds",
+		"SegmentStore.Append time: encode, index, flush/roll (sampled).")
+	// sealSyncHist times the background fsync+close of a sealed segment —
+	// the work rollLocked moved off the append path.
+	sealSyncHist = obs.Default().NewHistogram(
+		"omg_store_seal_sync_seconds",
+		"Background fsync+close of a sealed segment file.")
+)

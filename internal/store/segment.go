@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"omg/internal/assertion"
+	"omg/internal/obs"
 )
 
 // ErrClosed reports an append or sync on a closed SegmentStore.
@@ -158,6 +159,10 @@ type SegmentStore struct {
 	dropped    int64
 	compacted  int64
 	closed     bool
+
+	// obsSample gates the append histogram's clock reads; mutated under
+	// mu, which is what makes the non-atomic sampler safe here.
+	obsSample obs.Sampler
 }
 
 // Open opens (or creates) the segment store in cfg.Dir, running crash
@@ -175,12 +180,13 @@ func Open(cfg Config) (*SegmentStore, error) {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
 	s := &SegmentStore{
-		dir:      cfg.Dir,
-		segBytes: cfg.SegmentBytes,
-		noSync:   cfg.NoSync,
-		byAssert: make(map[string][]int32),
-		byStream: make(map[string][]int32),
-		stats:    make(map[string]assertion.Stats),
+		dir:       cfg.Dir,
+		segBytes:  cfg.SegmentBytes,
+		noSync:    cfg.NoSync,
+		byAssert:  make(map[string][]int32),
+		byStream:  make(map[string][]int32),
+		stats:     make(map[string]assertion.Stats),
+		obsSample: obs.HotSampler(),
 	}
 	if err := s.recover(); err != nil {
 		return nil, err
@@ -492,6 +498,7 @@ func (s *SegmentStore) Append(v assertion.Violation) error {
 	if s.closed {
 		return ErrClosed
 	}
+	start := appendHist.StartIf(s.obsSample.Next())
 	body, err := assertion.AppendViolationJSON(s.scratch[:0], v)
 	if err != nil {
 		return err
@@ -514,7 +521,9 @@ func (s *SegmentStore) Append(v assertion.Violation) error {
 	s.appendEntry(segEntry{seq: seq, v: v})
 	s.indexEntry(idx, v)
 
-	return s.maybeFlushRollLocked()
+	err = s.maybeFlushRollLocked()
+	appendHist.Done(start)
+	return err
 }
 
 // maybeFlushRollLocked flushes when the pending buffer is large and
@@ -561,6 +570,7 @@ func (s *SegmentStore) rollLocked() error {
 	s.sealWG.Add(1)
 	go func() {
 		defer s.sealWG.Done()
+		start := sealSyncHist.StartIf(true)
 		var err error
 		if !s.noSync {
 			err = sealed.Sync()
@@ -568,6 +578,7 @@ func (s *SegmentStore) rollLocked() error {
 		if cerr := sealed.Close(); err == nil {
 			err = cerr
 		}
+		sealSyncHist.Done(start)
 		if err != nil {
 			s.sealMu.Lock()
 			if s.sealErr == nil {

@@ -113,6 +113,9 @@ type (
 	HTTPSink = export.HTTPSink
 	// HTTPSinkConfig configures an HTTPSink.
 	HTTPSinkConfig = export.HTTPSinkConfig
+	// HTTPSinkStats is a consistent snapshot of an HTTPSink's delivery
+	// counters (HTTPSink.Stats).
+	HTTPSinkStats = export.HTTPSinkStats
 	// Collector ingests exported violation batches and serves queries; it
 	// is the engine behind cmd/omg-server.
 	Collector = export.Collector
