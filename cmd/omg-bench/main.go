@@ -11,7 +11,8 @@
 //	                          # fanin (sharded vs single-recorder collector),
 //	                          # store (mem vs on-disk segment violation store),
 //	                          # labels (candidate assembly + label serving),
-//	                          # obs (instrumented vs uninstrumented hot paths)
+//	                          # obs (instrumented vs uninstrumented hot paths),
+//	                          # wire (JSON vs binary batch codec e2e)
 //	omg-bench -quick          # reduced sizes (CI smoke run)
 //	omg-bench -root DIR       # repository root for Table 2 (default .)
 package main
@@ -27,13 +28,14 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1..table4, table6, figure3, figure4a, figure4b, figure5, sinkbench, fanin, observe, store, labels, obs)")
+	only := flag.String("only", "", "run a single experiment (table1..table4, table6, figure3, figure4a, figure4b, figure5, sinkbench, fanin, observe, store, labels, obs, wire)")
 	quick := flag.Bool("quick", false, "use reduced experiment sizes")
 	root := flag.String("root", ".", "repository root (for Table 2 LOC measurement)")
 	benchOut := flag.String("bench-out", "BENCH_5.json", "where the observe experiment writes its machine-readable results (empty disables)")
 	storeBenchOut := flag.String("store-bench-out", "BENCH_6.json", "where the store experiment writes its machine-readable results (empty disables)")
 	labelBenchOut := flag.String("label-bench-out", "BENCH_7.json", "where the labels experiment writes its machine-readable results (empty disables)")
 	obsBenchOut := flag.String("obs-bench-out", "BENCH_8.json", "where the obs experiment writes its machine-readable results (empty disables)")
+	wireBenchOut := flag.String("wire-bench-out", "BENCH_9.json", "where the wire experiment writes its machine-readable results (empty disables)")
 	flag.Parse()
 
 	scale := experiments.FullScale()
@@ -66,6 +68,7 @@ func main() {
 		{"store", func() (string, error) { return renderStoreBench(*quick, *storeBenchOut) }},
 		{"labels", func() (string, error) { return renderLabelBench(*quick, *labelBenchOut) }},
 		{"obs", func() (string, error) { return renderObsBench(*quick, *obsBenchOut) }},
+		{"wire", func() (string, error) { return renderWireBench(*quick, *wireBenchOut) }},
 	}
 
 	matched := false

@@ -28,7 +28,7 @@
 //	            [-rotate-bytes N] [-rotate-keep N] [-rotate-interval D]
 //	            [-sample-every N] [-per-stream-recorders]
 //	            [-export-url http://collector:9077] [-export-batch N]
-//	            [-export-retries N]
+//	            [-export-retries N] [-wire json|binary] [-wire-compress]
 //	            [-metrics-addr :9078] [-debug-addr :9079]
 package main
 
@@ -64,6 +64,8 @@ func main() {
 	exportURL := flag.String("export-url", "", "collector base URL, e.g. http://collector:9077 (-sink=http)")
 	exportBatch := flag.Int("export-batch", 256, "violations coalesced per exported batch (-sink=http)")
 	exportRetries := flag.Int("export-retries", 3, "retries per failed batch before its violations count as dropped (-sink=http)")
+	wire := flag.String("wire", "json", "wire codec for exported batches: json or binary; falls back to json automatically when the collector refuses the codec (-sink=http)")
+	wireCompress := flag.Bool("wire-compress", false, "DEFLATE-compress binary wire payloads (-sink=http -wire=binary)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics on this address (host:port; port 0 picks a free port)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (gated: off unless set)")
 	flag.Parse()
@@ -112,9 +114,11 @@ func main() {
 		// Built through the assertion sink registry (the seam third-party
 		// backends use) rather than the export package's constructor.
 		s, err := assertion.NewSinkFromFactory("http", map[string]string{
-			"url":     *exportURL,
-			"batch":   strconv.Itoa(*exportBatch),
-			"retries": strconv.Itoa(*exportRetries),
+			"url":      *exportURL,
+			"batch":    strconv.Itoa(*exportBatch),
+			"retries":  strconv.Itoa(*exportRetries),
+			"wire":     *wire,
+			"compress": strconv.FormatBool(*wireCompress),
 		})
 		if err != nil {
 			log.Fatalf("build http sink: %v", err)
@@ -297,6 +301,11 @@ func main() {
 		st := httpSink.Stats()
 		fmt.Printf("exported %d violations in %d batches to %s (%d retries, %d dropped, %d queued)\n",
 			st.Delivered, st.Batches, *exportURL, st.Retries, st.Dropped, st.Queued)
+		if st.WireFellBack {
+			fmt.Printf("wire codec fell back to json (collector does not accept %s)\n", *wire)
+		} else if st.Wire != "json" {
+			fmt.Printf("wire codec: %s (compress=%v)\n", st.Wire, *wireCompress)
+		}
 	}
 	if sink != nil && *logPath != "" {
 		fmt.Printf("JSONL violation log written to %s\n", *logPath)

@@ -55,7 +55,7 @@
 //	           [-store mem|disk] [-data-dir DIR] [-segment-bytes N]
 //	           [-label-selector bal|ccmab|uncertainty|uniform-ma|random]
 //	           [-label-seed N] [-label-budget N] [-lease-ttl DUR]
-//	           [-drain DUR] [-debug-addr :PORT]
+//	           [-wire-accept json,binary] [-drain DUR] [-debug-addr :PORT]
 //
 // -debug-addr serves net/http/pprof on a separate gated listener —
 // profiling stays off the public collector port and off entirely unless
@@ -73,6 +73,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -100,6 +101,7 @@ func main() {
 	labelSeed := flag.Int64("label-seed", 1, "seed for the label selector's per-round RNG derivation")
 	labelBudget := flag.Int("label-budget", 16, "default /v1/labels/next batch size when the pull names no ?budget=")
 	leaseTTL := flag.Duration("lease-ttl", 5*time.Minute, "how long a served label candidate stays exclusively leased to its puller")
+	wireAccept := flag.String("wire-accept", "", "comma-separated wire codecs ingest accepts (json,binary); empty accepts all — requests in other formats get 415 and capable senders fall back")
 	drain := flag.Duration("drain", 0, "after a shutdown signal, keep the listener answering (with /healthz reporting 503) this long so load balancers drain the instance first")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (gated: off unless set)")
 	flag.Parse()
@@ -128,6 +130,15 @@ func main() {
 		log.Fatalf("-drain must be >= 0")
 	}
 
+	var acceptWire []string
+	if *wireAccept != "" {
+		for _, name := range strings.Split(*wireAccept, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				acceptWire = append(acceptWire, name)
+			}
+		}
+	}
+
 	c, err := export.OpenCollector(export.CollectorConfig{
 		Retain:             *retain,
 		Shards:             *shards,
@@ -137,6 +148,7 @@ func main() {
 		Store:              *storeKind,
 		DataDir:            *dataDir,
 		SegmentBytes:       *segmentBytes,
+		AcceptWire:         acceptWire,
 		Labels: labelsvc.Config{
 			Selector:      *labelSelector,
 			Seed:          *labelSeed,

@@ -484,6 +484,226 @@ func TestEndToEndDiskStoreCrashRecovery(t *testing.T) {
 	}
 }
 
+// postCodecBatch ships one hand-rolled batch over an explicit wire codec
+// and reports whether the collector deduplicated it.
+func postCodecBatch(t *testing.T, baseURL string, codec export.BatchCodec, b export.Batch) bool {
+	t.Helper()
+	body, err := codec.AppendBatch(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/violations", codec.ContentType(), bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s ingest returned %s", codec.Name(), resp.Status)
+	}
+	var ack export.IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	return ack.Duplicate
+}
+
+// normalizeIngestStamps blanks the collector-stamped ingest_unix values,
+// which are the only wall-clock-dependent bytes in a query response, so
+// two separate runs over the same logical fleet compare byte-for-byte.
+var ingestStampRe = regexp.MustCompile(`"ingest_unix":\d+`)
+
+func normalizeIngestStamps(b []byte) []byte {
+	return ingestStampRe.ReplaceAll(b, []byte(`"ingest_unix":0`))
+}
+
+// mixedFleetBatches is the deterministic two-edge fleet both runs of
+// TestEndToEndMixedWireFleet replay: edge-json and edge-bin each ship
+// three sequenced batches.
+func mixedFleetBatches() map[string][]export.Batch {
+	fleet := map[string][]export.Batch{}
+	for _, src := range []string{"edge-json", "edge-bin"} {
+		for seq := 1; seq <= 3; seq++ {
+			b := export.Batch{Version: export.WireVersion, Source: src, Seq: uint64(seq)}
+			for i := 0; i < 4; i++ {
+				v := violation([]string{"lights", "flicker"}[i%2], fmt.Sprintf("%s-cam-%d", src, i%2), seq*10+i)
+				v.Time = float64(seq) + float64(i)/30
+				v.Severity = float64(1 + i%3)
+				v.ObservedUnixNano = 1753800000_000000000 + int64(seq*1000+i)
+				b.Violations = append(b.Violations, v)
+			}
+			fleet[src] = append(fleet[src], b)
+		}
+	}
+	return fleet
+}
+
+// TestEndToEndMixedWireFleet replays the same two-edge fleet twice
+// against disk-backed collectors — once all-JSON, once with edge-bin on
+// the binary wire (alternating compression) and its duplicates crossing
+// codecs — and requires the summary, query and (source,seq) dedup state
+// to match byte-for-byte. The mixed-wire collector is then SIGKILLed and
+// must recover identically from its segment files, binary-ingested
+// violations included.
+func TestEndToEndMixedWireFleet(t *testing.T) {
+	needBinaries(t)
+	fleet := mixedFleetBatches()
+	jsonCodec, err := export.Codec(export.CodecJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binPlain := &export.BinaryCodec{}
+	binDeflate := &export.BinaryCodec{Compress: true}
+
+	// ingest drives one full fleet replay: every batch in seq order, a
+	// same-wire duplicate of edge-bin seq 2 and a cross-wire duplicate of
+	// edge-json seq 1. pick chooses the codec per (source, seq) so the
+	// baseline run can force everything onto JSON.
+	ingest := func(baseURL string, pick func(src string, seq int) export.BatchCodec) {
+		t.Helper()
+		for _, src := range []string{"edge-json", "edge-bin"} {
+			for _, b := range fleet[src] {
+				if dup := postCodecBatch(t, baseURL, pick(src, int(b.Seq)), b); dup {
+					t.Fatalf("fresh batch (%s, %d) reported duplicate", src, b.Seq)
+				}
+			}
+		}
+		if !postCodecBatch(t, baseURL, pick("edge-bin", 2), fleet["edge-bin"][1]) {
+			t.Fatal("replayed (edge-bin, 2) not deduplicated")
+		}
+		// The cross-wire duplicate: ingested as JSON in the baseline, as
+		// binary in the mixed run — dedup must be codec-blind.
+		crossCodec := pick("edge-bin", 3)
+		if !postCodecBatch(t, baseURL, crossCodec, fleet["edge-json"][0]) {
+			t.Fatalf("(edge-json, 1) replayed over the %s wire not deduplicated", crossCodec.Name())
+		}
+	}
+
+	// Baseline: the same fleet, every batch on the JSON wire.
+	baseDir := filepath.Join(t.TempDir(), "base")
+	baseURL, baseServer := startServer(t, "-store", "disk", "-data-dir", baseDir, "-shards", "2")
+	ingest(baseURL, func(string, int) export.BatchCodec { return jsonCodec })
+	wantSummary := normalizeIngestStamps(getRaw(t, baseURL, "/v1/summary"))
+	wantQuery := normalizeIngestStamps(getRaw(t, baseURL, "/v1/violations/query"))
+	wantFiltered := normalizeIngestStamps(getRaw(t, baseURL, "/v1/violations/query?assertion=flicker&stream=edge-bin-cam-1&limit=5"))
+	stopServer(t, baseServer)
+
+	// Mixed fleet: edge-bin ships binary (seq 2 compressed), edge-json
+	// stays on JSON.
+	mixDir := filepath.Join(t.TempDir(), "mixed")
+	diskArgs := []string{"-store", "disk", "-data-dir", mixDir, "-shards", "2"}
+	mixURL, mixServer := startServer(t, diskArgs...)
+	ingest(mixURL, func(src string, seq int) export.BatchCodec {
+		switch {
+		case src == "edge-json":
+			return jsonCodec
+		case seq == 2:
+			return binDeflate
+		default:
+			return binPlain
+		}
+	})
+	gotSummary := getRaw(t, mixURL, "/v1/summary")
+	gotQuery := getRaw(t, mixURL, "/v1/violations/query")
+	gotFiltered := getRaw(t, mixURL, "/v1/violations/query?assertion=flicker&stream=edge-bin-cam-1&limit=5")
+	if !bytes.Equal(normalizeIngestStamps(gotSummary), wantSummary) {
+		t.Fatalf("mixed-wire summary diverges from the all-JSON fleet:\n got %s\nwant %s", gotSummary, wantSummary)
+	}
+	if !bytes.Equal(normalizeIngestStamps(gotQuery), wantQuery) {
+		t.Fatalf("mixed-wire query diverges from the all-JSON fleet:\n got %s\nwant %s", gotQuery, wantQuery)
+	}
+	if !bytes.Equal(normalizeIngestStamps(gotFiltered), wantFiltered) {
+		t.Fatalf("mixed-wire filtered query diverges:\n got %s\nwant %s", gotFiltered, wantFiltered)
+	}
+	// The decode histogram proves both codecs actually ran.
+	metrics := getMetrics(t, mixURL)
+	for _, m := range []string{
+		`omg_collector_ingest_decode_seconds_count{codec="binary"} 5`,
+		`omg_collector_ingest_decode_seconds_count{codec="json"} 3`,
+	} {
+		if !strings.Contains(metrics, m) {
+			t.Fatalf("metrics missing %q:\n%s", m, metrics)
+		}
+	}
+
+	// SIGKILL the mixed-wire collector: recovery replays the segment
+	// files, so binary-ingested violations and cross-wire dedup marks must
+	// come back byte-identical (no stamp normalization — same run).
+	mixServer.Process.Kill()
+	mixServer.Wait()
+	mixURL2, mixServer2 := startServer(t, diskArgs...)
+	defer stopServer(t, mixServer2)
+	if got := getRaw(t, mixURL2, "/v1/summary"); !bytes.Equal(got, gotSummary) {
+		t.Fatalf("summary changed across the crash:\n got %s\nwant %s", got, gotSummary)
+	}
+	if got := getRaw(t, mixURL2, "/v1/violations/query"); !bytes.Equal(got, gotQuery) {
+		t.Fatalf("query changed across the crash:\n got %s\nwant %s", got, gotQuery)
+	}
+	// Exactly-once still holds post-crash, on both wires.
+	if !postCodecBatch(t, mixURL2, binPlain, fleet["edge-bin"][2]) {
+		t.Fatal("pre-crash (edge-bin, 3) accepted again after recovery")
+	}
+	if !postCodecBatch(t, mixURL2, jsonCodec, fleet["edge-json"][2]) {
+		t.Fatal("pre-crash (edge-json, 3) accepted again after recovery")
+	}
+}
+
+// TestEndToEndMonitorWireFleet runs real omg-monitor edges — one JSON,
+// one binary+DEFLATE — against one collector, then a binary-wire edge
+// against a JSON-only collector, which must fall back via 415 and still
+// deliver exactly once.
+func TestEndToEndMonitorWireFleet(t *testing.T) {
+	needBinaries(t)
+	baseURL, server := startServer(t)
+	defer stopServer(t, server)
+
+	want := 0
+	for _, wireArgs := range [][]string{
+		{"-wire", "json"},
+		{"-wire", "binary", "-wire-compress"},
+	} {
+		args := append([]string{"-frames", "250", "-sink", "http", "-export-url", baseURL, "-export-batch", "32"}, wireArgs...)
+		out, err := exec.Command(monitorBin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("omg-monitor %v failed: %v\n%s", wireArgs, err, out)
+		}
+		if bytes.Contains(out, []byte("fell back")) {
+			t.Fatalf("%v fell back against a binary-capable collector:\n%s", wireArgs, out)
+		}
+		want += recordedTotal(t, out)
+	}
+	sum := getSummary(t, baseURL)
+	if sum.TotalFired != want || sum.Sources != 2 {
+		t.Fatalf("collector holds %d violations from %d sources, want %d from 2", sum.TotalFired, sum.Sources, want)
+	}
+	if !strings.Contains(getMetrics(t, baseURL), `omg_collector_ingest_decode_seconds_count{codec="binary"}`) {
+		t.Fatal("binary edge never hit the binary decode path")
+	}
+
+	// A JSON-only collector (as an old deployment would be): the binary
+	// edge's first frame draws a 415, the sink falls back to JSON and
+	// every violation still lands exactly once.
+	jsonURL, jsonServer := startServer(t, "-wire-accept", "json")
+	defer stopServer(t, jsonServer)
+	out, err := exec.Command(monitorBin,
+		"-frames", "250", "-sink", "http", "-export-url", jsonURL, "-export-batch", "32",
+		"-wire", "binary",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("omg-monitor against JSON-only collector failed: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("wire codec fell back to json")) {
+		t.Fatalf("fallback line missing:\n%s", out)
+	}
+	if m := regexp.MustCompile(`\(\d+ retries, (\d+) dropped`).FindSubmatch(out); m == nil || string(m[1]) != "0" {
+		t.Fatalf("fallback dropped violations:\n%s", out)
+	}
+	sum = getSummary(t, jsonURL)
+	if want := recordedTotal(t, out); sum.TotalFired != want || sum.DuplicateBatches != 0 {
+		t.Fatalf("after fallback: collector holds %d violations (%d duplicate batches), want %d and 0",
+			sum.TotalFired, sum.DuplicateBatches, want)
+	}
+}
+
 func TestEndToEndCollectorDownCountsDrops(t *testing.T) {
 	needBinaries(t)
 	// Nothing listens on this port: every batch must fail, and the

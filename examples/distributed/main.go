@@ -79,17 +79,25 @@ func main() {
 
 	// 3. The edges: each gets its own pool and its own HTTPSink (distinct
 	// Source, so the collector tracks each sender's batches separately)
-	// and drives a handful of sensors through the async path.
+	// and drives a handful of sensors through the async path. The fleet is
+	// mixed-wire on purpose: even-numbered edges ship the default JSON,
+	// odd-numbered ones the binary frame codec — the collector dispatches
+	// on Content-Type, so both land in the same dedup/store path.
 	const edges, sensorsPerEdge, samples = 4, 4, 400
 	var wg sync.WaitGroup
 	for e := 0; e < edges; e++ {
 		wg.Add(1)
 		go func(e int) {
 			defer wg.Done()
+			wire := omg.CodecJSON
+			if e%2 == 1 {
+				wire = omg.CodecBinary
+			}
 			sink, err := omg.NewHTTPSink(omg.HTTPSinkConfig{
 				BaseURL:  baseURL,
 				Source:   fmt.Sprintf("edge-%02d", e),
 				BatchMax: 64,
+				Wire:     wire,
 			})
 			if err != nil {
 				panic(err)
@@ -121,8 +129,8 @@ func main() {
 			if err := pool.Close(); err != nil {
 				panic(err)
 			}
-			fmt.Printf("edge-%02d exported %d violations in %d batches\n",
-				e, sink.Delivered(), sink.Batches())
+			fmt.Printf("edge-%02d exported %d violations in %d batches over the %s wire\n",
+				e, sink.Delivered(), sink.Batches(), sink.Wire())
 		}(e)
 	}
 	wg.Wait()

@@ -1,0 +1,82 @@
+package export
+
+import (
+	"testing"
+
+	"omg/internal/assertion"
+)
+
+// allocBenchBatch builds the steady-state ingest shape the alloc budget
+// is asserted over: a full default-sized batch whose assertion and stream
+// names repeat, as a real edge's do.
+func allocBenchBatch() Batch {
+	b := Batch{Version: WireVersion, Source: "edge-alloc-01", Seq: 1}
+	for i := 0; i < 256; i++ {
+		b.Violations = append(b.Violations, assertion.Violation{
+			Assertion:        []string{"flicker", "agree", "range", "ocr"}[i%4],
+			Stream:           []string{"cam-00", "cam-01", "cam-02"}[i%3],
+			SampleIndex:      i,
+			Time:             float64(i) / 30,
+			Severity:         float64(i%5) + 0.5,
+			IngestUnix:       1753800000,
+			ObservedUnixNano: 1753800000_000000000 + int64(i),
+		})
+	}
+	return b
+}
+
+// TestAllocRegressionBinaryDecodeBatch asserts the tentpole claim of the
+// binary ingest path: decoding a steady-state 256-violation frame costs
+// at most 2 heap allocations — the violations slice, and nothing else
+// (pooled decoder scratch, interned strings, in-place fixed-width
+// fields). Skipped under -race (instrumentation allocates); the CI
+// alloc-gate job runs it without -race and fails on the skip.
+func TestAllocRegressionBinaryDecodeBatch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is meaningless under -race")
+	}
+	codec := &BinaryCodec{}
+	frame, err := codec.AppendBatch(nil, allocBenchBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the decoder pool and its intern table.
+	for i := 0; i < 16; i++ {
+		if _, err := codec.DecodeBatch(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := codec.DecodeBatch(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("binary DecodeBatch allocated %.1f times per frame, want <= 2", allocs)
+	}
+}
+
+// TestAllocRegressionBinaryEncodeBatch keeps the encode side honest too:
+// appending a frame into a warmed buffer must not allocate at all, so the
+// HTTPSink shipper's reused buffer keeps the whole encode off the heap.
+func TestAllocRegressionBinaryEncodeBatch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is meaningless under -race")
+	}
+	codec := &BinaryCodec{}
+	b := allocBenchBatch()
+	buf, err := codec.AppendBatch(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		var err error
+		buf, err = codec.AppendBatch(buf[:0], b)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("binary AppendBatch allocated %.1f times per frame into a warm buffer, want 0", allocs)
+	}
+}

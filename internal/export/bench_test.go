@@ -55,6 +55,50 @@ func BenchmarkCollectorIngest(b *testing.B) {
 	b.ReportMetric(float64(b.N*256), "violations")
 }
 
+// BenchmarkBatchCodec races the registered wire codecs over the encode
+// and decode halves separately, on the same steady-state batch the alloc
+// gates use, with per-op bytes reported so the CPU/bytes trade of the
+// compressed variant stays visible in every bench-smoke log.
+func BenchmarkBatchCodec(b *testing.B) {
+	batch := allocBenchBatch()
+	codecs := []struct {
+		name  string
+		codec BatchCodec
+	}{
+		{"json", jsonCodec{}},
+		{"binary", &BinaryCodec{}},
+		{"binary-deflate", &BinaryCodec{Compress: true}},
+	}
+	for _, c := range codecs {
+		b.Run("encode/"+c.name, func(b *testing.B) {
+			buf, err := c.codec.AppendBatch(nil, batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(buf)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if buf, err = c.codec.AppendBatch(buf[:0], batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("decode/"+c.name, func(b *testing.B) {
+			frame, err := c.codec.AppendBatch(nil, batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(frame)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.codec.DecodeBatch(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCollectorFanIn measures concurrent multi-source ingest — the
 // collector's fan-in hot path — against the shard count. Each parallel
 // worker plays an independent edge source shipping 64-violation batches;

@@ -1,0 +1,151 @@
+package export
+
+import (
+	"fmt"
+	"mime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// BatchCodec is the wire-codec seam: everything that turns a Batch into
+// request bytes (HTTPSink) or request bytes back into a Batch (the
+// collector's ingest handler) flows through one of these. Codecs are
+// selected by name on the sender (HTTPSinkConfig.Wire) and by request
+// Content-Type on the receiver, so mixed fleets — old JSON edges next to
+// binary ones — land in the same dedup/store path.
+//
+// Implementations must be safe for concurrent use: one registered codec
+// instance serves every request.
+type BatchCodec interface {
+	// Name is the short knob value ("json", "binary") used by flags and
+	// metric labels.
+	Name() string
+	// ContentType is the exact Content-Type header value this codec
+	// encodes as and is dispatched on (parameters are ignored when
+	// matching incoming requests).
+	ContentType() string
+	// AppendBatch appends b's wire encoding to dst and returns the
+	// extended buffer. On error dst is returned unextended, so callers
+	// can reuse the buffer.
+	AppendBatch(dst []byte, b Batch) ([]byte, error)
+	// DecodeBatch decodes one complete wire payload. It must validate
+	// the wire version (wrapping ErrWireVersion) and must reject torn,
+	// truncated or trailing-garbage payloads rather than decode a
+	// partial batch.
+	DecodeBatch(data []byte) (Batch, error)
+}
+
+// Codec names and content types for the two built-in codecs.
+const (
+	CodecJSON   = "json"
+	CodecBinary = "binary"
+
+	ContentTypeJSON   = "application/json"
+	ContentTypeBinary = "application/x-omg-batch"
+)
+
+var (
+	codecMu     sync.RWMutex
+	codecByName = map[string]BatchCodec{}
+	codecByCT   = map[string]BatchCodec{}
+)
+
+// RegisterBatchCodec adds c to the codec registry under its Name and
+// ContentType. Registering a duplicate name or content type errors —
+// codecs are process-global, like sink factories.
+func RegisterBatchCodec(c BatchCodec) error {
+	name := c.Name()
+	ct := strings.ToLower(c.ContentType())
+	if name == "" || ct == "" {
+		return fmt.Errorf("export: codec must have a name and content type")
+	}
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if _, dup := codecByName[name]; dup {
+		return fmt.Errorf("export: codec %q already registered", name)
+	}
+	if _, dup := codecByCT[ct]; dup {
+		return fmt.Errorf("export: codec content type %q already registered", ct)
+	}
+	codecByName[name] = c
+	codecByCT[ct] = c
+	return nil
+}
+
+// MustRegisterBatchCodec is RegisterBatchCodec that panics on error, for
+// package-init registration of the built-ins.
+func MustRegisterBatchCodec(c BatchCodec) {
+	if err := RegisterBatchCodec(c); err != nil {
+		panic(err)
+	}
+}
+
+// Codec returns the codec registered under name. The empty name resolves
+// to the JSON codec, so zero-value configs keep today's wire format.
+func Codec(name string) (BatchCodec, error) {
+	if name == "" {
+		name = CodecJSON
+	}
+	codecMu.RLock()
+	c, ok := codecByName[name]
+	codecMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("export: unknown wire codec %q (have %s)", name, strings.Join(CodecNames(), ", "))
+	}
+	return c, nil
+}
+
+// CodecNames lists the registered codec names, sorted, for flag help and
+// error messages.
+func CodecNames() []string {
+	codecMu.RLock()
+	names := make([]string, 0, len(codecByName))
+	for n := range codecByName {
+		names = append(names, n)
+	}
+	codecMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// CodecForContentType resolves a request Content-Type header to a
+// registered codec. Media-type parameters (charset etc.) are ignored; an
+// empty header defaults to JSON, which is what pre-codec senders posted.
+func CodecForContentType(ct string) (BatchCodec, bool) {
+	mt := ContentTypeJSON
+	if strings.TrimSpace(ct) != "" {
+		parsed, _, err := mime.ParseMediaType(ct)
+		if err != nil {
+			return nil, false
+		}
+		mt = parsed
+	}
+	codecMu.RLock()
+	c, ok := codecByCT[mt]
+	codecMu.RUnlock()
+	return c, ok
+}
+
+// jsonCodec adapts the existing reflection-free JSON wire format —
+// AppendBatchJSON on the way out, the same decode the collector always
+// ran on the way in — to the BatchCodec seam. Byte-identical to the
+// pre-seam format by construction (it calls the same differential-fuzzed
+// encoder).
+type jsonCodec struct{}
+
+func (jsonCodec) Name() string        { return CodecJSON }
+func (jsonCodec) ContentType() string { return ContentTypeJSON }
+
+func (jsonCodec) AppendBatch(dst []byte, b Batch) ([]byte, error) {
+	return AppendBatchJSON(dst, b)
+}
+
+func (jsonCodec) DecodeBatch(data []byte) (Batch, error) {
+	return DecodeBatchBytes(data)
+}
+
+func init() {
+	MustRegisterBatchCodec(jsonCodec{})
+	MustRegisterBatchCodec(&BinaryCodec{})
+}

@@ -1,0 +1,112 @@
+package export
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"unicode/utf8"
+
+	"omg/internal/assertion"
+)
+
+// FuzzBinaryRoundTrip differentially fuzzes the binary codec against the
+// JSON wire format over arbitrary batches: every violation field
+// (including the e2e-age stamps IngestUnix and ObservedUnixNano that the
+// weak-label and latency paths ride on), nil-vs-empty violation lists,
+// seq and version edges, and both compression modes. The binary round
+// trip must reproduce the original batch exactly, agree with the JSON
+// codec on which batches and versions are acceptable, and — when the JSON
+// round trip is lossless (valid UTF-8 strings; JSON replaces invalid
+// bytes with U+FFFD, binary is 8-bit clean) — be deep-equal to it. Torn,
+// truncated, bit-flipped and trailing-garbage frames must all error
+// without yielding a partial batch.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add("edge-0", uint64(0), 0, "a", "s", 1.5, 2.5, int64(0), int64(0), WireVersion, false, uint16(0), uint16(0))
+	f.Add("", uint64(1), 2, "flicker", "", 1e-7, 1e21, int64(77), int64(1753800000_000000000), MinWireVersion, true, uint16(9), uint16(3))
+	f.Add("host-1-abc", uint64(1<<63), 1, "日本語", "<&>", -1.0, 0.0, int64(-1), int64(-5), WireVersion+1, false, uint16(1), uint16(50))
+	f.Add("bad\xffsource", uint64(3), 3, "n", "s", math.Inf(1), 1.0, int64(5), int64(9), 0, true, uint16(100), uint16(14))
+	f.Fuzz(func(t *testing.T, source string, seq uint64, nViolations int, name, stream string,
+		tm, sev float64, ingest, observed int64, version int, compress bool, cut, flip uint16) {
+		version &= 0xFF // stay inside the one-byte frame field; exercises out-of-window values too
+		b := Batch{Version: version, Source: source, Seq: seq}
+		nViolations %= 4
+		if nViolations < 0 {
+			nViolations = -nViolations
+		}
+		if nViolations > 0 {
+			b.Violations = make([]assertion.Violation, nViolations)
+			for i := range b.Violations {
+				b.Violations[i] = assertion.Violation{
+					Assertion:        name,
+					Stream:           stream,
+					SampleIndex:      i,
+					Time:             tm,
+					Severity:         sev,
+					IngestUnix:       ingest,
+					ObservedUnixNano: observed,
+				}
+			}
+		}
+		codec := &BinaryCodec{Compress: compress}
+		jsonBytes, jsonErr := AppendBatchJSON(nil, b)
+		frame, binErr := codec.AppendBatch(nil, b)
+		// The two codecs must accept exactly the same batches (NaN/Inf
+		// rejection parity).
+		if (jsonErr == nil) != (binErr == nil) {
+			t.Fatalf("encode error mismatch: json=%v binary=%v", jsonErr, binErr)
+		}
+		if binErr != nil {
+			if len(frame) != 0 {
+				t.Fatalf("binary encode extended the buffer despite error %v", binErr)
+			}
+			return
+		}
+
+		got, err := codec.DecodeBatch(frame)
+		jsonGot, jsonDecErr := DecodeBatchBytes(jsonBytes)
+		inWindow := version >= MinWireVersion && version <= WireVersion
+		if !inWindow {
+			// Both wires must reject the same version window, with the
+			// same sentinel.
+			if !errors.Is(err, ErrWireVersion) || !errors.Is(jsonDecErr, ErrWireVersion) {
+				t.Fatalf("version %d: binary err=%v json err=%v, want ErrWireVersion from both", version, err, jsonDecErr)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("binary decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, b) {
+			t.Fatalf("binary round trip mutated the batch:\n got %+v\nwant %+v", got, b)
+		}
+		// Where JSON is lossless, the two round trips must be deep-equal.
+		if jsonDecErr == nil && utf8.ValidString(source) && utf8.ValidString(name) && utf8.ValidString(stream) {
+			if !reflect.DeepEqual(got, jsonGot) {
+				t.Fatalf("binary and JSON round trips disagree:\n binary %+v\n json   %+v", got, jsonGot)
+			}
+		}
+
+		// Torn/truncated frames: any strict prefix must error, never
+		// partially ingest.
+		if len(frame) > 0 {
+			cutAt := int(cut) % len(frame)
+			if _, err := codec.DecodeBatch(frame[:cutAt]); err == nil {
+				t.Fatalf("decode of %d-byte prefix of a %d-byte frame succeeded", cutAt, len(frame))
+			}
+		}
+		// A flipped payload byte must trip the CRC.
+		if len(frame) > binHeaderLen {
+			pos := binHeaderLen + int(flip)%(len(frame)-binHeaderLen)
+			bad := append([]byte(nil), frame...)
+			bad[pos] ^= 0xFF
+			if _, err := codec.DecodeBatch(bad); !errors.Is(err, ErrBinaryFrame) {
+				t.Fatalf("payload flip at %d: err = %v, want ErrBinaryFrame", pos, err)
+			}
+		}
+		// Trailing garbage must error too.
+		if _, err := codec.DecodeBatch(append(append([]byte(nil), frame...), 0xAA)); !errors.Is(err, ErrBinaryFrame) {
+			t.Fatalf("trailing byte: err = %v, want ErrBinaryFrame", err)
+		}
+	})
+}

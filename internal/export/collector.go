@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"mime"
 	"net/http"
 	"os"
 	"sort"
@@ -73,6 +75,14 @@ type CollectorConfig struct {
 	// loop with defaults. For a disk-backed collector, Labels.StatePath
 	// defaults to DataDir/labels.json so the loop survives kill -9.
 	Labels labelsvc.Config
+	// AcceptWire limits which wire codecs ingest accepts, by codec name
+	// ("json", "binary"). Empty accepts every registered codec. A request
+	// whose Content-Type maps to no accepted codec is answered 415 with a
+	// JSON body listing the accepted content types, which is what lets an
+	// HTTPSink fall back to JSON against a JSON-only collector. Unknown
+	// names here are an error in OpenCollector and are skipped by
+	// NewCollectorConfig (which has no error return).
+	AcceptWire []string
 }
 
 // Collector is the ingest side of networked monitoring: it applies wire
@@ -108,6 +118,17 @@ type Collector struct {
 	duplicates atomic.Int64
 	ingested   atomic.Int64
 	rejected   atomic.Int64 // malformed, oversized or version-mismatched requests
+	// rejectedBy splits rejected by cause for the labeled metric. Only
+	// the total persists in snapshots and the marks log, so after a
+	// restart the by-reason counters restart from zero and may sum below
+	// the total.
+	rejectedBy [numRejectReasons]atomic.Int64
+
+	// codecs maps an accepted Content-Type (media type, lowercased) to
+	// its wire codec, per CollectorConfig.AcceptWire; acceptCTs is the
+	// sorted list for 415 bodies. Both are fixed at construction.
+	codecs    map[string]BatchCodec
+	acceptCTs []string
 
 	sinkMu sync.Mutex
 	sink   assertion.Sink
@@ -180,12 +201,41 @@ func newCollectorBase(cfg *CollectorConfig) *Collector {
 	if cfg.CompactEvery <= 0 {
 		cfg.CompactEvery = 30 * time.Second
 	}
-	return &Collector{
+	c := &Collector{
 		cfg:     *cfg,
 		sources: make(map[string]*sourceState),
 		tail:    newTailHub(cfg.TailBuffer),
 		stop:    make(chan struct{}),
 	}
+	names := cfg.AcceptWire
+	if len(names) == 0 {
+		names = CodecNames()
+	}
+	c.codecs = make(map[string]BatchCodec, len(names))
+	for _, name := range names {
+		codec, err := Codec(name)
+		if err != nil {
+			continue // OpenCollector validates loudly before we get here
+		}
+		ct := strings.ToLower(codec.ContentType())
+		if _, dup := c.codecs[ct]; !dup {
+			c.codecs[ct] = codec
+			c.acceptCTs = append(c.acceptCTs, ct)
+		}
+	}
+	sort.Strings(c.acceptCTs)
+	return c
+}
+
+// validateAcceptWire resolves every AcceptWire name, so a typo'd
+// -wire-accept flag fails loudly instead of silently narrowing ingest.
+func validateAcceptWire(names []string) error {
+	for _, name := range names {
+		if _, err := Codec(name); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // startJanitor launches the retention janitor when a retention bound is
@@ -725,21 +775,117 @@ func (c *Collector) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// rejectReason is the cause bucket for one rejected ingest request,
+// labeling omg_collector_ingest_rejected_total.
+type rejectReason int
+
+const (
+	rejectOversize rejectReason = iota
+	rejectDecode
+	rejectVersion
+	rejectContentType
+	numRejectReasons
+)
+
+var rejectReasonNames = [numRejectReasons]string{"oversize", "decode", "version", "content_type"}
+
+// rejectIngest bumps both the persisted total and the by-reason counter
+// and journals the total like every other request counter.
+func (c *Collector) rejectIngest(reason rejectReason) {
+	c.rejected.Add(1)
+	c.rejectedBy[reason].Add(1)
+	c.logMarks("", 0) // the rejected counter persists like the others
+}
+
+// UnsupportedMediaTypeResponse is the parseable 415 body: it names the
+// content types this collector's ingest accepts, so a capable sender can
+// renegotiate (HTTPSink re-encodes the same batch, same seq, as JSON).
+type UnsupportedMediaTypeResponse struct {
+	Error                string   `json:"error"`
+	AcceptedContentTypes []string `json:"accepted_content_types"`
+}
+
+// ingestBodyPool recycles ingest request-body buffers: one pooled read
+// per request, which every codec then decodes in place.
+var ingestBodyPool = sync.Pool{New: func() any { b := make([]byte, 0, 64<<10); return &b }}
+
+// appendReadAll reads r to EOF into buf (appending), growing it like
+// bytes.Buffer but keeping the capacity with the caller's pool.
+func appendReadAll(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// codecFor resolves a request Content-Type against this collector's
+// accepted codecs. The empty header means JSON — that's what pre-codec
+// senders posted — but still only matches when JSON is accepted.
+func (c *Collector) codecFor(ct string) (BatchCodec, bool) {
+	mt := ContentTypeJSON
+	if strings.TrimSpace(ct) != "" {
+		parsed, _, err := mime.ParseMediaType(ct)
+		if err != nil {
+			return nil, false
+		}
+		mt = parsed
+	}
+	codec, ok := c.codecs[mt]
+	return codec, ok
+}
+
 func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
-	start := ingestDecodeHist.StartIf(true)
-	b, err := DecodeBatch(http.MaxBytesReader(w, r.Body, maxIngestBytes))
-	ingestDecodeHist.Done(start)
+	codec, ok := c.codecFor(r.Header.Get("Content-Type"))
+	if !ok {
+		c.rejectIngest(rejectContentType)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnsupportedMediaType)
+		json.NewEncoder(w).Encode(UnsupportedMediaTypeResponse{
+			Error:                fmt.Sprintf("unsupported Content-Type %q", r.Header.Get("Content-Type")),
+			AcceptedContentTypes: c.acceptCTs,
+		})
+		return
+	}
+	bufp := ingestBodyPool.Get().(*[]byte)
+	defer func() {
+		*bufp = (*bufp)[:0]
+		ingestBodyPool.Put(bufp)
+	}()
+	data, err := appendReadAll((*bufp)[:0], http.MaxBytesReader(w, r.Body, maxIngestBytes))
+	*bufp = data // keep the grown capacity pooled, success or not
 	if err != nil {
-		c.rejected.Add(1)
-		c.logMarks("", 0) // the rejected counter persists like the others
-		status := http.StatusBadRequest
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			// The body blew the ingest bound: the payload can never be
 			// parsed, and the sender must not retry the same bytes.
-			status = http.StatusRequestEntityTooLarge
+			c.rejectIngest(rejectOversize)
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return
 		}
-		http.Error(w, err.Error(), status)
+		c.rejectIngest(rejectDecode)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	hist := ingestDecodeHist.With(codec.Name())
+	start := hist.StartIf(true)
+	b, err := codec.DecodeBatch(data)
+	hist.Done(start)
+	if err != nil {
+		if errors.Is(err, ErrWireVersion) {
+			c.rejectIngest(rejectVersion)
+		} else {
+			c.rejectIngest(rejectDecode)
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	start = ingestApplyHist.StartIf(true)
@@ -824,6 +970,11 @@ func (c *Collector) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("omg_collector_batches_total", "Batches applied.", c.batches.Load())
 	counter("omg_collector_duplicate_batches_total", "Retried batches deduplicated.", c.duplicates.Load())
 	counter("omg_collector_rejected_requests_total", "Malformed, oversized or version-mismatched ingest requests.", c.rejected.Load())
+	fmt.Fprintf(&b, "# HELP omg_collector_ingest_rejected_total Rejected ingest requests by cause (by-reason counts reset on restart; the unlabeled total persists).\n")
+	fmt.Fprintf(&b, "# TYPE omg_collector_ingest_rejected_total counter\n")
+	for i, reason := range rejectReasonNames {
+		fmt.Fprintf(&b, "omg_collector_ingest_rejected_total{reason=\"%s\"} %d\n", reason, c.rejectedBy[i].Load())
+	}
 	counter("omg_collector_retention_evictions_total", "Violations evicted from the queryable log by the retention policy.", c.RetentionEvicted())
 	counter("omg_collector_tail_dropped_total", "Tail events dropped because a subscriber's buffer was full.", c.tail.droppedTotal())
 	gauge("omg_collector_tail_clients", "Connected live-tail subscribers.", c.tail.clientCount())

@@ -59,6 +59,9 @@ type markLine struct {
 // Restarting with a different Shards count over the same DataDir is not
 // supported: each shard owns its subdirectory.
 func OpenCollector(cfg CollectorConfig) (*Collector, error) {
+	if err := validateAcceptWire(cfg.AcceptWire); err != nil {
+		return nil, err
+	}
 	switch cfg.Store {
 	case "", StoreMem:
 		// Unlike NewCollectorConfig (which silently falls back), surface a

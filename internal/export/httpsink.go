@@ -60,6 +60,17 @@ type HTTPSinkConfig struct {
 	// Client overrides the HTTP client (e.g. for tests or custom
 	// transports).
 	Client *http.Client
+	// Wire selects the batch codec by name: "json" (the default) or
+	// "binary". Whatever is selected, the sink automatically falls back
+	// to JSON — re-encoding the in-flight batch under the same sequence
+	// number — when the collector answers 415/406 (it does not speak this
+	// codec) or 400 (a pre-codec collector that tried to JSON-parse a
+	// binary frame), so new edges keep delivering to old collectors.
+	Wire string
+	// Compress turns on the binary codec's DEFLATE payload compression.
+	// Only meaningful with Wire "binary"; NewHTTPSink rejects it for
+	// codecs without a compressed form rather than silently ignoring it.
+	Compress bool
 }
 
 func (c *HTTPSinkConfig) fill() {
@@ -112,6 +123,12 @@ type HTTPSink struct {
 	cfg HTTPSinkConfig
 	url string
 
+	// codec is the wire codec batches encode with. Owned by the shipper
+	// goroutine after construction: the JSON fallback swaps it without
+	// locking, and readers (Stats) learn about the swap via fellBack.
+	codec    BatchCodec
+	fellBack atomic.Bool
+
 	mu     sync.RWMutex // record (read side) vs close (write side)
 	closed bool
 	ch     chan assertion.Violation
@@ -143,11 +160,22 @@ func NewHTTPSink(cfg HTTPSinkConfig) (*HTTPSink, error) {
 		return nil, fmt.Errorf("export: HTTPSink BaseURL %q must start with http:// or https://", cfg.BaseURL)
 	}
 	cfg.fill()
+	codec, err := Codec(cfg.Wire)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Compress {
+		if codec.Name() != CodecBinary {
+			return nil, fmt.Errorf("export: HTTPSink Compress requires the %q wire codec, not %q", CodecBinary, codec.Name())
+		}
+		codec = &BinaryCodec{Compress: true}
+	}
 	s := &HTTPSink{
-		cfg:  cfg,
-		url:  strings.TrimSuffix(cfg.BaseURL, "/") + IngestPath,
-		ch:   make(chan assertion.Violation, cfg.QueueDepth),
-		done: make(chan struct{}),
+		cfg:   cfg,
+		url:   strings.TrimSuffix(cfg.BaseURL, "/") + IngestPath,
+		codec: codec,
+		ch:    make(chan assertion.Violation, cfg.QueueDepth),
+		done:  make(chan struct{}),
 	}
 	s.pendingCond = sync.NewCond(&s.pendingMu)
 	go s.run()
@@ -241,18 +269,37 @@ type HTTPSinkStats struct {
 	// Queued is how many violations are waiting in the record queue
 	// right now (excluding the batch the shipper is delivering).
 	Queued int
+	// Wire is the codec batches currently ship with; WireFellBack flips
+	// when the configured codec was refused and the sink renegotiated
+	// down to JSON.
+	Wire         string
+	WireFellBack bool
 }
 
 // Stats returns a consistent-enough snapshot of the sink's delivery
 // counters for reporting; each field is individually atomic.
 func (s *HTTPSink) Stats() HTTPSinkStats {
 	return HTTPSinkStats{
-		Delivered: s.delivered.Load(),
-		Batches:   s.batches.Load(),
-		Retries:   s.retries.Load(),
-		Dropped:   s.dropped.Load(),
-		Queued:    len(s.ch),
+		Delivered:    s.delivered.Load(),
+		Batches:      s.batches.Load(),
+		Retries:      s.retries.Load(),
+		Dropped:      s.dropped.Load(),
+		Queued:       len(s.ch),
+		Wire:         s.Wire(),
+		WireFellBack: s.fellBack.Load(),
 	}
+}
+
+// Wire returns the name of the codec batches currently ship with —
+// the configured one, or "json" after the fallback latched.
+func (s *HTTPSink) Wire() string {
+	if s.fellBack.Load() {
+		return CodecJSON
+	}
+	if s.cfg.Wire == "" {
+		return CodecJSON
+	}
+	return s.cfg.Wire
 }
 
 func (s *HTTPSink) setErr(err error) {
@@ -309,12 +356,13 @@ func (s *HTTPSink) run() {
 func (s *HTTPSink) ship(buf []byte, violations []assertion.Violation) []byte {
 	start := deliverHist.StartIf(true)
 	defer deliverHist.Done(start)
-	body, err := AppendBatchJSON(buf, Batch{
+	wb := Batch{
 		Version:    WireVersion,
 		Source:     s.cfg.Source,
 		Seq:        s.seq.Add(1),
 		Violations: violations,
-	})
+	}
+	body, err := s.codec.AppendBatch(buf, wb)
 	if err != nil {
 		s.setErr(fmt.Errorf("export: encode batch: %w", err))
 		s.dropped.Add(int64(len(violations)))
@@ -328,7 +376,25 @@ func (s *HTTPSink) ship(buf []byte, violations []assertion.Violation) []byte {
 			return body
 		}
 		var perm *permanentError
-		if attempt >= s.cfg.MaxRetries || errors.As(err, &perm) {
+		if errors.As(err, &perm) {
+			// A 415/406 (this collector does not accept our codec) or 400
+			// (a pre-codec collector choked JSON-parsing a binary frame)
+			// means the *codec* was refused, not the batch: renegotiate by
+			// latching onto JSON and re-sending the same batch — same
+			// sequence number, so dedup semantics are untouched — without
+			// spending the retry budget on the handshake.
+			if s.codec.Name() != CodecJSON && fallbackStatus(perm.status) {
+				s.codec = jsonCodec{}
+				s.fellBack.Store(true)
+				if body, err = s.codec.AppendBatch(body[:0], wb); err == nil {
+					attempt--
+					continue
+				}
+				err = fmt.Errorf("export: re-encode batch as json: %w", err)
+			}
+			break
+		}
+		if attempt >= s.cfg.MaxRetries {
 			break
 		}
 		s.retries.Add(1)
@@ -339,12 +405,21 @@ func (s *HTTPSink) ship(buf []byte, violations []assertion.Violation) []byte {
 	return body
 }
 
+// fallbackStatus reports whether an HTTP status from the collector should
+// trigger the JSON wire fallback. 413 is excluded: the body was too big,
+// and a JSON re-encode of the same batch is no smaller.
+func fallbackStatus(status int) bool {
+	return status == http.StatusUnsupportedMediaType ||
+		status == http.StatusNotAcceptable ||
+		status == http.StatusBadRequest
+}
+
 func (s *HTTPSink) post(body []byte) error {
 	req, err := http.NewRequest(http.MethodPost, s.url, bytes.NewReader(body))
 	if err != nil {
-		return &permanentError{err}
+		return &permanentError{err: err}
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", s.codec.ContentType())
 	resp, err := s.cfg.Client.Do(req)
 	if err != nil {
 		return err
@@ -360,7 +435,7 @@ func (s *HTTPSink) post(body []byte) error {
 	if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
 		// The collector understood the request and rejected the payload:
 		// retrying the same bytes cannot succeed.
-		return &permanentError{err}
+		return &permanentError{err: err, status: resp.StatusCode}
 	}
 	return err
 }
@@ -377,8 +452,13 @@ func (s *HTTPSink) backoff(attempt int) time.Duration {
 	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
-// permanentError marks a delivery failure retrying cannot fix.
-type permanentError struct{ err error }
+// permanentError marks a delivery failure retrying cannot fix; status
+// carries the HTTP status code when the collector answered (0 otherwise),
+// which the wire fallback dispatches on.
+type permanentError struct {
+	err    error
+	status int
+}
 
 func (e *permanentError) Error() string { return e.err.Error() }
 func (e *permanentError) Unwrap() error { return e.err }
@@ -386,10 +466,18 @@ func (e *permanentError) Unwrap() error { return e.err }
 // init plugs the HTTP backend into the assertion package's sink registry,
 // so flag-driven tools can build it by name without importing this
 // package's types. Recognised params: url (required), source, batch,
-// retries, depth, timeout (Go duration), backoff (Go duration).
+// retries, depth, timeout (Go duration), backoff (Go duration), wire
+// (codec name), compress (bool).
 func init() {
 	assertion.MustRegisterSinkFactory("http", func(params map[string]string) (assertion.Sink, error) {
-		cfg := HTTPSinkConfig{BaseURL: params["url"], Source: params["source"]}
+		cfg := HTTPSinkConfig{BaseURL: params["url"], Source: params["source"], Wire: params["wire"]}
+		if v, ok := params["compress"]; ok {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return nil, fmt.Errorf("export: http sink param compress=%q: %w", v, err)
+			}
+			cfg.Compress = b
+		}
 		var err error
 		if cfg.QueueDepth, err = atoiParam(params, "depth"); err != nil {
 			return nil, err

@@ -12,10 +12,13 @@ var (
 	deliverHist = obs.Default().NewHistogram(
 		"omg_export_deliver_seconds",
 		"HTTPSink batch delivery wall time, including retries and backoff.")
-	// ingestDecodeHist times wire decoding of one /v1/violations request.
-	ingestDecodeHist = obs.Default().NewHistogram(
+	// ingestDecodeHist times wire decoding of one /v1/violations request,
+	// labeled by the codec the request's Content-Type selected — the
+	// json-vs-binary decode cost split, live.
+	ingestDecodeHist = obs.Default().NewHistogramVec(
 		"omg_collector_ingest_decode_seconds",
-		"Collector wire decode time per ingest request.")
+		"Collector wire decode time per ingest request, by codec.",
+		"codec")
 	// ingestApplyHist times applying one decoded batch: dedup check,
 	// recorder append (and store append when disk-backed), tail publish.
 	ingestApplyHist = obs.Default().NewHistogram(

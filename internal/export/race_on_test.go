@@ -1,0 +1,9 @@
+//go:build race
+
+package export
+
+// raceEnabled reports whether this test binary was built with -race, so
+// allocation-budget tests can skip themselves: race instrumentation
+// allocates, making AllocsPerRun counts meaningless. The CI alloc-gate
+// job runs without -race and fails when it sees the skip.
+const raceEnabled = true

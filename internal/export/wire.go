@@ -147,10 +147,35 @@ func DecodeBatch(r io.Reader) (Batch, error) {
 	if err := json.NewDecoder(r).Decode(&b); err != nil {
 		return Batch{}, fmt.Errorf("export: decode batch: %w", err)
 	}
-	if b.Version < MinWireVersion || b.Version > WireVersion {
-		return Batch{}, fmt.Errorf("%w: batch has version %d, want %d..%d", ErrWireVersion, b.Version, MinWireVersion, WireVersion)
+	if err := checkBatchVersion(b.Version); err != nil {
+		return Batch{}, err
 	}
 	return b, nil
+}
+
+// DecodeBatchBytes decodes one JSON batch held fully in memory and
+// validates its version. This is the codec-seam form of DecodeBatch: the
+// whole payload must be one batch object (trailing whitespace allowed,
+// trailing garbage is an error — a stream decoder would silently ignore
+// it).
+func DecodeBatchBytes(data []byte) (Batch, error) {
+	var b Batch
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Batch{}, fmt.Errorf("export: decode batch: %w", err)
+	}
+	if err := checkBatchVersion(b.Version); err != nil {
+		return Batch{}, err
+	}
+	return b, nil
+}
+
+// checkBatchVersion enforces the [MinWireVersion, WireVersion] acceptance
+// window every codec shares.
+func checkBatchVersion(v int) error {
+	if v < MinWireVersion || v > WireVersion {
+		return fmt.Errorf("%w: batch has version %d, want %d..%d", ErrWireVersion, v, MinWireVersion, WireVersion)
+	}
+	return nil
 }
 
 // WriteSnapshotFile persists s at path atomically and durably: the

@@ -126,7 +126,30 @@ type (
 	ViolationBatch = export.Batch
 	// CollectorSnapshot is the wire form of a collector's persisted state.
 	CollectorSnapshot = export.Snapshot
+	// BatchCodec is the pluggable wire-codec seam: it encodes a batch to
+	// request bytes and decodes them back, selected by name on the sender
+	// (HTTPSinkConfig.Wire) and by Content-Type on the collector.
+	BatchCodec = export.BatchCodec
+	// BinaryBatchCodec is the length-prefixed CRC'd binary wire format
+	// (Content-Type application/x-omg-batch), with optional DEFLATE
+	// payload compression.
+	BinaryBatchCodec = export.BinaryCodec
 )
+
+// Wire codec names (HTTPSinkConfig.Wire, CollectorConfig.AcceptWire) and
+// the Content-Types they ride on.
+const (
+	CodecJSON         = export.CodecJSON
+	CodecBinary       = export.CodecBinary
+	ContentTypeJSON   = export.ContentTypeJSON
+	ContentTypeBinary = export.ContentTypeBinary
+)
+
+// WireCodec returns the registered batch codec for name ("" means JSON).
+func WireCodec(name string) (BatchCodec, error) { return export.Codec(name) }
+
+// WireCodecNames lists the registered wire codec names, sorted.
+func WireCodecNames() []string { return export.CodecNames() }
 
 // WireVersion is the version stamped on every exported batch and snapshot.
 const WireVersion = export.WireVersion
