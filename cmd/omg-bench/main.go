@@ -12,7 +12,8 @@
 //	                          # store (mem vs on-disk segment violation store),
 //	                          # labels (candidate assembly + label serving),
 //	                          # obs (instrumented vs uninstrumented hot paths),
-//	                          # wire (JSON vs binary batch codec e2e)
+//	                          # wire (JSON vs binary batch codec e2e),
+//	                          # overload (admission-control overhead)
 //	omg-bench -quick          # reduced sizes (CI smoke run)
 //	omg-bench -root DIR       # repository root for Table 2 (default .)
 package main
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1..table4, table6, figure3, figure4a, figure4b, figure5, sinkbench, fanin, observe, store, labels, obs, wire)")
+	only := flag.String("only", "", "run a single experiment (table1..table4, table6, figure3, figure4a, figure4b, figure5, sinkbench, fanin, observe, store, labels, obs, wire, overload)")
 	quick := flag.Bool("quick", false, "use reduced experiment sizes")
 	root := flag.String("root", ".", "repository root (for Table 2 LOC measurement)")
 	benchOut := flag.String("bench-out", "BENCH_5.json", "where the observe experiment writes its machine-readable results (empty disables)")
@@ -36,6 +37,7 @@ func main() {
 	labelBenchOut := flag.String("label-bench-out", "BENCH_7.json", "where the labels experiment writes its machine-readable results (empty disables)")
 	obsBenchOut := flag.String("obs-bench-out", "BENCH_8.json", "where the obs experiment writes its machine-readable results (empty disables)")
 	wireBenchOut := flag.String("wire-bench-out", "BENCH_9.json", "where the wire experiment writes its machine-readable results (empty disables)")
+	overloadBenchOut := flag.String("overload-bench-out", "BENCH_10.json", "where the overload experiment writes its machine-readable results (empty disables)")
 	flag.Parse()
 
 	scale := experiments.FullScale()
@@ -69,6 +71,7 @@ func main() {
 		{"labels", func() (string, error) { return renderLabelBench(*quick, *labelBenchOut) }},
 		{"obs", func() (string, error) { return renderObsBench(*quick, *obsBenchOut) }},
 		{"wire", func() (string, error) { return renderWireBench(*quick, *wireBenchOut) }},
+		{"overload", func() (string, error) { return renderOverloadBench(*quick, *overloadBenchOut) }},
 	}
 
 	matched := false

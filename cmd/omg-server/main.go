@@ -56,10 +56,22 @@
 //	           [-label-selector bal|ccmab|uncertainty|uniform-ma|random]
 //	           [-label-seed N] [-label-budget N] [-lease-ttl DUR]
 //	           [-wire-accept json,binary] [-drain DUR] [-debug-addr :PORT]
+//	           [-rate-limit BYTES/S] [-burst BYTES] [-max-inflight N]
+//	           [-chaos-disk-full-after BYTES]
 //
 // -debug-addr serves net/http/pprof on a separate gated listener —
 // profiling stays off the public collector port and off entirely unless
 // the flag is set.
+//
+// -rate-limit / -burst / -max-inflight are the overload controls: over
+// budget or over capacity, ingest answers 429 with a Retry-After the
+// sinks honor, every rejection is counted by reason in /metrics, and
+// retries of already-applied batches are still acknowledged so
+// throttling never wedges a sender's dedup window. A disk store that
+// stops accepting writes (ENOSPC — or -chaos-disk-full-after, which
+// injects it deterministically for chaos drills) latches the collector
+// degraded: ingest answers 503, /healthz reports it, queries keep
+// serving from memory.
 package main
 
 import (
@@ -102,6 +114,10 @@ func main() {
 	labelBudget := flag.Int("label-budget", 16, "default /v1/labels/next batch size when the pull names no ?budget=")
 	leaseTTL := flag.Duration("lease-ttl", 5*time.Minute, "how long a served label candidate stays exclusively leased to its puller")
 	wireAccept := flag.String("wire-accept", "", "comma-separated wire codecs ingest accepts (json,binary); empty accepts all — requests in other formats get 415 and capable senders fall back")
+	rateLimit := flag.Int64("rate-limit", 0, "per-source ingest byte budget per second; senders over it get 429 with Retry-After (0 = no rate limit)")
+	rateBurst := flag.Int64("burst", 0, "per-source ingest burst allowance in bytes for -rate-limit (0 = one second's worth)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent ingest requests admitted before newest arrivals are shed with 429 (0 = unbounded)")
+	chaosDiskFullAfter := flag.Int64("chaos-disk-full-after", 0, "fault injection for -store=disk: fail segment writes with ENOSPC once this many bytes have been written, degrading ingest to 503 (0 = off; chaos testing only)")
 	drain := flag.Duration("drain", 0, "after a shutdown signal, keep the listener answering (with /healthz reporting 503) this long so load balancers drain the instance first")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (gated: off unless set)")
 	flag.Parse()
@@ -129,6 +145,9 @@ func main() {
 	if *drain < 0 {
 		log.Fatalf("-drain must be >= 0")
 	}
+	if *rateLimit < 0 || *rateBurst < 0 || *maxInflight < 0 || *chaosDiskFullAfter < 0 {
+		log.Fatalf("-rate-limit, -burst, -max-inflight and -chaos-disk-full-after must be >= 0")
+	}
 
 	var acceptWire []string
 	if *wireAccept != "" {
@@ -140,15 +159,19 @@ func main() {
 	}
 
 	c, err := export.OpenCollector(export.CollectorConfig{
-		Retain:             *retain,
-		Shards:             *shards,
-		RetainAge:          *retainAge,
-		RetainPerAssertion: *retainPer,
-		CompactEvery:       *compactEvery,
-		Store:              *storeKind,
-		DataDir:            *dataDir,
-		SegmentBytes:       *segmentBytes,
-		AcceptWire:         acceptWire,
+		Retain:              *retain,
+		Shards:              *shards,
+		RetainAge:           *retainAge,
+		RetainPerAssertion:  *retainPer,
+		CompactEvery:        *compactEvery,
+		Store:               *storeKind,
+		DataDir:             *dataDir,
+		SegmentBytes:        *segmentBytes,
+		AcceptWire:          acceptWire,
+		RateLimitBytes:      *rateLimit,
+		RateBurstBytes:      *rateBurst,
+		MaxInflight:         *maxInflight,
+		StoreFailAfterBytes: *chaosDiskFullAfter,
 		Labels: labelsvc.Config{
 			Selector:      *labelSelector,
 			Seed:          *labelSeed,
@@ -218,7 +241,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen %s: %v", *addr, err)
 	}
-	srv := &http.Server{Handler: c.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	// Full-connection timeouts so a stalled or malicious peer cannot hold
+	// a connection (and its handler goroutine) forever: slow-read bodies
+	// die with ReadTimeout, slow-write responses with WriteTimeout, idle
+	// keep-alives with IdleTimeout. The SSE tail endpoint is exempt from
+	// WriteTimeout — it lifts the deadline itself via
+	// http.ResponseController and polices its own per-write grace.
+	srv := &http.Server{
+		Handler:           c.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	// The resolved address line is the startup handshake: scripts (and the
 	// e2e tests) scrape it to learn the port when -addr ends in :0.
 	fmt.Printf("omg-server listening on %s\n", ln.Addr())
@@ -230,7 +265,14 @@ func main() {
 		}
 		fmt.Printf("omg-server debug on http://%s/debug/pprof/\n", dln.Addr())
 		go func() {
-			dsrv := &http.Server{Handler: obs.NewDebugMux(), ReadHeaderTimeout: 10 * time.Second}
+			dsrv := &http.Server{
+				Handler:           obs.NewDebugMux(),
+				ReadHeaderTimeout: 10 * time.Second,
+				ReadTimeout:       time.Minute,
+				// Long enough for a 30s CPU or trace profile to stream out.
+				WriteTimeout: 2 * time.Minute,
+				IdleTimeout:  2 * time.Minute,
+			}
 			if err := dsrv.Serve(dln); err != nil {
 				log.Printf("debug listener: %v", err)
 			}

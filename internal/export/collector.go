@@ -83,6 +83,31 @@ type CollectorConfig struct {
 	// names here are an error in OpenCollector and are skipped by
 	// NewCollectorConfig (which has no error return).
 	AcceptWire []string
+	// RateLimitBytes is the per-source ingest byte budget in bytes/second
+	// (0 = unlimited). Each source draws request bodies from its own
+	// token bucket; a request that finds the bucket in deficit is
+	// answered 429 with a Retry-After header and counted under reason
+	// "rate_limit". Already-applied retries are acknowledged before the
+	// bucket is consulted, so throttling never wedges a sender's dedup
+	// window.
+	RateLimitBytes int64
+	// RateBurstBytes is the token bucket capacity — how many bytes a
+	// source may burst above its steady rate (0 = one second's worth,
+	// i.e. RateLimitBytes). A single body larger than the burst is still
+	// admitted when the bucket is full; it just leaves the bucket in
+	// deficit, which is what makes the limit enforceable without a
+	// request-size ceiling below maxIngestBytes.
+	RateBurstBytes int64
+	// MaxInflight bounds concurrently admitted ingest requests
+	// (0 = unbounded). Arrivals beyond it are shed newest-first with 429
+	// + Retry-After, counted under reason "inflight" — queue-depth load
+	// shedding, with the same dedup-retry exemption as the rate limit.
+	MaxInflight int
+	// StoreFailAfterBytes injects a deterministic disk-full fault into
+	// the disk store backend for chaos testing: once each shard has
+	// written this many segment bytes, further writes fail with
+	// store.ErrDiskFull and the collector latches degraded. 0 disables.
+	StoreFailAfterBytes int64
 }
 
 // Collector is the ingest side of networked monitoring: it applies wire
@@ -113,6 +138,16 @@ type Collector struct {
 	// answers 503 from then on so load balancers drain the instance
 	// before the listener goes away.
 	closing atomic.Bool
+
+	// Overload-protection state: per-source token buckets (RateLimitBytes),
+	// the admitted-request count (MaxInflight), and the latched degraded
+	// flag a failed store sync flips — see admission.go.
+	bucketsMu    sync.Mutex
+	buckets      map[string]*tokenBucket
+	inflight     atomic.Int64
+	degraded     atomic.Bool
+	degradeMu    sync.Mutex
+	degradeCause error
 
 	batches    atomic.Int64
 	duplicates atomic.Int64
@@ -201,9 +236,13 @@ func newCollectorBase(cfg *CollectorConfig) *Collector {
 	if cfg.CompactEvery <= 0 {
 		cfg.CompactEvery = 30 * time.Second
 	}
+	if cfg.RateLimitBytes > 0 && cfg.RateBurstBytes <= 0 {
+		cfg.RateBurstBytes = cfg.RateLimitBytes
+	}
 	c := &Collector{
 		cfg:     *cfg,
 		sources: make(map[string]*sourceState),
+		buckets: make(map[string]*tokenBucket),
 		tail:    newTailHub(cfg.TailBuffer),
 		stop:    make(chan struct{}),
 	}
@@ -349,10 +388,23 @@ func (c *Collector) Close() error {
 // applied unconditionally. It returns how many violations were applied
 // and whether the batch was a duplicate.
 func (c *Collector) Ingest(b Batch) (accepted int, duplicate bool) {
+	accepted, duplicate, _ = c.ingestChecked(b)
+	return accepted, duplicate
+}
+
+// ingestChecked is Ingest plus the durability verdict: a non-nil error
+// means the batch's violations reached the memory mirror but NOT stable
+// storage (the store just latched degraded), and — critically — the
+// source's dedup mark was not advanced. The HTTP path answers 503 then,
+// so the sender retries the same sequence number and a healed (restarted)
+// collector applies it durably exactly once. Acking it instead would
+// trade that retry for silent loss: the pending buffer holding the
+// violations dies with the degraded process.
+func (c *Collector) ingestChecked(b Batch) (accepted int, duplicate bool, err error) {
 	if b.Source == "" || b.Seq == 0 {
-		n := c.apply(b)
+		n, err := c.apply(b)
 		c.logMarks("", 0) // counters still persist for unmarked batches
-		return n, false
+		return n, false, err
 	}
 	st := c.sourceState(b.Source)
 	st.mu.Lock()
@@ -360,9 +412,12 @@ func (c *Collector) Ingest(b Batch) (accepted int, duplicate bool) {
 	if b.Seq <= st.lastSeq.Load() {
 		c.duplicates.Add(1)
 		c.logMarks(b.Source, st.lastSeq.Load())
-		return 0, true
+		return 0, true, nil
 	}
-	accepted = c.apply(b)
+	accepted, err = c.apply(b)
+	if err != nil {
+		return accepted, false, err
+	}
 	st.lastSeq.Store(b.Seq)
 	// The mark is logged only after the batch is fully applied AND (for
 	// disk-backed shards) synced: a crash between apply and mark leaves
@@ -371,13 +426,15 @@ func (c *Collector) Ingest(b Batch) (accepted int, duplicate bool) {
 	// actually retries across the crash (the same window the snapshot
 	// path always had).
 	c.logMarks(b.Source, b.Seq)
-	return accepted, false
+	return accepted, false, nil
 }
 
 // apply records a batch's violations on its source's shard, stamps their
 // ingest time (the retention clock), publishes them to tail subscribers
-// and updates the counters.
-func (c *Collector) apply(b Batch) int {
+// and updates the counters. The returned error is the shard store's sync
+// failure, if any: the violations are then in the memory mirror but not
+// durable, and the collector has latched degraded.
+func (c *Collector) apply(b Batch) (int, error) {
 	rec := c.recFor(b.Source)
 	now := time.Now()
 	nowUnix := now.Unix()
@@ -398,11 +455,20 @@ func (c *Collector) apply(b Batch) int {
 		c.tail.publish(v)
 		c.publishWeakLabel(v)
 	}
+	var syncErr error
 	if c.durable() {
 		// One write syscall flushes the whole batch to the OS: after the
 		// acknowledgement below, these violations survive a process
-		// crash.
-		rec.SyncStore()
+		// crash. A failed flush (ENOSPC, dying disk) latches the
+		// collector degraded — this batch is then rejected (not acked,
+		// not marked applied), because its violations live only in the
+		// memory mirror and a pending buffer the degraded process takes
+		// to its grave; the sender's retry re-delivers them to a healed
+		// collector — and every later ingest is rejected with reason
+		// "store_degraded" up front.
+		if syncErr = rec.SyncStore(); syncErr != nil {
+			c.degrade(syncErr)
+		}
 	}
 	// The label service learns about the batch only after every violation
 	// has landed on the shard (and, for disk shards, synced): its
@@ -411,7 +477,7 @@ func (c *Collector) apply(b Batch) int {
 	c.labels.ObserveBatch(b.Source, b.Violations)
 	c.batches.Add(1)
 	c.ingested.Add(int64(len(b.Violations)))
-	return len(b.Violations)
+	return len(b.Violations), syncErr
 }
 
 // runJanitor applies the retention policy on a timer until Close.
@@ -772,6 +838,14 @@ func (c *Collector) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "shutting down")
 		return
 	}
+	if err := c.DegradedCause(); err != nil {
+		// The latched disk-fault state: the instance still answers
+		// queries from memory, but ingest is rejecting, so it must fall
+		// out of load-balancer rotation.
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "store degraded: %v\n", err)
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 
@@ -784,10 +858,16 @@ const (
 	rejectDecode
 	rejectVersion
 	rejectContentType
+	rejectRateLimit
+	rejectInflight
+	rejectStoreDegraded
 	numRejectReasons
 )
 
-var rejectReasonNames = [numRejectReasons]string{"oversize", "decode", "version", "content_type"}
+var rejectReasonNames = [numRejectReasons]string{
+	"oversize", "decode", "version", "content_type",
+	"rate_limit", "inflight", "store_degraded",
+}
 
 // rejectIngest bumps both the persisted total and the by-reason counter
 // and journals the total like every other request counter.
@@ -844,6 +924,43 @@ func (c *Collector) codecFor(ct string) (BatchCodec, bool) {
 }
 
 func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// An already-applied retry is acknowledged before any admission
+	// decision, from the (source, seq) request headers alone — no body
+	// read, no bucket charge. Overload protection must never wedge a
+	// sender's dedup window: the retry it throttles would otherwise be
+	// retried forever (or dropped and recounted as loss) for a batch the
+	// collector already owns.
+	if c.ackAppliedRetry(w, r) {
+		return
+	}
+	admStart := admissionHist.StartIf(true)
+	// Newest-first load shedding: an arrival beyond MaxInflight is the
+	// request shed, while everything already admitted keeps its slot.
+	release, shed := c.acquireInflight()
+	if shed {
+		c.shedIngest(w, rejectInflight, http.StatusTooManyRequests,
+			"collector overloaded: too many in-flight ingest requests", time.Second)
+		return
+	}
+	defer release()
+	if err := c.DegradedCause(); err != nil {
+		c.shedIngest(w, rejectStoreDegraded, http.StatusServiceUnavailable,
+			fmt.Sprintf("collector store degraded: %v", err), degradedRetryAfter)
+		return
+	}
+	// Per-source byte admission. The declared Content-Length is charged
+	// before the body is read, so a throttled request costs the
+	// collector a header parse, not a 32 MiB read; chunked senders
+	// (no declared length) are charged after the read instead.
+	charged := r.ContentLength >= 0
+	if charged {
+		if wait, ok := c.admitBytes(r.Header.Get(SourceHeader), r.ContentLength); !ok {
+			c.shedIngest(w, rejectRateLimit, http.StatusTooManyRequests,
+				"collector rate limit exceeded for this source", wait)
+			return
+		}
+	}
+	admissionHist.Done(admStart)
 	codec, ok := c.codecFor(r.Header.Get("Content-Type"))
 	if !ok {
 		c.rejectIngest(rejectContentType)
@@ -875,6 +992,13 @@ func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if !charged {
+		if wait, ok := c.admitBytes(r.Header.Get(SourceHeader), int64(len(data))); !ok {
+			c.shedIngest(w, rejectRateLimit, http.StatusTooManyRequests,
+				"collector rate limit exceeded for this source", wait)
+			return
+		}
+	}
 	hist := ingestDecodeHist.With(codec.Name())
 	start := hist.StartIf(true)
 	b, err := codec.DecodeBatch(data)
@@ -889,8 +1013,16 @@ func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start = ingestApplyHist.StartIf(true)
-	accepted, duplicate := c.Ingest(b)
+	accepted, duplicate, applyErr := c.ingestChecked(b)
 	ingestApplyHist.Done(start)
+	if applyErr != nil {
+		// This batch tripped the store fault: nothing durable, mark not
+		// advanced. Reject it so the sender's retry re-delivers the same
+		// sequence number to a healed collector.
+		c.shedIngest(w, rejectStoreDegraded, http.StatusServiceUnavailable,
+			fmt.Sprintf("collector store degraded: %v", applyErr), degradedRetryAfter)
+		return
+	}
 	writeJSON(w, IngestResponse{Accepted: accepted, Duplicate: duplicate})
 }
 
@@ -979,6 +1111,12 @@ func (c *Collector) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("omg_collector_tail_dropped_total", "Tail events dropped because a subscriber's buffer was full.", c.tail.droppedTotal())
 	gauge("omg_collector_tail_clients", "Connected live-tail subscribers.", c.tail.clientCount())
 	gauge("omg_collector_shards", "Ingest shards.", int64(len(c.recs)))
+	degraded := int64(0)
+	if c.degraded.Load() {
+		degraded = 1
+	}
+	gauge("omg_collector_store_degraded", "1 once a disk-store write has failed and ingest is rejecting (latched until restart).", degraded)
+	gauge("omg_collector_ingest_inflight", "Ingest requests currently being admitted or applied.", c.inflight.Load())
 	info := c.StoreInfo()
 	gauge("omg_collector_segments", "Live segment files in the violation store (0 for the in-memory backend).", int64(info.Segments))
 	gauge("omg_collector_segments_bytes", "Bytes held in violation store segment files (0 for the in-memory backend).", info.Bytes)

@@ -80,8 +80,9 @@ func OpenCollector(cfg CollectorConfig) (*Collector, error) {
 	c := newCollectorBase(&cfg)
 	for i := 0; i < cfg.Shards; i++ {
 		st, err := store.Open(store.Config{
-			Dir:          filepath.Join(cfg.DataDir, fmt.Sprintf("shard-%d", i)),
-			SegmentBytes: cfg.SegmentBytes,
+			Dir:                  filepath.Join(cfg.DataDir, fmt.Sprintf("shard-%d", i)),
+			SegmentBytes:         cfg.SegmentBytes,
+			FailWritesAfterBytes: cfg.StoreFailAfterBytes,
 		})
 		if err != nil {
 			c.closeStores()

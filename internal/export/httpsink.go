@@ -71,6 +71,26 @@ type HTTPSinkConfig struct {
 	// Only meaningful with Wire "binary"; NewHTTPSink rejects it for
 	// codecs without a compressed form rather than silently ignoring it.
 	Compress bool
+	// RetryBudget bounds the total wall-clock time one batch may spend
+	// on delivery attempts and the waits between them (0 = attempt count
+	// only). With a throttling collector stretching waits via
+	// Retry-After, an attempt count alone no longer bounds how long a
+	// batch can occupy the shipper; the budget does. A batch over budget
+	// is dropped and counted exactly like one out of retries.
+	RetryBudget time.Duration
+	// BreakerFailures opens a circuit breaker after this many
+	// consecutive batches have exhausted their retries on transient
+	// errors (0 disables the breaker). While open, batches are dropped
+	// (counted, never silent) without touching the network, except one
+	// single-attempt probe every BreakerProbe; a successful probe closes
+	// the circuit. A dead collector then costs the fleet one probe per
+	// interval instead of a full retry ladder per batch. Permanent
+	// (4xx-rejected) batches do not trip the breaker: the collector is
+	// alive and talking.
+	BreakerFailures int
+	// BreakerProbe is the half-open probe interval (default
+	// 2*MaxBackoff).
+	BreakerProbe time.Duration
 }
 
 func (c *HTTPSinkConfig) fill() {
@@ -103,6 +123,9 @@ func (c *HTTPSinkConfig) fill() {
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: c.Timeout}
+	}
+	if c.BreakerProbe <= 0 {
+		c.BreakerProbe = 2 * c.MaxBackoff
 	}
 }
 
@@ -137,7 +160,17 @@ type HTTPSink struct {
 	pendingCond *sync.Cond
 	pendingN    int
 
-	done chan struct{}
+	done    chan struct{}
+	closing chan struct{} // closed as Close begins: aborts backoff waits
+
+	// Circuit-breaker state. consecFailures and breakerUntil are owned by
+	// the shipper goroutine; breakerOpen and the counters are atomics so
+	// Stats can read them from any goroutine.
+	consecFailures int
+	breakerUntil   time.Time
+	breakerOpen    atomic.Bool
+	breakerDropped atomic.Int64
+	probes         atomic.Int64
 
 	errMu sync.Mutex
 	err   error // first delivery failure, retained
@@ -171,11 +204,12 @@ func NewHTTPSink(cfg HTTPSinkConfig) (*HTTPSink, error) {
 		codec = &BinaryCodec{Compress: true}
 	}
 	s := &HTTPSink{
-		cfg:   cfg,
-		url:   strings.TrimSuffix(cfg.BaseURL, "/") + IngestPath,
-		codec: codec,
-		ch:    make(chan assertion.Violation, cfg.QueueDepth),
-		done:  make(chan struct{}),
+		cfg:     cfg,
+		url:     strings.TrimSuffix(cfg.BaseURL, "/") + IngestPath,
+		codec:   codec,
+		ch:      make(chan assertion.Violation, cfg.QueueDepth),
+		done:    make(chan struct{}),
+		closing: make(chan struct{}),
 	}
 	s.pendingCond = sync.NewCond(&s.pendingMu)
 	go s.run()
@@ -218,13 +252,18 @@ func (s *HTTPSink) Flush() error {
 
 // Close drains the queue (delivering or counting every queued violation),
 // stops the shipper and returns the first delivery error. It is
-// idempotent; Record returns ErrSinkClosed afterwards.
+// idempotent; Record returns ErrSinkClosed afterwards. A shipper asleep
+// in a backoff wait wakes immediately and retries without further
+// waits, so Close is bounded by the delivery attempts themselves —
+// against a dead collector it returns in a few fast-failing attempts
+// per queued batch, never a full backoff ladder each.
 func (s *HTTPSink) Close() error {
 	s.mu.Lock()
 	already := s.closed
 	s.closed = true
 	s.mu.Unlock()
 	if !already {
+		close(s.closing)
 		close(s.ch)
 	}
 	<-s.done
@@ -274,19 +313,29 @@ type HTTPSinkStats struct {
 	// down to JSON.
 	Wire         string
 	WireFellBack bool
+	// BreakerOpen reports whether the circuit breaker is currently open;
+	// BreakerDropped is how many violations were fast-dropped by the
+	// open circuit (a subset of Dropped); Probes is how many half-open
+	// probe batches have been attempted.
+	BreakerOpen    bool
+	BreakerDropped int64
+	Probes         int64
 }
 
 // Stats returns a consistent-enough snapshot of the sink's delivery
 // counters for reporting; each field is individually atomic.
 func (s *HTTPSink) Stats() HTTPSinkStats {
 	return HTTPSinkStats{
-		Delivered:    s.delivered.Load(),
-		Batches:      s.batches.Load(),
-		Retries:      s.retries.Load(),
-		Dropped:      s.dropped.Load(),
-		Queued:       len(s.ch),
-		Wire:         s.Wire(),
-		WireFellBack: s.fellBack.Load(),
+		Delivered:      s.delivered.Load(),
+		Batches:        s.batches.Load(),
+		Retries:        s.retries.Load(),
+		Dropped:        s.dropped.Load(),
+		Queued:         len(s.ch),
+		Wire:           s.Wire(),
+		WireFellBack:   s.fellBack.Load(),
+		BreakerOpen:    s.breakerOpen.Load(),
+		BreakerDropped: s.breakerDropped.Load(),
+		Probes:         s.probes.Load(),
 	}
 }
 
@@ -350,7 +399,9 @@ func (s *HTTPSink) run() {
 
 // ship encodes one batch into buf (reflection-free, reusing buf's backing
 // array) and delivers it, retrying transient failures with exponential
-// backoff and jitter. On giving up the batch's violations are counted as
+// backoff and jitter — stretched to honor a collector's Retry-After,
+// bounded by RetryBudget, and short-circuited entirely while the circuit
+// breaker is open. On giving up the batch's violations are counted as
 // dropped and the last failure is retained. The extended buffer is
 // returned so the shipper keeps its capacity across batches.
 func (s *HTTPSink) ship(buf []byte, violations []assertion.Violation) []byte {
@@ -362,17 +413,36 @@ func (s *HTTPSink) ship(buf []byte, violations []assertion.Violation) []byte {
 		Seq:        s.seq.Add(1),
 		Violations: violations,
 	}
+	probing := false
+	if s.cfg.BreakerFailures > 0 && s.breakerOpen.Load() {
+		if time.Now().Before(s.breakerUntil) {
+			// Open circuit: fail fast without touching the network. The
+			// loss is counted (dropped + breakerDropped), never silent.
+			s.breakerDropped.Add(int64(len(violations)))
+			s.dropped.Add(int64(len(violations)))
+			s.setErr(fmt.Errorf("export: deliver batch to %s: circuit open after %d consecutive failed batches", s.url, s.consecFailures))
+			return buf
+		}
+		// Half-open: this batch is the probe — one attempt, no retries.
+		probing = true
+		s.probes.Add(1)
+	}
 	body, err := s.codec.AppendBatch(buf, wb)
 	if err != nil {
 		s.setErr(fmt.Errorf("export: encode batch: %w", err))
 		s.dropped.Add(int64(len(violations)))
 		return buf
 	}
+	began := time.Now()
+	transient := false
 	for attempt := 0; ; attempt++ {
-		err = s.post(body)
+		var retryAfter time.Duration
+		retryAfter, err = s.post(body, wb.Seq)
 		if err == nil {
 			s.delivered.Add(int64(len(violations)))
 			s.batches.Add(1)
+			s.consecFailures = 0
+			s.breakerOpen.Store(false)
 			return body
 		}
 		var perm *permanentError
@@ -392,17 +462,54 @@ func (s *HTTPSink) ship(buf []byte, violations []assertion.Violation) []byte {
 				}
 				err = fmt.Errorf("export: re-encode batch as json: %w", err)
 			}
+			transient = false
 			break
 		}
-		if attempt >= s.cfg.MaxRetries {
+		transient = true
+		if probing || attempt >= s.cfg.MaxRetries {
+			break
+		}
+		// The collector's Retry-After stretches this attempt's wait, but
+		// stays clamped into the existing ladder: never beyond MaxBackoff,
+		// so one bad header cannot park the shipper for an hour.
+		wait := s.backoff(attempt)
+		if retryAfter > wait {
+			wait = retryAfter
+		}
+		if wait > s.cfg.MaxBackoff {
+			wait = s.cfg.MaxBackoff
+		}
+		if s.cfg.RetryBudget > 0 && time.Since(began)+wait > s.cfg.RetryBudget {
+			err = fmt.Errorf("retry budget %s exhausted: %w", s.cfg.RetryBudget, err)
 			break
 		}
 		s.retries.Add(1)
-		time.Sleep(s.backoff(attempt))
+		s.sleep(wait)
+	}
+	if s.cfg.BreakerFailures > 0 && transient {
+		s.consecFailures++
+		if s.consecFailures >= s.cfg.BreakerFailures {
+			s.breakerOpen.Store(true)
+			s.breakerUntil = time.Now().Add(s.cfg.BreakerProbe)
+		}
 	}
 	s.setErr(fmt.Errorf("export: deliver batch to %s: %w", s.url, err))
 	s.dropped.Add(int64(len(violations)))
 	return body
+}
+
+// sleep waits d — or not at all once Close has begun. A closing sink
+// keeps making its retry attempts (a collector recovering from a blip
+// still receives every queued batch, per the drain contract) but skips
+// the waits between them, so Close is bounded by the attempts
+// themselves, never by the backoff ladder.
+func (s *HTTPSink) sleep(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.closing:
+	}
 }
 
 // fallbackStatus reports whether an HTTP status from the collector should
@@ -414,30 +521,46 @@ func fallbackStatus(status int) bool {
 		status == http.StatusBadRequest
 }
 
-func (s *HTTPSink) post(body []byte) error {
+// post delivers one encoded batch. On a non-2xx answer carrying a
+// Retry-After header (a throttling or degraded collector), the parsed
+// wait is returned alongside the error so ship can stretch its backoff.
+func (s *HTTPSink) post(body []byte, seq uint64) (retryAfter time.Duration, err error) {
 	req, err := http.NewRequest(http.MethodPost, s.url, bytes.NewReader(body))
 	if err != nil {
-		return &permanentError{err: err}
+		return 0, &permanentError{err: err}
 	}
 	req.Header.Set("Content-Type", s.codec.ContentType())
+	// The batch identity rides the headers too, so an overloaded
+	// collector can acknowledge an already-applied retry without reading
+	// the body — admission control never wedges the dedup window.
+	req.Header.Set(SourceHeader, s.cfg.Source)
+	req.Header.Set(SeqHeader, strconv.FormatUint(seq, 10))
 	resp, err := s.cfg.Client.Do(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	// Drain before closing or the transport cannot return the connection
 	// to its keep-alive pool, and every batch would pay a new handshake.
 	defer resp.Body.Close()
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
 	if resp.StatusCode/100 == 2 {
-		return nil
+		return 0, nil
+	}
+	if v := strings.TrimSpace(resp.Header.Get("Retry-After")); v != "" {
+		// Only the delta-seconds form is parsed (it is what the collector
+		// sends); an HTTP-date or garbage value is ignored, falling back
+		// to the sink's own backoff.
+		if secs, perr := strconv.Atoi(v); perr == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
 	}
 	err = fmt.Errorf("collector returned %s", resp.Status)
 	if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
 		// The collector understood the request and rejected the payload:
 		// retrying the same bytes cannot succeed.
-		return &permanentError{err: err, status: resp.StatusCode}
+		return retryAfter, &permanentError{err: err, status: resp.StatusCode}
 	}
-	return err
+	return retryAfter, err
 }
 
 // backoff returns the delay before retry number attempt+1: BaseBackoff
@@ -467,7 +590,8 @@ func (e *permanentError) Unwrap() error { return e.err }
 // so flag-driven tools can build it by name without importing this
 // package's types. Recognised params: url (required), source, batch,
 // retries, depth, timeout (Go duration), backoff (Go duration), wire
-// (codec name), compress (bool).
+// (codec name), compress (bool), retry-budget (Go duration),
+// breaker-failures (int), breaker-probe (Go duration).
 func init() {
 	assertion.MustRegisterSinkFactory("http", func(params map[string]string) (assertion.Sink, error) {
 		cfg := HTTPSinkConfig{BaseURL: params["url"], Source: params["source"], Wire: params["wire"]}
@@ -505,6 +629,15 @@ func init() {
 			return nil, err
 		}
 		if cfg.BaseBackoff, err = durationParam(params, "backoff"); err != nil {
+			return nil, err
+		}
+		if cfg.RetryBudget, err = durationParam(params, "retry-budget"); err != nil {
+			return nil, err
+		}
+		if cfg.BreakerFailures, err = atoiParam(params, "breaker-failures"); err != nil {
+			return nil, err
+		}
+		if cfg.BreakerProbe, err = durationParam(params, "breaker-probe"); err != nil {
 			return nil, err
 		}
 		return NewHTTPSink(cfg)

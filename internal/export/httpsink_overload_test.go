@@ -1,0 +1,225 @@
+package export
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Close must never sit out a backoff wait: a shipper asleep between
+// retries wakes immediately and finishes its attempts without further
+// sleeping. With a 30s ladder and a fast-refusing dead port, Close
+// returning promptly proves the sleeps were skipped.
+func TestHTTPSinkCloseSkipsBackoffWaits(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + l.Addr().String()
+	l.Close()
+
+	s, err := NewHTTPSink(HTTPSinkConfig{
+		BaseURL:     deadURL,
+		BaseBackoff: 30 * time.Second,
+		MaxBackoff:  30 * time.Second,
+		Timeout:     200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordN(t, s, 1)
+	time.Sleep(20 * time.Millisecond) // let the shipper reach its first backoff sleep
+	began := time.Now()
+	s.Close()
+	if took := time.Since(began); took > 5*time.Second {
+		t.Fatalf("Close took %s with a 30s backoff ladder; the wait was not skipped", took)
+	}
+	if got := s.Dropped(); got != 1 {
+		t.Fatalf("Dropped = %d, want 1 (the loss is counted, not silent)", got)
+	}
+}
+
+// A collector's Retry-After stretches the sink's next wait beyond its
+// own backoff ladder (still clamped at MaxBackoff).
+func TestHTTPSinkHonorsRetryAfter(t *testing.T) {
+	var attempts []time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts = append(attempts, time.Now())
+		if len(attempts) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "throttled", http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	// BaseBackoff alone would retry after ~1ms; only the Retry-After can
+	// produce a ~1s gap.
+	s, err := NewHTTPSink(HTTPSinkConfig{BaseURL: srv.URL, BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordN(t, s, 3)
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush = %v", err)
+	}
+	s.Close()
+	if len(attempts) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(attempts))
+	}
+	if gap := attempts[1].Sub(attempts[0]); gap < 900*time.Millisecond {
+		t.Fatalf("retry gap = %s, want >= ~1s from Retry-After", gap)
+	}
+	if got := s.Delivered(); got != 3 {
+		t.Fatalf("Delivered = %d, want 3", got)
+	}
+}
+
+// RetryBudget bounds a batch's total wall-clock delivery time even when
+// the attempt count would allow retrying much longer.
+func TestHTTPSinkRetryBudget(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	s, err := NewHTTPSink(HTTPSinkConfig{
+		BaseURL:     srv.URL,
+		MaxRetries:  1000,
+		BaseBackoff: 20 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+		RetryBudget: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordN(t, s, 2)
+	began := time.Now()
+	s.Flush()
+	if took := time.Since(began); took > 2*time.Second {
+		t.Fatalf("Flush took %s, want the 200ms budget to cut the 1000-retry ladder short", took)
+	}
+	defer s.Close()
+	if got := s.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("Err = %v, want a retry-budget failure", err)
+	}
+	if n := hits.Load(); n >= 1000 {
+		t.Fatalf("server saw %d attempts; the budget did not bound them", n)
+	}
+}
+
+// After BreakerFailures consecutive transiently-failed batches the
+// breaker opens: further batches are dropped (counted) without touching
+// the network until the probe interval elapses.
+func TestHTTPSinkBreakerOpensAndFastDrops(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	s, err := NewHTTPSink(HTTPSinkConfig{
+		BaseURL:         srv.URL,
+		MaxRetries:      -1, // single attempt per batch
+		BaseBackoff:     time.Millisecond,
+		BreakerFailures: 1,
+		BreakerProbe:    time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	recordN(t, s, 1)
+	s.Flush() // one attempt fails; the breaker opens
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server saw %d attempts for the first batch, want 1", n)
+	}
+	recordN(t, s, 4)
+	s.Flush() // open circuit: dropped without a request
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server saw %d attempts, want still 1: the open breaker must not touch the network", n)
+	}
+	st := s.Stats()
+	if !st.BreakerOpen {
+		t.Fatal("BreakerOpen = false, want open")
+	}
+	if st.BreakerDropped != 4 {
+		t.Fatalf("BreakerDropped = %d, want 4", st.BreakerDropped)
+	}
+	if st.Dropped != 5 {
+		t.Fatalf("Dropped = %d, want 5 (every loss counted)", st.Dropped)
+	}
+	if err := s.Err(); err == nil {
+		t.Fatal("Err = nil, want the first delivery failure retained")
+	}
+}
+
+// Once the probe interval elapses the breaker goes half-open: the next
+// batch is a single-attempt probe, and its success closes the circuit.
+func TestHTTPSinkBreakerProbeCloses(t *testing.T) {
+	var healthy atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	s, err := NewHTTPSink(HTTPSinkConfig{
+		BaseURL:         srv.URL,
+		MaxRetries:      -1,
+		BaseBackoff:     time.Millisecond,
+		BreakerFailures: 1,
+		BreakerProbe:    10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	recordN(t, s, 1)
+	s.Flush()
+	if !s.Stats().BreakerOpen {
+		t.Fatal("breaker did not open after the failed batch")
+	}
+
+	healthy.Store(true)
+	time.Sleep(20 * time.Millisecond) // past the probe interval
+	recordN(t, s, 2)
+	if err := s.Flush(); err != nil {
+		// The retained error is the first batch's failure; delivery state
+		// is what matters here.
+		t.Logf("Flush retained err (expected from the opening batch): %v", err)
+	}
+	st := s.Stats()
+	if st.BreakerOpen {
+		t.Fatal("BreakerOpen = true after a successful probe, want closed")
+	}
+	if st.Probes < 1 {
+		t.Fatalf("Probes = %d, want >= 1", st.Probes)
+	}
+	if st.Delivered != 2 {
+		t.Fatalf("Delivered = %d, want 2 (the probe batch itself)", st.Delivered)
+	}
+
+	// A closed circuit ships normally again.
+	recordN(t, s, 1)
+	s.Flush()
+	if got := s.Delivered(); got != 3 {
+		t.Fatalf("Delivered = %d after recovery, want 3", got)
+	}
+}

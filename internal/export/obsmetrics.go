@@ -39,4 +39,19 @@ var (
 	labelsNextHist = obs.Default().NewHistogram(
 		"omg_collector_labels_next_seconds",
 		"Label-candidate selection and serve time per /v1/labels/next request.")
+	// throttleWaitHist charts the Retry-After waits the collector
+	// advertises on shed or throttled ingest requests, by rejection
+	// reason (rate_limit, inflight, store_degraded) — the shape of
+	// backpressure the fleet is being asked to absorb.
+	throttleWaitHist = obs.Default().NewHistogramVec(
+		"omg_collector_throttle_wait_seconds",
+		"Retry-After advertised on throttled/shed ingest requests, by reason.",
+		"reason")
+	// admissionHist times the admission fast path (duplicate-retry check,
+	// in-flight slot, token-bucket charge) for admitted requests — the
+	// per-request overhead the overload layer adds, gated ≤5% of ingest
+	// in BENCH_10.json.
+	admissionHist = obs.Default().NewHistogram(
+		"omg_collector_admission_seconds",
+		"Admission-control time per admitted ingest request.")
 )

@@ -19,6 +19,14 @@ const TailPath = "/v1/violations/tail"
 // one. Variable, not const, so tests can shrink it.
 var tailHeartbeat = 15 * time.Second
 
+// tailWriteGrace is how long one tail write may block before the
+// subscriber is declared stalled and disconnected. The tail endpoint
+// lifts the server-wide WriteTimeout (an SSE stream is supposed to live
+// forever), so this per-write deadline is what keeps a consumer that
+// stopped reading from parking the handler goroutine indefinitely.
+// Variable, not const, so tests can shrink it.
+var tailWriteGrace = 30 * time.Second
+
 // tailClient is one live-tail subscriber: a bounded event buffer plus
 // optional assertion/stream filters. The buffer decouples the subscriber
 // from ingest — publish never blocks on a slow client, it drops the
@@ -160,6 +168,23 @@ func (c *Collector) handleTail(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
+	// An SSE stream is supposed to outlive any server-wide WriteTimeout,
+	// so lift the connection deadline here (the error is ignored: writers
+	// without deadline support — httptest recorders — still stream) and
+	// instead arm a fresh per-write grace before every write below. A
+	// consumer that stops reading then costs one stalled write, not a
+	// leaked goroutine.
+	rc := http.NewResponseController(w)
+	rc.SetWriteDeadline(time.Time{})
+	write := func(format string, args ...any) bool {
+		rc.SetWriteDeadline(time.Now().Add(tailWriteGrace))
+		if _, err := fmt.Fprintf(w, format, args...); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
 	q := r.URL.Query()
 	cl := c.tail.subscribe(q.Get("assertion"), q.Get("stream"))
 	defer c.tail.unsubscribe(cl)
@@ -168,37 +193,51 @@ func (c *Collector) handleTail(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Accel-Buffering", "no") // tell buffering proxies not to
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprint(w, ": omg-collector live tail\n\n")
-	fl.Flush()
+	if !write(": omg-collector live tail\n\n") {
+		return
+	}
 
 	heartbeat := time.NewTicker(tailHeartbeat)
 	defer heartbeat.Stop()
 	var reported int64
+	// reportDrops tells the subscriber about buffer losses it has not
+	// heard of yet; the final call before the end event settles the
+	// accounting, so a stream that ends cleanly has had every loss
+	// reported.
+	reportDrops := func() bool {
+		if d := cl.dropped.Load(); d > reported {
+			reported = d
+			return write("event: dropped\ndata: {\"dropped\":%d}\n\n", d)
+		}
+		return true
+	}
 	for {
 		select {
 		case <-r.Context().Done():
 			return
 		case <-c.tail.done:
-			fmt.Fprint(w, "event: end\ndata: collector shutting down\n\n")
-			fl.Flush()
+			reportDrops()
+			write("event: end\ndata: collector shutting down\n\n")
 			return
 		case frame := <-cl.ch:
-			w.Write(frame)
-			if d := cl.dropped.Load(); d > reported {
-				reported = d
-				fmt.Fprintf(w, "event: dropped\ndata: {\"dropped\":%d}\n\n", d)
+			rc.SetWriteDeadline(time.Now().Add(tailWriteGrace))
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			if !reportDrops() {
+				return
 			}
 			fl.Flush()
 		case <-heartbeat.C:
 			// The idle tick also reports losses: a client whose buffer
 			// overflowed during a burst and then matched nothing further
 			// must still learn it lost events.
-			if d := cl.dropped.Load(); d > reported {
-				reported = d
-				fmt.Fprintf(w, "event: dropped\ndata: {\"dropped\":%d}\n\n", d)
+			if !reportDrops() {
+				return
 			}
-			fmt.Fprint(w, ": heartbeat\n\n")
-			fl.Flush()
+			if !write(": heartbeat\n\n") {
+				return
+			}
 		}
 	}
 }

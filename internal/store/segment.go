@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 
 	"omg/internal/assertion"
 	"omg/internal/obs"
@@ -24,6 +25,12 @@ var ErrClosed = errors.New("store: segment store is closed")
 // ErrCorrupt reports a segment file damaged beyond the recoverable torn
 // tail of the newest segment.
 var ErrCorrupt = errors.New("store: corrupt segment")
+
+// ErrDiskFull is the synthetic disk-full failure injected by
+// Config.FailWritesAfterBytes. It wraps syscall.ENOSPC, so callers that
+// check errors.Is(err, syscall.ENOSPC) treat the injected fault exactly
+// like the real one.
+var ErrDiskFull = fmt.Errorf("injected disk full: %w", syscall.ENOSPC)
 
 const (
 	segmentBackend = "segment"
@@ -69,6 +76,14 @@ type Config struct {
 	// test. Appends still reach the OS via write, so process-crash
 	// recovery stays exact.
 	NoSync bool
+	// FailWritesAfterBytes injects a deterministic disk-full fault for
+	// chaos testing: once this store has handed that many bytes to
+	// write(2) across its lifetime (recovery replay not counted), every
+	// further segment write fails with ErrDiskFull. The pending buffer
+	// is retained on failure, exactly as with a real ENOSPC, so a healed
+	// (restarted, fault-free) store still recovers everything that was
+	// flushed before the fault. 0 disables.
+	FailWritesAfterBytes int64
 }
 
 // segMeta describes one sealed segment file.
@@ -130,9 +145,11 @@ const checkpointVersion = 1
 type SegmentStore struct {
 	mu sync.Mutex
 
-	dir      string
-	segBytes int64
-	noSync   bool
+	dir       string
+	segBytes  int64
+	noSync    bool
+	failAfter int64 // injected disk-full threshold (Config.FailWritesAfterBytes)
+	written   int64 // bytes handed to write(2) since Open, for failAfter
 
 	active      *os.File
 	activeNum   int
@@ -183,6 +200,7 @@ func Open(cfg Config) (*SegmentStore, error) {
 		dir:       cfg.Dir,
 		segBytes:  cfg.SegmentBytes,
 		noSync:    cfg.NoSync,
+		failAfter: cfg.FailWritesAfterBytes,
 		byAssert:  make(map[string][]int32),
 		byStream:  make(map[string][]int32),
 		stats:     make(map[string]assertion.Stats),
@@ -546,9 +564,15 @@ func (s *SegmentStore) flushLocked() error {
 	if len(s.pending) == 0 {
 		return nil
 	}
+	if s.failAfter > 0 && s.written+int64(len(s.pending)) > s.failAfter {
+		// The injected fault mirrors a real full disk: the write "fails",
+		// pending is retained, and every later flush fails the same way.
+		return fmt.Errorf("store: write segment: %w", ErrDiskFull)
+	}
 	if _, err := s.active.Write(s.pending); err != nil {
 		return fmt.Errorf("store: write segment: %w", err)
 	}
+	s.written += int64(len(s.pending))
 	s.activeBytes += int64(len(s.pending))
 	s.activeRecs += s.pendingRecs
 	s.pending = s.pending[:0]
